@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark suite.
+
+The figure benchmarks drive a discrete-event simulation, so a single run is
+already deterministic and representative; they use ``benchmark.pedantic`` with
+one round.  The micro benchmarks measure real wall-clock costs of the TPS
+layer's Python work and use the normal calibrated benchmark loop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a (deterministic, simulation-driven) callable exactly once under benchmark."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,36 @@
+"""Section 4.4 -- programming effort (experiment E4).
+
+The paper reports that writing the ski-rental application directly on JXTA
+costs about 5000 more lines than writing it on TPS when the full API's
+functionality is re-created, and at least ~900 lines for a minimal variant.
+Absolute counts are Java- and codebase-specific; the claim structure this
+benchmark checks is:
+
+* the SR-JXTA application is several times larger than the SR-TPS one;
+* once the reusable TPS layer is counted (the code a JXTA programmer would
+  have to write to get the same functionality), the gap grows to thousands of
+  lines.
+"""
+
+from __future__ import annotations
+
+from repro.bench.code_size import measure_code_size
+
+
+def test_code_size_comparison(once):
+    """Count the repository's own application and library code sizes."""
+    report = once(measure_code_size)
+
+    # The direct-JXTA application is substantially larger than the TPS one.
+    assert report.tps_application > 0
+    assert report.jxta_application > 2 * report.tps_application
+    # Minimal saving: at least a couple hundred lines for this one application
+    # (the paper's "at least 900" counts a richer Java application).
+    assert report.minimal_saving >= 150
+    # Full saving (including the reusable TPS layer a JXTA programmer would
+    # otherwise write and maintain): an order of magnitude more than the
+    # application itself, thousands of lines in the paper's Java.
+    assert report.full_saving >= 1000
+    assert report.full_saving >= 10 * report.tps_application
+    # The wire-only baseline is the smallest of the three applications.
+    assert report.wire_application < report.jxta_application

@@ -1,0 +1,65 @@
+"""Figure 18 -- invocation time.
+
+Paper setting: one publisher produces 50 events one after the other
+(1910-byte messages); the time per ``sendMessage()`` call is plotted for
+JXTA-WIRE, SR-JXTA and SR-TPS with one and with four subscribers.
+
+Shape to reproduce (not absolute numbers):
+
+* JXTA-WIRE is the fastest; SR-JXTA and SR-TPS are virtually identical
+  (the paper quotes ~1 % with one subscriber);
+* four subscribers are roughly three times as expensive as one;
+* the standard deviation is large (~20-30 %).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import run_invocation_time
+from repro.bench.scenario import JXTA_WIRE, SR_JXTA, SR_TPS, VARIANTS
+
+EVENTS = 50
+
+
+@pytest.mark.parametrize("subscribers", [1, 4])
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_invocation_time(once, variant, subscribers):
+    """One curve of Figure 18: 50 sequential publishes for one configuration."""
+    series = once(run_invocation_time, variant, subscribers=subscribers, events=EVENTS)
+    assert len(series.per_event_ms) == EVENTS
+    assert series.mean_ms > 0
+
+
+def test_figure18_shape(once):
+    """The relative ordering and ratios of Figure 18 hold."""
+
+    def run_all():
+        results = {}
+        for subscribers in (1, 4):
+            for variant in VARIANTS:
+                results[(variant, subscribers)] = run_invocation_time(
+                    variant, subscribers=subscribers, events=EVENTS
+                )
+        return results
+
+    results = once(run_all)
+
+    wire_1 = results[(JXTA_WIRE, 1)].mean_ms
+    jxta_1 = results[(SR_JXTA, 1)].mean_ms
+    tps_1 = results[(SR_TPS, 1)].mean_ms
+    wire_4 = results[(JXTA_WIRE, 4)].mean_ms
+    tps_4 = results[(SR_TPS, 4)].mean_ms
+
+    # JXTA-WIRE alone is quicker than SR-JXTA and SR-TPS.
+    assert wire_1 < jxta_1
+    assert wire_1 < tps_1
+    # "there is virtually no difference between SR-TPS and SR-JXTA"
+    assert abs(tps_1 - jxta_1) / jxta_1 < 0.06
+    # SR-TPS is the (slightly) slower of the two layered variants.
+    assert tps_1 >= jxta_1
+    # Four subscribers cost roughly 2-3.5x one subscriber.
+    assert 1.8 < wire_4 / wire_1 < 3.6
+    assert 1.8 < tps_4 / tps_1 < 3.6
+    # The noise is substantial (paper: ~20-30 % standard deviation).
+    assert results[(JXTA_WIRE, 1)].relative_stdev > 0.08

@@ -1,0 +1,73 @@
+"""Figure 19 -- publisher throughput.
+
+Paper setting: 100 published events, grouped in 10 epochs; the number of
+events the publisher delivers per second is plotted for the three variants
+with one and with four subscribers.
+
+Shape to reproduce:
+
+* JXTA-WIRE achieves roughly 9-11 events/second with one subscriber;
+* SR-JXTA and SR-TPS are about two events/second slower and nearly equal;
+* with four subscribers throughput drops by roughly a factor of 2-3 and the
+  differences between the layers become insignificant (a few tenths of an
+  event per second).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import run_publisher_throughput
+from repro.bench.scenario import JXTA_WIRE, SR_JXTA, SR_TPS, VARIANTS
+
+EVENTS = 100
+EPOCHS = 10
+
+
+@pytest.mark.parametrize("subscribers", [1, 4])
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_publisher_throughput(once, variant, subscribers):
+    """One curve of Figure 19: 100 events in 10 epochs for one configuration."""
+    series = once(
+        run_publisher_throughput,
+        variant,
+        subscribers=subscribers,
+        events=EVENTS,
+        epochs=EPOCHS,
+    )
+    assert len(series.epoch_rates) == EPOCHS
+    assert series.mean_rate > 0
+
+
+def test_figure19_shape(once):
+    """The relative ordering and gaps of Figure 19 hold."""
+
+    def run_all():
+        results = {}
+        for subscribers in (1, 4):
+            for variant in VARIANTS:
+                results[(variant, subscribers)] = run_publisher_throughput(
+                    variant, subscribers=subscribers, events=EVENTS, epochs=EPOCHS
+                )
+        return results
+
+    results = once(run_all)
+
+    wire_1 = results[(JXTA_WIRE, 1)].mean_rate
+    jxta_1 = results[(SR_JXTA, 1)].mean_rate
+    tps_1 = results[(SR_TPS, 1)].mean_rate
+    wire_4 = results[(JXTA_WIRE, 4)].mean_rate
+    jxta_4 = results[(SR_JXTA, 4)].mean_rate
+    tps_4 = results[(SR_TPS, 4)].mean_rate
+
+    # One subscriber: the wire alone is the fastest, by roughly 1-3 events/s.
+    assert wire_1 > jxta_1 > 0
+    assert wire_1 > tps_1 > 0
+    assert 0.5 < (wire_1 - tps_1) < 3.5
+    assert 7.0 < wire_1 < 13.0  # the paper's ballpark (~9-11 events/s)
+    # SR-TPS and SR-JXTA are very close.
+    assert abs(tps_1 - jxta_1) < 0.5
+    # Four subscribers: overall slowdown, and the layers converge.
+    assert wire_4 < wire_1 / 1.8
+    assert abs(wire_4 - jxta_4) < 1.0
+    assert abs(wire_4 - tps_4) < 1.0

@@ -1,0 +1,73 @@
+"""Figure 20 -- subscriber throughput.
+
+Paper setting: the publishers flood the single subscriber (10 000 events per
+publisher); the number of events the subscriber receives is sampled every
+second for 50 seconds, with one and with four publishers.
+
+Shape to reproduce:
+
+* with one publisher the subscriber saturates well below the publisher's send
+  rate (the paper quotes ~7.8 events/s for JXTA-WIRE, ~6.1 for SR-JXTA and
+  ~6.0 for SR-TPS);
+* SR-JXTA and SR-TPS stay nearly identical;
+* with four publishers the per-second receive rate drops by roughly a factor
+  of three and the layers converge.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import run_subscriber_throughput
+from repro.bench.scenario import JXTA_WIRE, SR_JXTA, SR_TPS, VARIANTS
+
+DURATION = 50.0
+
+
+@pytest.mark.parametrize("publishers", [1, 4])
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_subscriber_throughput(once, variant, publishers):
+    """One curve of Figure 20: a 50-second flood for one configuration."""
+    series = once(
+        run_subscriber_throughput, variant, publishers=publishers, duration=DURATION
+    )
+    assert len(series.per_second) == int(DURATION)
+    assert series.mean_rate > 0
+
+
+def test_figure20_shape(once):
+    """The saturation levels and ordering of Figure 20 hold."""
+
+    def run_all():
+        results = {}
+        for publishers in (1, 4):
+            for variant in VARIANTS:
+                results[(variant, publishers)] = run_subscriber_throughput(
+                    variant, publishers=publishers, duration=DURATION
+                )
+        return results
+
+    results = once(run_all)
+
+    wire_1 = results[(JXTA_WIRE, 1)].mean_rate
+    jxta_1 = results[(SR_JXTA, 1)].mean_rate
+    tps_1 = results[(SR_TPS, 1)].mean_rate
+    wire_4 = results[(JXTA_WIRE, 4)].mean_rate
+    tps_4 = results[(SR_TPS, 4)].mean_rate
+
+    # One publisher: the wire saturates highest, the SR layers lower and close
+    # to each other (paper: 7.8 vs 6.1 vs 6.0 events/s).
+    assert 6.0 < wire_1 < 10.0
+    assert 4.5 < jxta_1 < 7.5
+    assert 4.5 < tps_1 < 7.5
+    assert wire_1 > jxta_1
+    assert wire_1 > tps_1
+    assert abs(jxta_1 - tps_1) < 0.5
+    # The subscriber saturates: it receives fewer events than the publisher
+    # sends (JXTA-WIRE publishes ~9-10 events/s -- Figure 19).
+    assert wire_1 < 9.0
+    # Four publishers: the receive rate drops by roughly a factor of 2-3.5.
+    assert 1.8 < wire_1 / wire_4 < 3.8
+    assert 1.8 < tps_1 / tps_4 < 3.8
+    # The receive-rate series is noisy, as in the paper.
+    assert results[(JXTA_WIRE, 1)].stdev_rate > 0.5

@@ -1,0 +1,99 @@
+"""Experiment E5 -- where the TPS layer's per-message overhead comes from.
+
+The simulated figures charge calibrated virtual-time costs for the SR/TPS
+layer work; these micro-benchmarks measure the *real* wall-clock cost of each
+ingredient on the machine running the reproduction, using pytest-benchmark's
+normal calibrated loop:
+
+* typed serialisation (encode + decode of a ski-rental event);
+* wire-message framing at the paper's 1910-byte message size;
+* type conformance checks (subtype matching);
+* end-to-end TPS dispatch through the in-process binding;
+* the hand-rolled SR-JXTA field encoding, for comparison.
+"""
+
+from __future__ import annotations
+
+from repro.apps.skirental.types import PremiumSkiRental, SkiRental
+from repro.bench.micro import (
+    dispatch_cost_workload,
+    sample_encoded_event,
+    sample_offer,
+    sample_registry,
+    sample_wire_message,
+)
+from repro.jxta.message import Message
+from repro.serialization.xml_codec import parse_xml, to_xml, XmlElement
+
+
+def test_encode_event(benchmark):
+    """Typed serialisation of one event (publisher-side TPS work)."""
+    registry = sample_registry()
+    offer = sample_offer()
+    payload = benchmark(lambda: registry.encode(offer))
+    assert isinstance(payload, bytes) and payload
+
+
+def test_decode_event(benchmark):
+    """Typed deserialisation of one event (subscriber-side TPS work)."""
+    encoded = sample_encoded_event()
+    event = benchmark(lambda: encoded.registry.decode(encoded.payload))
+    assert isinstance(event, SkiRental)
+
+
+def test_type_conformance_check(benchmark):
+    """Subtype matching: the per-event isinstance check of Figure 7 semantics."""
+    registry = sample_registry()
+    events = [sample_offer(i) for i in range(50)] + [
+        PremiumSkiRental("shop", 200.0, "Atomic", 7, extras=("boots",)) for _ in range(50)
+    ]
+
+    def check_all():
+        return sum(1 for event in events if registry.conforms(event))
+
+    assert benchmark(check_all) == len(events)
+
+
+def test_wire_message_roundtrip(benchmark):
+    """Framing and unframing a 1910-byte wire message (both layers pay this)."""
+    message = sample_wire_message(1910)
+
+    def roundtrip():
+        return Message.from_bytes(message.to_bytes())
+
+    restored = benchmark(roundtrip)
+    assert restored.size >= 1910
+
+
+def test_local_tps_dispatch(benchmark):
+    """Full TPS semantics (type check, codec round-trip, dispatch), no substrate."""
+    workload = dispatch_cost_workload(events=100)
+    assert benchmark(workload) == 100
+
+
+def test_sr_jxta_manual_encoding(benchmark):
+    """The hand-rolled SR-JXTA field encoding, for comparison with typed encode."""
+    offer = sample_offer()
+
+    def encode_by_hand():
+        message = Message()
+        message.add("SkiRental.Shop", offer.shop)
+        message.add("SkiRental.Price", repr(offer.price))
+        message.add("SkiRental.Brand", offer.brand)
+        message.add("SkiRental.NumberOfDays", repr(offer.number_of_days))
+        return message.to_bytes()
+
+    assert benchmark(encode_by_hand)
+
+
+def test_advertisement_xml_roundtrip(benchmark):
+    """Parsing and serialising a discovery-sized XML document."""
+    root = XmlElement("DiscoveryResponse")
+    for index in range(10):
+        root.add("Adv", f"<advertisement id='{index}'>payload {index}</advertisement>")
+    document = to_xml(root)
+
+    def roundtrip():
+        return parse_xml(to_xml(parse_xml(document)))
+
+    assert benchmark(roundtrip).name == "DiscoveryResponse"

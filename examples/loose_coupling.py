@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""The paper's future work, in action: loose type knowledge and replies.
+
+Two extensions round off the reproduction, both taken from the paper's
+concluding remarks:
+
+1. *"Representing types through XML data structures"* -- a publisher
+   serialises its events with :class:`XmlEventCodec`; a peer that does NOT
+   have the event class can still decode the payload into a
+   :class:`DynamicEvent`, inspect its fields and check where it sits in the
+   type hierarchy.
+2. *"Enable a subscriber to immediately reply to a publisher"* -- the shop
+   attaches a :class:`ReplyEndpoint` to its offers; an interested shopper
+   calls :func:`reply` and the response travels back over a point-to-point
+   pipe, outside the decoupled publish/subscribe flow.
+
+Run it with::
+
+    python examples/loose_coupling.py
+"""
+
+from __future__ import annotations
+
+from repro import tps_network
+from repro.apps.skirental import SkiRental
+from repro.core import (
+    DynamicEvent,
+    ReplyEndpoint,
+    Replyable,
+    TPSConfig,
+    TPSEngine,
+    XmlEventCodec,
+    reply,
+)
+
+
+class NegotiableSkiRental(SkiRental, Replyable):
+    """A ski-rental offer the shop is willing to negotiate on."""
+
+
+def xml_type_demo() -> None:
+    print("=== 1. XML type descriptions: decoding without sharing code ===")
+    offer = SkiRental("XTremShop", 120.0, "Salomon", 14.0)
+    payload = XmlEventCodec().encode(offer)
+    print(f"publisher encoded {type(offer).__name__} as {len(payload)} bytes of XML")
+
+    # The receiving side registered nothing: it gets a DynamicEvent.
+    stranger_view = XmlEventCodec().decode(payload)
+    assert isinstance(stranger_view, DynamicEvent)
+    print(f"peer without the class sees : {stranger_view!r}")
+    print(f"  brand field               : {stranger_view.brand}")
+    print(f"  is it a RentalOffer?      : {stranger_view.conforms_to('RentalOffer')}")
+    print(f"  is it a SnowboardRental?  : {stranger_view.conforms_to('SnowboardRental')}")
+
+    # A peer that does know the class gets a real typed instance back.
+    knowing = XmlEventCodec()
+    knowing.register(SkiRental)
+    typed = knowing.decode(payload)
+    print(f"peer with the class sees    : {typed} (type {type(typed).__name__})")
+    print()
+
+
+def reply_demo() -> None:
+    print("=== 2. Replying to a publisher ===")
+    net = tps_network(peers=2, seed=77)
+    shop_peer, shopper_peer = net.peer(0), net.peer(1)
+
+    publisher = TPSEngine(
+        NegotiableSkiRental, peer=shop_peer, config=TPSConfig(search_timeout=2.0)
+    ).new_interface("JXTA")
+    net.settle(rounds=8)
+    subscriber = TPSEngine(
+        NegotiableSkiRental,
+        peer=shopper_peer,
+        config=TPSConfig(search_timeout=6.0, create_if_missing=False),
+    ).new_interface("JXTA")
+    offers = []
+    subscriber.subscribe(offers.append)
+    net.settle()
+
+    reply_endpoint = ReplyEndpoint(shop_peer)
+    net.settle(rounds=4)
+    offer = reply_endpoint.attach(NegotiableSkiRental("XTremShop", 80.0, "Salomon", 7.0))
+    publisher.publish(offer)
+    net.settle()
+
+    received = offers[0]
+    print(f"shopper received: {received}")
+    reply(shopper_peer, received, {"interested": True, "counter_offer": 70.0})
+    net.settle()
+
+    for response in reply_endpoint.replies:
+        print(
+            f"shop received a reply from {response.responder!r}: "
+            f"counter-offer {response.body['counter_offer']:.2f}"
+        )
+
+
+def main() -> None:
+    xml_type_demo()
+    reply_demo()
+
+
+if __name__ == "__main__":
+    main()

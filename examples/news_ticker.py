@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Type-hierarchy matching (the paper's Figure 7), shown on a news ticker.
+
+Event types form a hierarchy::
+
+    NewsEvent
+    ├── SportsNews
+    │   └── SkiingNews
+    └── MarketNews
+
+Three subscribers express interest at different levels of the hierarchy:
+
+* the *archivist* subscribes to ``NewsEvent`` and receives everything;
+* the *sports desk* subscribes to ``SportsNews`` and receives sports and
+  skiing news, but no market news;
+* the *ski club* subscribes to ``SkiingNews`` only.
+
+This is exactly the semantics of Figure 7: subscribing to a type means
+receiving instances of that type and of all its subtypes, while type safety
+guarantees every callback gets an object of the type it declared.
+
+Run it with::
+
+    python examples/news_ticker.py
+"""
+
+from __future__ import annotations
+
+from repro import tps_network
+from repro.core import TPSEngine
+
+
+class NewsEvent:
+    """Root type: any news item."""
+
+    def __init__(self, headline: str) -> None:
+        self.headline = headline
+
+    def __str__(self) -> str:
+        return f"[{type(self).__name__}] {self.headline}"
+
+
+class SportsNews(NewsEvent):
+    """Sports coverage."""
+
+    def __init__(self, headline: str, sport: str) -> None:
+        super().__init__(headline)
+        self.sport = sport
+
+
+class SkiingNews(SportsNews):
+    """Skiing-specific coverage."""
+
+    def __init__(self, headline: str, resort: str) -> None:
+        super().__init__(headline, sport="skiing")
+        self.resort = resort
+
+
+class MarketNews(NewsEvent):
+    """Financial coverage."""
+
+    def __init__(self, headline: str, index_move: float) -> None:
+        super().__init__(headline)
+        self.index_move = index_move
+
+
+def main() -> None:
+    net = tps_network(peers=4, seed=11)
+    newsroom, archivist, sports_desk, ski_club = (net.peer(i) for i in range(4))
+
+    # The newsroom publishes at the root of the hierarchy.
+    publish_interface = TPSEngine(NewsEvent, peer=newsroom).new_interface("JXTA")
+
+    # Each subscriber picks the level of the hierarchy it cares about.
+    archive_interface = TPSEngine(NewsEvent, peer=archivist).new_interface("JXTA")
+    sports_interface = TPSEngine(SportsNews, peer=sports_desk).new_interface("JXTA")
+    skiing_interface = TPSEngine(SkiingNews, peer=ski_club).new_interface("JXTA")
+
+    received: dict[str, list[str]] = {"archivist": [], "sports desk": [], "ski club": []}
+    archive_interface.subscribe(lambda e: received["archivist"].append(str(e)))
+    sports_interface.subscribe(lambda e: received["sports desk"].append(str(e)))
+    skiing_interface.subscribe(lambda e: received["ski club"].append(str(e)))
+
+    net.settle()
+
+    stories = [
+        MarketNews("Markets close higher", index_move=+1.2),
+        SportsNews("Local team wins the cup", sport="football"),
+        SkiingNews("Fresh powder in the Alps", resort="Verbier"),
+        NewsEvent("Town council meets on Tuesday"),
+    ]
+    for story in stories:
+        publish_interface.publish(story)
+        net.settle(rounds=4)
+    net.settle()
+
+    for desk, items in received.items():
+        print(f"--- {desk} ({len(items)} stories) ---")
+        for item in items:
+            print(f"  {item}")
+    print()
+    print("archivist gets everything; sports desk skips market news; the ski club")
+    print("only sees skiing coverage -- Figure 7's subtype matching at work.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation: Figures 18, 19, 20 and the Section 4.4 comparison.
+
+Run everything (a couple of minutes of wall-clock time)::
+
+    python examples/reproduce_figures.py
+
+Or a single experiment::
+
+    python examples/reproduce_figures.py --figure 18
+    python examples/reproduce_figures.py --figure 19
+    python examples/reproduce_figures.py --figure 20
+    python examples/reproduce_figures.py --figure code-size
+
+The full per-point series can be dumped as CSV-ish lines with ``--series``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench import (
+    measure_code_size,
+    run_figure18,
+    run_figure19,
+    run_figure20,
+)
+from repro.bench.reporting import (
+    format_code_size,
+    format_figure18,
+    format_figure19,
+    format_figure20,
+)
+
+
+def figure18(show_series: bool) -> None:
+    result = run_figure18()
+    print(format_figure18(result))
+    if show_series:
+        print("\nevent, " + ", ".join(f"{v} {s} sub" for (v, s) in sorted(result.series)))
+        for index in range(result.events):
+            row = [str(index + 1)]
+            for key in sorted(result.series):
+                row.append(f"{result.series[key].per_event_ms[index]:.0f}")
+            print(", ".join(row))
+    print()
+
+
+def figure19(show_series: bool) -> None:
+    result = run_figure19()
+    print(format_figure19(result))
+    if show_series:
+        print("\nepoch, " + ", ".join(f"{v} {s} sub" for (v, s) in sorted(result.series)))
+        for index in range(result.epochs):
+            row = [str(index + 1)]
+            for key in sorted(result.series):
+                row.append(f"{result.series[key].epoch_rates[index]:.2f}")
+            print(", ".join(row))
+    print()
+
+
+def figure20(show_series: bool) -> None:
+    result = run_figure20()
+    print(format_figure20(result))
+    if show_series:
+        print("\nsecond, " + ", ".join(f"{v} {p} pub" for (v, p) in sorted(result.series)))
+        for index in range(int(result.duration)):
+            row = [str(index + 1)]
+            for key in sorted(result.series):
+                row.append(str(result.series[key].per_second[index]))
+            print(", ".join(row))
+    print()
+
+
+def code_size() -> None:
+    print(format_code_size(measure_code_size()))
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--figure",
+        choices=["18", "19", "20", "code-size", "all"],
+        default="all",
+        help="which experiment to run (default: all)",
+    )
+    parser.add_argument(
+        "--series", action="store_true", help="also print the full per-point series"
+    )
+    args = parser.parse_args()
+
+    if args.figure in ("18", "all"):
+        figure18(args.series)
+    if args.figure in ("19", "all"):
+        figure19(args.series)
+    if args.figure in ("20", "all"):
+        figure20(args.series)
+    if args.figure in ("code-size", "all"):
+        code_size()
+
+
+if __name__ == "__main__":
+    main()

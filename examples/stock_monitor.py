@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Content-based filtering and multi-callback subscriptions on TPS.
+
+The paper notes that because TPS delivers *typed, encapsulated* objects, the
+subscriber can trivially layer content-based filtering on top ("one can
+easily implement content-based publish/subscribe (hence subject-based) using
+TPS"), and that the list form of ``subscribe`` exists so the same events can
+be handled "in different ways [...] the complete description of the events in
+a console and [...] a sketch of them in a GUI at the same time".
+
+This example monitors stock quotes:
+
+* a *watchlist* subscriber uses a :class:`Criteria` with an event predicate,
+  so only quotes for the symbols it cares about are ever delivered;
+* a *dashboard* subscriber registers two callbacks at once -- a "console"
+  view printing every quote and an "alert" view that only reacts to large
+  moves -- plus an exception handler that keeps one failing callback from
+  disturbing the other.
+
+Run it with::
+
+    python examples/stock_monitor.py
+"""
+
+from __future__ import annotations
+
+from repro import tps_network
+from repro.core import CollectingExceptionHandler, Criteria, TPSEngine
+
+
+class StockQuote:
+    """A stock quote event."""
+
+    def __init__(self, symbol: str, price: float, change_percent: float) -> None:
+        self.symbol = symbol
+        self.price = price
+        self.change_percent = change_percent
+
+    def __str__(self) -> str:
+        return f"{self.symbol} @ {self.price:.2f} ({self.change_percent:+.1f}%)"
+
+
+def main() -> None:
+    net = tps_network(peers=3, seed=23)
+    exchange, watcher, dashboard = net.peer(0), net.peer(1), net.peer(2)
+
+    publish_interface = TPSEngine(StockQuote, peer=exchange).new_interface("JXTA")
+
+    # --- content-based filtering via Criteria ---------------------------------
+    watchlist = {"EPFL", "ACME"}
+    watch_interface = TPSEngine(StockQuote, peer=watcher).new_interface(
+        "JXTA", Criteria(event_predicate=lambda quote: quote.symbol in watchlist)
+    )
+    watched: list[str] = []
+    watch_interface.subscribe(lambda quote: watched.append(str(quote)))
+
+    # --- one subscription, several callbacks (paper's subscribe overload) -----
+    dash_interface = TPSEngine(StockQuote, peer=dashboard).new_interface("JXTA")
+    console_lines: list[str] = []
+    alerts: list[str] = []
+
+    def console_view(quote: StockQuote) -> None:
+        console_lines.append(f"console: {quote}")
+
+    def alert_view(quote: StockQuote) -> None:
+        if abs(quote.change_percent) < 5.0:
+            raise ValueError("not interesting enough")  # routed to the handler
+        alerts.append(f"ALERT: {quote}")
+
+    errors = CollectingExceptionHandler()
+    dash_interface.subscribe([console_view, alert_view], [errors, errors])
+
+    net.settle()
+
+    quotes = [
+        StockQuote("EPFL", 120.0, +0.8),
+        StockQuote("ACME", 42.0, -6.5),
+        StockQuote("GLOBEX", 310.0, +2.1),
+        StockQuote("ACME", 39.0, -7.1),
+        StockQuote("INITECH", 11.0, +12.0),
+    ]
+    for quote in quotes:
+        publish_interface.publish(quote)
+        net.settle(rounds=3)
+    net.settle()
+
+    print(f"--- watchlist subscriber (filtered to {sorted(watchlist)}) ---")
+    for line in watched:
+        print(f"  {line}")
+    print(f"--- dashboard console view ({len(console_lines)} quotes) ---")
+    for line in console_lines:
+        print(f"  {line}")
+    print(f"--- dashboard alerts ({len(alerts)}) ---")
+    for line in alerts:
+        print(f"  {line}")
+    print(f"--- callback errors routed to the exception handler: {len(errors.errors)} ---")
+
+
+if __name__ == "__main__":
+    main()

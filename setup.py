@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works with older setuptools/pip combinations that lack
+PEP 660 editable-install support (no ``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Test-bed applications.
+
+The paper compares three implementations of the same ski-rental application
+(Sections 4 and 5):
+
+* **SR-TPS** -- written against the TPS API (:mod:`repro.apps.skirental.tps_app`);
+* **SR-JXTA** -- written directly against JXTA, re-creating the same
+  functionality by hand (:mod:`repro.apps.skirental.jxta_app`);
+* **JXTA-WIRE** -- the bare wire service, used as a lower-bound reference
+  point (:mod:`repro.apps.skirental.wire_app`).
+
+All three variants expose the same minimal publisher/subscriber surface so
+the benchmark harness can drive them interchangeably.
+"""
+
+from __future__ import annotations
+
+from repro.apps.skirental.types import (
+    PremiumSkiRental,
+    RentalOffer,
+    SkiRental,
+    SnowboardRental,
+)
+
+__all__ = ["PremiumSkiRental", "RentalOffer", "SkiRental", "SnowboardRental"]

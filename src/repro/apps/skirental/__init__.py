@@ -1,0 +1,27 @@
+"""The ski-rental application, in the paper's three flavours."""
+
+from __future__ import annotations
+
+from repro.apps.skirental.jxta_app import SkiRentalJxtaPublisher, SkiRentalJxtaSubscriber
+from repro.apps.skirental.tps_app import SkiRentalTPSPublisher, SkiRentalTPSSubscriber
+from repro.apps.skirental.types import (
+    PremiumSkiRental,
+    RentalOffer,
+    SkiRental,
+    SnowboardRental,
+)
+from repro.apps.skirental.wire_app import WirePublisher, WireSubscriber, shared_wire_advertisement
+
+__all__ = [
+    "PremiumSkiRental",
+    "RentalOffer",
+    "SkiRental",
+    "SkiRentalJxtaPublisher",
+    "SkiRentalJxtaSubscriber",
+    "SkiRentalTPSPublisher",
+    "SkiRentalTPSSubscriber",
+    "SnowboardRental",
+    "WirePublisher",
+    "WireSubscriber",
+    "shared_wire_advertisement",
+]

@@ -1,0 +1,523 @@
+"""SR-JXTA: the ski-rental application written directly against JXTA.
+
+"Our aim here is to create the very same application than the one with TPS,
+i.e., an application with the same functionalities as TPS": (1) minimisation
+of the number of advertisements for the same type, (2) management of multiple
+advertisements at the same time and (3) handling of duplicate messages
+(paper, Section 4.4).  To get them, the application re-creates by hand the
+pieces the TPS layer provides for free:
+
+* :class:`AdvertisementsCreator` -- Figure 15: build and publish a peer-group
+  advertisement hosting the WIRE service over a pipe named after the type;
+* :class:`AdvertisementsFinder` -- Figure 16: periodically query for matching
+  peer-group advertisements, de-duplicate them by group ID and notify
+  listeners;
+* :class:`WireServiceFinder` -- Figure 17: instantiate the advertised group,
+  look up the wire service and create :class:`MyInputPipe` /
+  :class:`MyOutputPipe` objects;
+* hand-rolled (de)serialisation of the ski-rental fields into message
+  elements -- with none of TPS's type safety: a subscriber that mis-parses a
+  field only finds out at run time;
+* an application-level message id for duplicate filtering.
+
+This is the code a JXTA programmer has to write and maintain; the
+programming-effort comparison of the paper's Section 4.4 (and this
+repository's E4 benchmark) counts it against the few lines of
+:mod:`repro.apps.skirental.tps_app`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, List, Optional, Protocol, Union
+
+from repro.apps.skirental.types import SkiRental
+from repro.jxta.advertisement import (
+    PeerGroupAdvertisement,
+    PipeAdvertisement,
+    ServiceAdvertisement,
+)
+from repro.jxta.cache import DiscoveryKind
+from repro.jxta.discovery import DiscoveryEvent, DiscoveryService
+from repro.jxta.errors import JxtaError
+from repro.jxta.ids import PeerGroupID, PipeID
+from repro.jxta.message import Message
+from repro.jxta.peer import Peer
+from repro.jxta.peergroup import PeerGroup
+from repro.jxta.pipes import PipeKind
+from repro.jxta.wire import SendReceipt, WireInputPipe, WireOutputPipe, WireService
+from repro.net.simclock import PeriodicTask
+
+#: Prefix of the application's peer-group advertisement names (Figure 15, line 21).
+PS_PREFIX = "PS$"
+#: The "type name" the hand-written application agrees on out of band.
+SKI_RENTAL_TYPE_NAME = "SkiRental"
+
+_app_message_counter = itertools.count(1)
+
+
+class WireServiceFinderException(JxtaError):
+    """Raised when the wire service cannot be looked up or its pipes created."""
+
+
+class AdvertisementsListenerInterface(Protocol):
+    """Listener notified of every new advertisement found by the finder."""
+
+    def handle_new_advertisements(self, advertisement: PeerGroupAdvertisement) -> None:
+        """Called once per newly discovered peer-group advertisement."""
+
+
+class AdvertisementsCreator:
+    """Figure 15: create and publish the application's peer-group advertisement."""
+
+    def __init__(self, root_group: PeerGroup, discovery_service: DiscoveryService) -> None:
+        self.root_group = root_group
+        self.discovery_service = discovery_service
+        self.advertisement: Optional[PeerGroupAdvertisement] = None
+
+    def create_peer_group_advertisement(self, name: str) -> PeerGroupAdvertisement:
+        """Build the advertisement: pipe + peer group + wire service + resolver params."""
+        local_peer_id = self.root_group.get_peer_id()
+        pipe_adv = PipeAdvertisement()
+        pipe_adv.set_pipe_id(PipeID())
+        pipe_adv.set_name(name)
+        pipe_adv.pipe_kind = PipeKind.WIRE.value
+
+        par = self.root_group
+        adv = PeerGroupAdvertisement()
+        adv.set_pid(local_peer_id)
+        adv.set_gid(PeerGroupID())
+        adv.set_name(PS_PREFIX + pipe_adv.name)
+        adv.set_service_advertisements(par.get_advertisement().get_service_advertisements())
+        adv.set_app(par.get_advertisement().get_app())
+        adv.set_group_impl(par.get_advertisement().get_group_impl())
+        services = adv.get_service_advertisements()
+
+        wire_adv = ServiceAdvertisement()
+        wire_adv.set_name(WireService.WireName)
+        wire_adv.set_version(WireService.WireVersion)
+        wire_adv.set_uri(WireService.WireUri)
+        wire_adv.set_code(WireService.WireCode)
+        wire_adv.set_security(WireService.WireSecurity)
+        wire_adv.set_pipe(pipe_adv)
+        wire_adv.set_keywords(pipe_adv.name)
+        adv.set_is_rendezvous(True)
+
+        resolver = services.get("jxta.service.resolver")
+        if resolver is None:
+            resolver = ServiceAdvertisement(name="jxta.service.resolver")
+        params = resolver.get_params()
+        params.append(local_peer_id.to_urn())
+        resolver.set_params(params)
+        services["jxta.service.resolver"] = resolver
+
+        services[WireService.WireName] = wire_adv
+        adv.set_service_advertisements(services)
+
+        self.advertisement = adv
+        return adv
+
+    def publish_advertisement(
+        self, advertisement: PeerGroupAdvertisement, kind_of_advertisement: int
+    ) -> None:
+        """Publish the advertisement locally, then push it to remote peers."""
+        self.discovery_service.publish(advertisement, kind_of_advertisement)
+        self.discovery_service.remote_publish(advertisement, kind_of_advertisement)
+
+
+class AdvertisementsFinder:
+    """Figure 16: periodically search for peer-group advertisements by name prefix."""
+
+    NUMBER_OF_ADV_PER_PEER = 10
+    SLEEPING_TIME = 5.0
+
+    def __init__(
+        self,
+        type_of_advertisement: int,
+        discovery_service: DiscoveryService,
+        prefix: str,
+        *,
+        simulator_owner: Peer,
+    ) -> None:
+        self.type_of_advertisement = type_of_advertisement
+        self.discovery_service = discovery_service
+        self.prefix = prefix
+        self.advertisements: List[PeerGroupAdvertisement] = []
+        self.advertisements_listener: List[
+            Union[AdvertisementsListenerInterface, Callable[[PeerGroupAdvertisement], None]]
+        ] = []
+        self.go_on = True
+        self._peer = simulator_owner
+        self._task: Optional[PeriodicTask] = None
+
+    # ----------------------------------------------------------- listeners
+
+    def add_advertisements_listener(
+        self,
+        listener: Union[
+            AdvertisementsListenerInterface, Callable[[PeerGroupAdvertisement], None]
+        ],
+    ) -> None:
+        """Register a listener for newly found advertisements."""
+        self.advertisements_listener.append(listener)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def run(self) -> None:
+        """Start the search loop (the Java thread's ``run``, on the sim clock)."""
+        self.discovery_service.cache.flush(DiscoveryKind.ADV, remote_only=True)
+        self.discovery_service.cache.flush(DiscoveryKind.PEER, remote_only=True)
+        self.discovery_service.cache.flush(DiscoveryKind.GROUP, remote_only=True)
+        self.discovery_service.add_discovery_listener(self._on_discovery_event)
+        self._round()
+        self._task = self._peer.simulator.schedule_periodic(
+            self.SLEEPING_TIME, self._round, label=f"sr-jxta-finder:{self.prefix}"
+        )
+
+    def stop(self) -> None:
+        """Stop the search loop."""
+        self.go_on = False
+        if self._task is not None:
+            self._task.stop()
+        self.discovery_service.remove_discovery_listener(self._on_discovery_event)
+
+    def _round(self) -> None:
+        if not self.go_on:
+            return
+        if self.type_of_advertisement == DiscoveryKind.GROUP:
+            self.discovery_service.get_remote_advertisements(
+                None,
+                self.type_of_advertisement,
+                "Name",
+                self.prefix + "*",
+                self.NUMBER_OF_ADV_PER_PEER,
+            )
+            for advertisement in self.discovery_service.get_local_advertisements(
+                self.type_of_advertisement, "Name", self.prefix + "*"
+            ):
+                self.handle_new_advertisement(advertisement, self.type_of_advertisement)
+
+    def _on_discovery_event(self, event: DiscoveryEvent) -> None:
+        if event.kind != self.type_of_advertisement:
+            return
+        for advertisement in event.advertisements:
+            if advertisement.matches("Name", self.prefix + "*"):
+                self.handle_new_advertisement(advertisement, event.kind)
+
+    # -------------------------------------------------------------- handling
+
+    def add_advertisement(self, advertisement: PeerGroupAdvertisement) -> None:
+        """Record a new advertisement and dispatch it to the listeners."""
+        self.advertisements.append(advertisement)
+        for listener in list(self.advertisements_listener):
+            callback = getattr(listener, "handle_new_advertisements", listener)
+            callback(advertisement)
+
+    def find_advertisement(
+        self, adv_vector: List[PeerGroupAdvertisement], adv: PeerGroupAdvertisement
+    ) -> bool:
+        """Figure 16, lines 42-60: is an advertisement with the same group ID known?"""
+        try:
+            if isinstance(adv, PeerGroupAdvertisement):
+                if adv.get_gid() is not None:
+                    for element in adv_vector:
+                        if element.get_gid() == adv.get_gid():
+                            return True
+                return False
+            return True
+        except Exception:  # pragma: no cover - mirrors the paper's broad catch
+            return False
+
+    def handle_new_advertisement(
+        self, adv: PeerGroupAdvertisement, type_of_advertisement: int
+    ) -> None:
+        """Record advertisements of the right kind that are not yet known."""
+        if type_of_advertisement == DiscoveryKind.GROUP and isinstance(
+            adv, PeerGroupAdvertisement
+        ):
+            if not self.find_advertisement(self.advertisements, adv):
+                self.add_advertisement(adv)
+
+
+class MyInputPipe:
+    """Figure 17's ``MyInputPipe``: a wire input pipe plus its source advertisement."""
+
+    def __init__(self, pipe: WireInputPipe, pg_adv: PeerGroupAdvertisement) -> None:
+        self.pipe = pipe
+        self.pg_adv = pg_adv
+
+    def add_listener(self, listener) -> None:
+        """Register a raw message listener."""
+        self.pipe.add_listener(listener)
+
+    def close(self) -> None:
+        """Close the underlying pipe."""
+        self.pipe.close()
+
+
+class MyOutputPipe:
+    """Figure 17's ``MyOutputPipe``: a wire output pipe plus its source advertisement."""
+
+    def __init__(self, pipe: WireOutputPipe, pg_adv: PeerGroupAdvertisement) -> None:
+        self.pipe = pipe
+        self.pg_adv = pg_adv
+
+    def send(self, message: Message) -> SendReceipt:
+        """Send a (duplicated) message on the underlying pipe."""
+        return self.pipe.send(message)
+
+
+class WireServiceFinder:
+    """Figure 17: look up the wire service of an advertised group, create pipes."""
+
+    TIME_TO_WAIT = 3.0
+
+    def __init__(self, peer_group: PeerGroup, pg_adv: PeerGroupAdvertisement) -> None:
+        self.peer_group = peer_group
+        self.pg_adv = pg_adv
+        self.wire_group: Optional[PeerGroup] = None
+        self.pipe_service: Optional[WireService] = None
+        self.my_input_pipe: Optional[MyInputPipe] = None
+        self.my_output_pipe: Optional[MyOutputPipe] = None
+
+    def lookup_wire_service(self) -> WireService:
+        """Instantiate the group and look up its wire service."""
+        if self.peer_group is not None and self.pg_adv is not None:
+            self.wire_group = self.peer_group.new_group(self.pg_adv)
+            self.pipe_service = self.wire_group.lookup_service(WireService.WireName)
+            return self.pipe_service
+        raise WireServiceFinderException("Unable to lookup the wire service")
+
+    def get_pipe_advertisement(self) -> Optional[PipeAdvertisement]:
+        """The pipe advertisement of the group's wire service, if any."""
+        s_adv = self.pg_adv.service(WireService.WireName)
+        if s_adv is None:
+            return None
+        return s_adv.get_pipe()
+
+    def create_input_pipe(self, listener=None, *, processing_cost: float = 0.0) -> MyInputPipe:
+        """Create the wire input pipe (receiving side)."""
+        p_adv = self.get_pipe_advertisement()
+        if p_adv is None or self.pipe_service is None:
+            raise WireServiceFinderException("Unable to create the input pipe.")
+        try:
+            pipe = self.pipe_service.create_input_pipe(
+                p_adv, listener, processing_cost=processing_cost
+            )
+        except JxtaError as exc:
+            raise WireServiceFinderException("Unable to create the input pipe.") from exc
+        self.my_input_pipe = MyInputPipe(pipe, self.pg_adv)
+        return self.my_input_pipe
+
+    def create_output_pipe(self, *, extra_send_cost: float = 0.0) -> MyOutputPipe:
+        """Create the wire output pipe (sending side)."""
+        p_adv = self.get_pipe_advertisement()
+        if p_adv is None or self.pipe_service is None:
+            raise WireServiceFinderException("Unable to create the output pipe.")
+        try:
+            pipe = self.pipe_service.create_output_pipe(
+                p_adv, extra_send_cost=extra_send_cost
+            )
+        except JxtaError as exc:
+            raise WireServiceFinderException("Unable to create the output pipe.") from exc
+        self.my_output_pipe = MyOutputPipe(pipe, self.pg_adv)
+        return self.my_output_pipe
+
+    def publish(self, msg: Message) -> SendReceipt:
+        """Send a message on the output pipe (Figure 17, lines 50-52)."""
+        if self.my_output_pipe is None:
+            raise WireServiceFinderException("no output pipe")
+        return self.my_output_pipe.send(msg.dup())
+
+
+class _SkiRentalJxtaBase:
+    """Shared plumbing of the SR-JXTA publisher and subscriber.
+
+    Drives the creator/finder/wire-finder trio: search for an existing
+    advertisement first, create one after ``search_timeout`` if none was
+    found (functionality (1)), attach to every advertisement found
+    (functionality (2)).
+    """
+
+    def __init__(
+        self,
+        peer: Peer,
+        *,
+        type_name: str = SKI_RENTAL_TYPE_NAME,
+        search_timeout: float = 3.0,
+        create_if_missing: bool = True,
+        charge_layer_costs: bool = True,
+    ) -> None:
+        self.peer = peer
+        self.type_name = type_name
+        self.group = peer.world_group
+        self.charge_layer_costs = charge_layer_costs
+        self._send_cost = peer.cost_model.app_layer_send if charge_layer_costs else 0.0
+        self._receive_cost = peer.cost_model.app_layer_receive if charge_layer_costs else 0.0
+        self.creator = AdvertisementsCreator(self.group, self.group.discovery)
+        self.finder = AdvertisementsFinder(
+            DiscoveryKind.GROUP, self.group.discovery, PS_PREFIX + type_name, simulator_owner=peer
+        )
+        self.wire_finders: List[WireServiceFinder] = []
+        self.created_own = False
+        self.finder.add_advertisements_listener(self._on_new_advertisement)
+        self.finder.run()
+        if create_if_missing:
+            peer.simulator.schedule(search_timeout, self._create_if_needed)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def _create_if_needed(self) -> None:
+        if self.wire_finders:
+            return
+        advertisement = self.creator.create_peer_group_advertisement(self.type_name)
+        self.creator.publish_advertisement(advertisement, DiscoveryKind.GROUP)
+        self.created_own = True
+        self._on_new_advertisement(advertisement)
+
+    def _on_new_advertisement(self, advertisement: PeerGroupAdvertisement) -> None:
+        if any(
+            finder.pg_adv.get_gid() == advertisement.get_gid() for finder in self.wire_finders
+        ):
+            return
+        wire_finder = WireServiceFinder(self.group, advertisement)
+        wire_finder.lookup_wire_service()
+        self.wire_finders.append(wire_finder)
+        self._attach(wire_finder)
+
+    def _attach(self, wire_finder: WireServiceFinder) -> None:
+        """Role-specific pipe creation (publisher: output, subscriber: input)."""
+        raise NotImplementedError
+
+    @property
+    def ready(self) -> bool:
+        """Whether at least one advertisement has been attached."""
+        return bool(self.wire_finders)
+
+    def close(self) -> None:
+        """Stop searching and close all pipes."""
+        self.finder.stop()
+        for wire_finder in self.wire_finders:
+            if wire_finder.my_input_pipe is not None:
+                wire_finder.my_input_pipe.close()
+
+
+class SkiRentalJxtaPublisher(_SkiRentalJxtaBase):
+    """The ski-rental shop (publisher), SR-JXTA flavour."""
+
+    def __init__(self, peer: Peer, *, message_padding: int = 0, **kwargs) -> None:
+        self.offers_sent: List[SkiRental] = []
+        #: When positive, published messages are padded to this many bytes
+        #: (the paper's measurements use 1910-byte messages).
+        self.message_padding = message_padding
+        super().__init__(peer, **kwargs)
+
+    def _attach(self, wire_finder: WireServiceFinder) -> None:
+        wire_finder.create_output_pipe(extra_send_cost=self._send_cost)
+
+    def publish_offer(self, offer: SkiRental) -> "JxtaPublishReceipt":
+        """Serialise the offer by hand into message elements and send it everywhere."""
+        if not self.wire_finders:
+            raise WireServiceFinderException(
+                "SR-JXTA publisher is not initialised yet (no advertisement attached)"
+            )
+        message = Message()
+        # Hand-rolled field encoding: every field becomes a text element.  A
+        # typo here (or a wrong float parse on the receiving side) is exactly
+        # the class of run-time error TPS rules out statically.
+        message.add("SkiRental.Shop", offer.shop)
+        message.add("SkiRental.Price", repr(offer.price))
+        message.add("SkiRental.Brand", offer.brand)
+        message.add("SkiRental.NumberOfDays", repr(offer.number_of_days))
+        message.add(
+            "SkiRental.MsgId", f"{self.peer.peer_id.to_urn()}/sr{next(_app_message_counter)}"
+        )
+        if self.message_padding:
+            message.pad_to(self.message_padding)
+        receipts = [finder.publish(message) for finder in self.wire_finders]
+        self.offers_sent.append(offer)
+        self.peer.metrics.counter("sr_jxta_published").increment()
+        return JxtaPublishReceipt(
+            cpu_time=sum(receipt.cpu_time for receipt in receipts),
+            completion_time=max(receipt.completion_time for receipt in receipts),
+            pipes=len(receipts),
+            wire_receipts=receipts,
+        )
+
+
+class JxtaPublishReceipt:
+    """Mirror of :class:`repro.core.interface.PublishReceipt` for the SR-JXTA app."""
+
+    def __init__(
+        self,
+        cpu_time: float,
+        completion_time: float,
+        pipes: int,
+        wire_receipts: List[SendReceipt],
+    ) -> None:
+        self.cpu_time = cpu_time
+        self.completion_time = completion_time
+        self.pipes = pipes
+        self.wire_receipts = wire_receipts
+
+
+class SkiRentalJxtaSubscriber(_SkiRentalJxtaBase):
+    """The ski-rental shopper (subscriber), SR-JXTA flavour."""
+
+    def __init__(self, peer: Peer, **kwargs) -> None:
+        self.offers: List[SkiRental] = []
+        self.parse_errors: List[Exception] = []
+        self._seen_message_ids: set[str] = set()
+        super().__init__(peer, **kwargs)
+
+    def _attach(self, wire_finder: WireServiceFinder) -> None:
+        input_pipe = wire_finder.create_input_pipe(processing_cost=self._receive_cost)
+        input_pipe.add_listener(self._on_message)
+
+    def _on_message(self, message: Message, source) -> None:
+        # Functionality (3): duplicate filtering by the application-level id.
+        message_id = message.get_text("SkiRental.MsgId")
+        if message_id:
+            if message_id in self._seen_message_ids:
+                self.peer.metrics.counter("sr_jxta_duplicates").increment()
+                return
+            self._seen_message_ids.add(message_id)
+        # Hand-rolled decoding: the equivalent of the explicit casts a JXTA
+        # programmer performs, with the same run-time failure mode.
+        try:
+            offer = SkiRental(
+                shop=message.get_text("SkiRental.Shop"),
+                price=float(message.get_text("SkiRental.Price")),
+                brand=message.get_text("SkiRental.Brand"),
+                number_of_days=float(message.get_text("SkiRental.NumberOfDays")),
+            )
+        except (TypeError, ValueError) as error:
+            self.parse_errors.append(error)
+            self.peer.metrics.counter("sr_jxta_parse_errors").increment()
+            return
+        self.offers.append(offer)
+        self.peer.metrics.counter("sr_jxta_received").increment()
+
+    def received_offers(self) -> List[SkiRental]:
+        """Every offer received so far (in delivery order)."""
+        return list(self.offers)
+
+    def received_count(self) -> int:
+        """Number of offers received so far."""
+        return len(self.offers)
+
+
+__all__ = [
+    "AdvertisementsCreator",
+    "AdvertisementsFinder",
+    "AdvertisementsListenerInterface",
+    "JxtaPublishReceipt",
+    "MyInputPipe",
+    "MyOutputPipe",
+    "PS_PREFIX",
+    "SKI_RENTAL_TYPE_NAME",
+    "SkiRentalJxtaPublisher",
+    "SkiRentalJxtaSubscriber",
+    "WireServiceFinder",
+    "WireServiceFinderException",
+]

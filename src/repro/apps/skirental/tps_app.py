@@ -1,0 +1,148 @@
+"""SR-TPS: the ski-rental application written against the TPS API.
+
+This is the paper's Section 4.3: a handful of lines per phase.
+
+Type definition phase
+    :class:`~repro.apps.skirental.types.SkiRental` (already defined).
+
+Initialisation phase
+    ``TPSEngine(SkiRental, peer=...)`` then ``new_interface("JXTA")``.
+
+Subscription phase
+    a callback printing (or collecting) offers plus an exception handler.
+
+Publication phase
+    ``tps_interface.publish(SkiRental(...))``.
+
+The publisher and subscriber classes below wrap those lines so the benchmark
+harness, the examples and the tests can drive SR-TPS, SR-JXTA and JXTA-WIRE
+through one uniform surface (``publish_offer`` / ``received_offers``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.apps.skirental.types import SkiRental
+from repro.core import (
+    CollectingExceptionHandler,
+    Criteria,
+    PublishReceipt,
+    TPSCallBackInterface,
+    TPSConfig,
+    TPSEngine,
+)
+from repro.core.interface import TPSInterface
+from repro.jxta.peer import Peer
+
+
+class MyCBInterface(TPSCallBackInterface[SkiRental]):
+    """The paper's example callback: print each offer to the console.
+
+    An optional sink lets tests and examples capture the printed lines.
+    """
+
+    def __init__(self, sink: Optional[Callable[[str], None]] = None) -> None:
+        self._sink = sink if sink is not None else print
+
+    def handle(self, ski_rental: SkiRental) -> None:
+        self._sink(f"Skis that could be rented: {ski_rental}")
+
+
+class SkiRentalTPSPublisher:
+    """The ski-rental shop (publisher), SR-TPS flavour."""
+
+    def __init__(
+        self,
+        peer: Peer,
+        *,
+        criteria: Optional[Criteria] = None,
+        config: Optional[TPSConfig] = None,
+        event_type: type = SkiRental,
+    ) -> None:
+        self.peer = peer
+        self.engine: TPSEngine = TPSEngine(event_type, peer=peer, config=config)
+        self.tps_interface: TPSInterface = self.engine.new_interface("JXTA", criteria)
+
+    @property
+    def ready(self) -> bool:
+        """Whether the initialisation phase has completed (an advertisement is attached)."""
+        return getattr(self.tps_interface, "ready", True)
+
+    def publish_offer(self, offer: SkiRental) -> PublishReceipt:
+        """Publish one rental offer (the paper's publication phase)."""
+        return self.tps_interface.publish(offer)
+
+    def offers_sent(self) -> List[SkiRental]:
+        """Every offer published so far."""
+        return self.tps_interface.objects_sent()
+
+    def close(self) -> None:
+        """Shut the underlying TPS interface down."""
+        close = getattr(self.tps_interface, "close", None)
+        if callable(close):
+            close()
+
+
+class SkiRentalTPSSubscriber:
+    """The ski-rental shopper (subscriber), SR-TPS flavour."""
+
+    def __init__(
+        self,
+        peer: Peer,
+        *,
+        criteria: Optional[Criteria] = None,
+        config: Optional[TPSConfig] = None,
+        event_type: type = SkiRental,
+        console: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.peer = peer
+        self.engine: TPSEngine = TPSEngine(event_type, peer=peer, config=config)
+        self.tps_interface: TPSInterface = self.engine.new_interface("JXTA", criteria)
+        self.offers: List[SkiRental] = []
+        self.console_lines: List[str] = []
+        self.exception_handler = CollectingExceptionHandler()
+        callbacks = [self._collect]
+        if console is not None:
+            callbacks.append(MyCBInterface(console))
+        else:
+            callbacks.append(MyCBInterface(self.console_lines.append))
+        # The list form of subscribe mirrors the paper's second overload:
+        # one callback collects offers for later comparison, the other renders
+        # them for the "GUI"/console.
+        self.tps_interface.subscribe(callbacks, [self.exception_handler, self.exception_handler])
+
+    def _collect(self, offer: SkiRental) -> None:
+        self.offers.append(offer)
+
+    @property
+    def ready(self) -> bool:
+        """Whether the initialisation phase has completed."""
+        return getattr(self.tps_interface, "ready", True)
+
+    def received_offers(self) -> List[SkiRental]:
+        """Every offer received so far (in delivery order)."""
+        return list(self.offers)
+
+    def received_count(self) -> int:
+        """Number of offers received so far."""
+        return len(self.offers)
+
+    def best_offer(self) -> Optional[SkiRental]:
+        """The cheapest offer per day received so far (the shopper's goal)."""
+        if not self.offers:
+            return None
+        return min(self.offers, key=lambda offer: offer.price_per_day)
+
+    def unsubscribe(self) -> None:
+        """Drop every subscription ("no event is received anymore")."""
+        self.tps_interface.unsubscribe()
+
+    def close(self) -> None:
+        """Shut the underlying TPS interface down."""
+        close = getattr(self.tps_interface, "close", None)
+        if callable(close):
+            close()
+
+
+__all__ = ["MyCBInterface", "SkiRentalTPSPublisher", "SkiRentalTPSSubscriber"]

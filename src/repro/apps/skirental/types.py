@@ -1,0 +1,108 @@
+"""Event types of the ski-rental application.
+
+The paper's type (Section 4.3.1)::
+
+    public class SkiRental implements Serializable {
+        public SkiRental(String shop, float price, String brand, float numberOfDays) {...}
+        public String toString() {...}
+    }
+
+The reproduction keeps :class:`SkiRental` with the same four fields, and adds
+a small hierarchy around it so the subtype-matching semantics of Figure 7 can
+be demonstrated and tested: :class:`RentalOffer` is the root,
+:class:`SkiRental` and :class:`SnowboardRental` are siblings, and
+:class:`PremiumSkiRental` specialises :class:`SkiRental`.  A subscriber to
+``RentalOffer`` receives everything; a subscriber to ``SkiRental`` receives
+ski (and premium-ski) offers but no snowboard offers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class RentalOffer:
+    """Root of the rental-offer hierarchy: something a shop offers for rent."""
+
+    def __init__(self, shop: str, price: float, number_of_days: float) -> None:
+        self.shop = shop
+        self.price = float(price)
+        self.number_of_days = float(number_of_days)
+
+    @property
+    def price_per_day(self) -> float:
+        """The offer's price divided by its rental duration."""
+        if self.number_of_days <= 0:
+            return self.price
+        return self.price / self.number_of_days
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, RentalOffer):
+            return NotImplemented
+        return type(self) is type(other) and vars(self) == vars(other)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(vars(self).items()))))
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{key}={value!r}" for key, value in vars(self).items())
+        return f"{type(self).__name__}({fields})"
+
+    def __str__(self) -> str:
+        return (
+            f"{type(self).__name__} from {self.shop}: "
+            f"{self.price:.2f} for {self.number_of_days:g} day(s)"
+        )
+
+
+class SkiRental(RentalOffer):
+    """A ski-rental offer: shop, price, brand and rental duration (the paper's type)."""
+
+    def __init__(self, shop: str, price: float, brand: str, number_of_days: float) -> None:
+        super().__init__(shop, price, number_of_days)
+        self.brand = brand
+
+    def __str__(self) -> str:
+        return (
+            f"Skis that could be rented from {self.shop}: {self.brand} at "
+            f"{self.price:.2f} for {self.number_of_days:g} day(s)"
+        )
+
+
+class PremiumSkiRental(SkiRental):
+    """A ski rental bundled with extras (insurance, boots, helmet...)."""
+
+    def __init__(
+        self,
+        shop: str,
+        price: float,
+        brand: str,
+        number_of_days: float,
+        extras: tuple[str, ...] = (),
+    ) -> None:
+        super().__init__(shop, price, brand, number_of_days)
+        self.extras = tuple(extras)
+
+    def __str__(self) -> str:
+        extras = ", ".join(self.extras) if self.extras else "no extras"
+        return f"{super().__str__()} ({extras})"
+
+
+class SnowboardRental(RentalOffer):
+    """A snowboard-rental offer; a sibling of :class:`SkiRental` in the hierarchy."""
+
+    def __init__(
+        self, shop: str, price: float, brand: str, number_of_days: float, stance: str = "regular"
+    ) -> None:
+        super().__init__(shop, price, number_of_days)
+        self.brand = brand
+        self.stance = stance
+
+    def __str__(self) -> str:
+        return (
+            f"Snowboard ({self.stance}) from {self.shop}: {self.brand} at "
+            f"{self.price:.2f} for {self.number_of_days:g} day(s)"
+        )
+
+
+__all__ = ["PremiumSkiRental", "RentalOffer", "SkiRental", "SnowboardRental"]

@@ -1,0 +1,96 @@
+"""Plain-text reporting for the benchmark harness.
+
+The runners in :mod:`repro.bench.figures` return raw series; this module
+turns them into the rows/series the paper reports, so
+``examples/reproduce_figures.py`` and EXPERIMENTS.md can show paper-style
+tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.bench.code_size import CodeSizeReport
+from repro.bench.figures import Figure18Result, Figure19Result, Figure20Result
+from repro.bench.scenario import VARIANTS
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a small fixed-width text table."""
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = [render_row(list(headers)), render_row(["-" * width for width in widths])]
+    lines.extend(render_row(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def format_figure18(result: Figure18Result) -> str:
+    """Summarise Figure 18: mean/stdev invocation time per variant and subscriber count."""
+    rows = []
+    for (variant, subscribers), series in sorted(result.series.items(), key=lambda i: (i[0][1], VARIANTS.index(i[0][0]))):
+        rows.append(
+            (
+                variant,
+                subscribers,
+                f"{series.mean_ms:.1f}",
+                f"{series.stdev_ms:.1f}",
+                f"{100 * series.relative_stdev:.0f}%",
+            )
+        )
+    header = "Figure 18 -- invocation time (ms per sendMessage call, 50 events)"
+    table = format_table(
+        ["variant", "subscribers", "mean ms/msg", "stdev", "rel. stdev"], rows
+    )
+    return f"{header}\n{table}"
+
+
+def format_figure19(result: Figure19Result) -> str:
+    """Summarise Figure 19: mean publisher throughput per variant and subscriber count."""
+    rows = []
+    for (variant, subscribers), series in sorted(result.series.items(), key=lambda i: (i[0][1], VARIANTS.index(i[0][0]))):
+        rows.append((variant, subscribers, f"{series.mean_rate:.1f}"))
+    header = "Figure 19 -- publisher throughput (events sent/second, 100 events, 10 epochs)"
+    table = format_table(["variant", "subscribers", "events/s"], rows)
+    return f"{header}\n{table}"
+
+
+def format_figure20(result: Figure20Result) -> str:
+    """Summarise Figure 20: mean subscriber throughput per variant and publisher count."""
+    rows = []
+    for (variant, publishers), series in sorted(result.series.items(), key=lambda i: (i[0][1], VARIANTS.index(i[0][0]))):
+        rows.append(
+            (variant, publishers, f"{series.mean_rate:.1f}", f"{series.stdev_rate:.1f}")
+        )
+    header = "Figure 20 -- subscriber throughput (events received/second over 50 s)"
+    table = format_table(["variant", "publishers", "events/s", "stdev"], rows)
+    return f"{header}\n{table}"
+
+
+def format_code_size(report: CodeSizeReport) -> str:
+    """Summarise the Section 4.4 programming-effort comparison."""
+    rows = [
+        ("SR-TPS application", report.tps_application),
+        ("SR-JXTA application", report.jxta_application),
+        ("JXTA-WIRE application", report.wire_application),
+        ("TPS layer (repro.core)", report.tps_library),
+        ("saving, this application", report.minimal_saving),
+        ("saving incl. reusable layer", report.full_saving),
+    ]
+    header = "Section 4.4 -- programming effort (non-comment source lines)"
+    table = format_table(["artifact", "lines"], rows)
+    return f"{header}\n{table}"
+
+
+__all__ = [
+    "format_code_size",
+    "format_figure18",
+    "format_figure19",
+    "format_figure20",
+    "format_table",
+]

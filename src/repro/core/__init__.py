@@ -1,0 +1,111 @@
+"""Type-based Publish/Subscribe (TPS) -- the paper's contribution.
+
+The public API mirrors the paper's Section 3:
+
+* :class:`TPSEngine` -- one per event type (hierarchy); its
+  :meth:`~repro.core.engine.TPSEngine.new_interface` returns a
+  :class:`TPSInterface`.
+* :class:`TPSInterface` -- the seven operations of Figure 8: ``publish``,
+  ``subscribe`` (single callback or a list), ``unsubscribe`` (one or all),
+  ``objects_received`` and ``objects_sent``.
+* :class:`TPSCallBackInterface` / :class:`TPSExceptionHandler` -- the typed
+  callback and exception-handler interfaces (plain callables are accepted
+  everywhere).
+* :class:`Criteria` -- advertisement and content filtering.
+* :class:`PSException` / :class:`CallBackException` -- the API's exceptions.
+
+Two bindings are provided: ``"JXTA"`` (over the simulated JXTA substrate,
+:class:`JxtaTPSEngine`) and ``"LOCAL"`` (in-process, :class:`LocalTPSEngine`).
+"""
+
+from __future__ import annotations
+
+from repro.core.advertisements import (
+    PS_PREFIX,
+    TPSAdvertisementsCreator,
+    TPSAdvertisementsFinder,
+)
+from repro.core.callbacks import (
+    CollectingCallback,
+    CollectingExceptionHandler,
+    FunctionCallback,
+    FunctionExceptionHandler,
+    PrintingExceptionHandler,
+    TPSCallBackInterface,
+    TPSExceptionHandler,
+)
+from repro.core.engine import TPSEngine
+from repro.core.exceptions import (
+    CallBackException,
+    NotInitializedError,
+    PSException,
+    TypeMismatchError,
+)
+from repro.core.interface import PublishReceipt, Subscription, TPSInterface
+from repro.core.jxta_engine import JxtaTPSEngine, TPSAttachment, TPSConfig
+from repro.core.local_engine import LocalBus, LocalTPSEngine
+from repro.core.reply import Reply, ReplyEndpoint, Replyable, reply
+from repro.core.subscriber import TPSPipeReader, TPSSubscriberManager
+from repro.core.type_registry import (
+    Criteria,
+    TypeRegistry,
+    all_subtypes,
+    hierarchy_root,
+    type_name,
+)
+from repro.core.wire_finder import (
+    TPSMyInputPipe,
+    TPSMyOutputPipe,
+    TPSWireServiceFinder,
+    WireServiceFinderException,
+)
+from repro.core.xml_types import (
+    DynamicEvent,
+    XmlEventCodec,
+    XmlTypeDescription,
+    describe_type,
+)
+
+__all__ = [
+    "DynamicEvent",
+    "Reply",
+    "ReplyEndpoint",
+    "Replyable",
+    "XmlEventCodec",
+    "XmlTypeDescription",
+    "describe_type",
+    "reply",
+    "CallBackException",
+    "CollectingCallback",
+    "CollectingExceptionHandler",
+    "Criteria",
+    "FunctionCallback",
+    "FunctionExceptionHandler",
+    "JxtaTPSEngine",
+    "LocalBus",
+    "LocalTPSEngine",
+    "NotInitializedError",
+    "PSException",
+    "PS_PREFIX",
+    "PrintingExceptionHandler",
+    "PublishReceipt",
+    "Subscription",
+    "TPSAdvertisementsCreator",
+    "TPSAdvertisementsFinder",
+    "TPSAttachment",
+    "TPSCallBackInterface",
+    "TPSConfig",
+    "TPSEngine",
+    "TPSExceptionHandler",
+    "TPSInterface",
+    "TPSMyInputPipe",
+    "TPSMyOutputPipe",
+    "TPSPipeReader",
+    "TPSSubscriberManager",
+    "TPSWireServiceFinder",
+    "TypeMismatchError",
+    "TypeRegistry",
+    "all_subtypes",
+    "hierarchy_root",
+    "type_name",
+]

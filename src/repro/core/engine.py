@@ -1,0 +1,131 @@
+"""``TPSEngine``: the entry point of the TPS API.
+
+The paper's initialisation phase (Section 4.3.2) is two lines::
+
+    TPSEngine<SkiRental> tpse = new TPSEngine<SkiRental>();
+    TPSInterface tpsInt = tpse.newInterface("JXTA", null, new SkiRental(), argv);
+
+The Python rendering keeps the same two steps::
+
+    tpse = TPSEngine(SkiRental, peer=peer)
+    tps_int = tpse.new_interface("JXTA")
+
+Differences, and why:
+
+* Generic Java erases type parameters, so the paper must pass a *dummy
+  instance* of the type; Python keeps the class object itself, so the
+  instance argument is optional (it is still accepted -- and type-checked --
+  for fidelity with the paper's listings).
+* The JXTA binding needs to know which simulated peer it runs on, hence the
+  explicit ``peer`` argument (real JXTA bootstraps a process-global platform
+  from a configuration file).
+* ``new_interface("LOCAL")`` returns an in-process binding with identical
+  semantics, useful for tests and prototypes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, Optional, Sequence, Type, TypeVar
+
+from repro.core.exceptions import PSException
+from repro.core.interface import TPSInterface
+from repro.core.jxta_engine import JxtaTPSEngine, TPSConfig
+from repro.core.local_engine import LocalBus, LocalTPSEngine
+from repro.core.type_registry import Criteria, type_name, validate_event_type
+from repro.jxta.peer import Peer
+from repro.serialization.object_codec import ObjectCodec
+
+EventT = TypeVar("EventT")
+
+
+class TPSEngine(Generic[EventT]):
+    """Factory of :class:`~repro.core.interface.TPSInterface` instances for one type.
+
+    One engine covers one event type (and, through subtype matching, its
+    hierarchy).  "If a publisher (or a subscriber) is interested in several
+    'unrelated' types [...] several instances of the publish/subscribe engine
+    for each type of interest must be created."  (paper, Section 4.2)
+    """
+
+    #: Binding names accepted by :meth:`new_interface`.
+    JXTA = "JXTA"
+    LOCAL = "LOCAL"
+
+    def __init__(
+        self,
+        event_type: Type[EventT],
+        *,
+        peer: Optional[Peer] = None,
+        codec: Optional[ObjectCodec] = None,
+        config: Optional[TPSConfig] = None,
+        local_bus: Optional[LocalBus] = None,
+    ) -> None:
+        validate_event_type(event_type)
+        self.event_type = event_type
+        self.peer = peer
+        self.codec = codec
+        self.config = config
+        self.local_bus = local_bus
+        self.interfaces: list[TPSInterface[EventT]] = []
+
+    def new_interface(
+        self,
+        name: str = JXTA,
+        criteria: Optional[Criteria] = None,
+        instance: Optional[EventT] = None,
+        argv: Optional[Sequence[str]] = None,
+    ) -> TPSInterface[EventT]:
+        """Create a TPS interface bound to the named infrastructure.
+
+        Parameters mirror the paper's ``newInterface(String name, Criteria c,
+        Type t, String[] arg)``: the binding name (``"JXTA"`` or ``"LOCAL"``),
+        optional advertisement/content filtering criteria, an optional
+        instance of the event type (checked, then ignored -- Python does not
+        need it) and the application's command-line arguments (ignored).
+        """
+        if instance is not None and not isinstance(instance, self.event_type):
+            raise PSException(
+                f"the instance passed to new_interface is a "
+                f"{type_name(type(instance))}, not a {type_name(self.event_type)}"
+            )
+        binding = name.upper()
+        if binding == self.JXTA:
+            if self.peer is None:
+                raise PSException(
+                    "the JXTA binding needs a peer: construct the engine with "
+                    "TPSEngine(EventType, peer=some_peer)"
+                )
+            interface: TPSInterface[EventT] = JxtaTPSEngine(
+                self.event_type,
+                self.peer,
+                criteria=criteria,
+                codec=self.codec,
+                config=self.config,
+            )
+        elif binding == self.LOCAL:
+            interface = LocalTPSEngine(
+                self.event_type, bus=self.local_bus, criteria=criteria
+            )
+        else:
+            raise PSException(
+                f"unknown TPS binding {name!r}; expected {self.JXTA!r} or {self.LOCAL!r}"
+            )
+        self.interfaces.append(interface)
+        return interface
+
+    # Paper-compatible camelCase alias.
+    def newInterface(  # noqa: N802 - paper-compatible alias
+        self,
+        name: str = JXTA,
+        criteria: Optional[Criteria] = None,
+        instance: Optional[EventT] = None,
+        argv: Optional[Sequence[str]] = None,
+    ) -> TPSInterface[EventT]:
+        """Alias of :meth:`new_interface` matching the paper's listing."""
+        return self.new_interface(name, criteria, instance, argv)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TPSEngine({type_name(self.event_type)}, interfaces={len(self.interfaces)})"
+
+
+__all__ = ["TPSEngine"]

@@ -1,0 +1,49 @@
+"""Exceptions of the TPS layer.
+
+The paper's API methods "could throw a publish/subscribe exception
+(PSException)" and typed callbacks may throw a ``CallBackException`` which is
+routed to the subscription's exception handler rather than propagated to the
+middleware.
+"""
+
+from __future__ import annotations
+
+
+class PSException(RuntimeError):
+    """Raised by the publish/subscribe operations of the TPS API.
+
+    Typical causes: publishing an object that is not an instance of the
+    interface's event type, using an interface before its initialisation
+    phase completed, or subscribing with a malformed callback.
+    """
+
+
+class CallBackException(RuntimeError):
+    """May be raised by application callbacks while handling an event.
+
+    The TPS layer catches it (and any other exception raised by a callback)
+    and hands it to the :class:`~repro.core.callbacks.TPSExceptionHandler`
+    registered with the subscription, so one misbehaving subscriber cannot
+    break event dispatch for the others.
+    """
+
+
+class NotInitializedError(PSException):
+    """Raised when publishing before the initialisation phase completed.
+
+    The TPS initialisation phase (searching for -- or creating -- the type's
+    advertisement and looking up the wire service) happens asynchronously in
+    virtual time; run the simulation (``network.settle()``) before publishing.
+    """
+
+
+class TypeMismatchError(PSException):
+    """Raised when an object of the wrong type is published on a typed interface."""
+
+
+__all__ = [
+    "CallBackException",
+    "NotInitializedError",
+    "PSException",
+    "TypeMismatchError",
+]

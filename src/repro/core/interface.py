@@ -1,0 +1,182 @@
+"""The TPSInterface: the seven methods of the paper's Figure 8.
+
+.. code-block:: java
+
+    public interface TPSInterface<Type> {
+        public void publish(Type type) throws PSException;                 // (1)
+        public void subscribe(TPSCallBackInterface<Type> tpsCBI,
+                              TPSExceptionHandler<Type> tpsExH);           // (2)
+        public void subscribe(TPSCallBackInterface<Type>[] tpsCBI,
+                              TPSExceptionHandler<Type>[] tpsExH);         // (3)
+        public void unsubscribe(TPSCallBackInterface<Type> tpsCBI,
+                                TPSExceptionHandler<Type> tpsExH);         // (4)
+        public void unsubscribe();                                         // (5)
+        public Vector objectsReceived();                                   // (6)
+        public Vector objectsSent();                                       // (7)
+    }
+
+The Python rendering keeps the same seven operations.  Methods (2) and (3)
+collapse into one ``subscribe`` that accepts either a single callback or a
+sequence of callbacks; methods (4) and (5) collapse into ``unsubscribe`` with
+optional arguments.  CamelCase aliases (``objectsReceived``/``objectsSent``)
+are provided for readers following the paper's listings.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Generic, List, Optional, Sequence, TypeVar, Union
+
+from repro.core.callbacks import (
+    CallbackLike,
+    ExceptionHandlerLike,
+    TPSCallBackInterface,
+    TPSExceptionHandler,
+    as_callback,
+    as_exception_handler,
+)
+from repro.core.exceptions import PSException
+
+EventT = TypeVar("EventT")
+
+
+@dataclass
+class Subscription:
+    """One (callback, exception handler) pair registered with an interface."""
+
+    callback: TPSCallBackInterface[Any]
+    exception_handler: TPSExceptionHandler[Any]
+    #: The objects originally passed by the application, kept so unsubscribe
+    #: can match on them even when they were adapted from plain callables.
+    original_callback: Any = None
+    original_handler: Any = None
+
+    def matches(self, callback: Any, handler: Any = None) -> bool:
+        """Whether this subscription was registered with the given objects."""
+        cb_match = callback in (self.callback, self.original_callback)
+        if handler is None:
+            return cb_match
+        return cb_match and handler in (self.exception_handler, self.original_handler)
+
+
+@dataclass
+class PublishReceipt:
+    """Returned by :meth:`TPSInterface.publish`.
+
+    Captures the virtual CPU time the publish call charged to the publishing
+    peer (the paper's Figure 18 "invocation time") and the per-pipe send
+    receipts from the wire service.
+    """
+
+    cpu_time: float
+    completion_time: float
+    pipes: int
+    wire_receipts: List[Any] = field(default_factory=list)
+
+
+class TPSInterface(abc.ABC, Generic[EventT]):
+    """Abstract TPS interface; concrete bindings implement the transport."""
+
+    # ------------------------------------------------------------ publishing
+
+    @abc.abstractmethod
+    def publish(self, event: EventT) -> PublishReceipt:
+        """(1) Publish an instance of the interface's type to all subscribers.
+
+        Raises :class:`PSException` (or a subclass) when the object is not an
+        instance of the type or the interface is not initialised yet.
+        """
+
+    # ---------------------------------------------------------- subscribing
+
+    @abc.abstractmethod
+    def _add_subscription(self, subscription: Subscription) -> None:
+        """Register one subscription (binding-specific)."""
+
+    @abc.abstractmethod
+    def _remove_subscriptions(
+        self, callback: Optional[Any] = None, handler: Optional[Any] = None
+    ) -> int:
+        """Remove matching subscriptions (all of them when ``callback`` is None)."""
+
+    def subscribe(
+        self,
+        callback: Union[CallbackLike, Sequence[CallbackLike]],
+        exception_handler: Union[
+            ExceptionHandlerLike, Sequence[ExceptionHandlerLike], None
+        ] = None,
+    ) -> None:
+        """(2)/(3) Subscribe one callback -- or several at once -- to the type.
+
+        The list form mirrors the paper's second ``subscribe`` overload, used
+        "to register several call-back objects to handle the events in
+        different ways" (e.g. a console view and a GUI view of the same
+        events).  When a list of callbacks is given, ``exception_handler``
+        may be a matching list, a single handler shared by all callbacks, or
+        None.
+        """
+        if isinstance(callback, (list, tuple)):
+            callbacks = list(callback)
+            if isinstance(exception_handler, (list, tuple)):
+                handlers = list(exception_handler)
+                if len(handlers) != len(callbacks):
+                    raise PSException(
+                        "subscribe: the callback and exception-handler lists must have "
+                        f"the same length ({len(callbacks)} != {len(handlers)})"
+                    )
+            else:
+                handlers = [exception_handler] * len(callbacks)
+            if not callbacks:
+                raise PSException("subscribe: empty callback list")
+            for cb, eh in zip(callbacks, handlers):
+                self._subscribe_one(cb, eh)
+        else:
+            self._subscribe_one(callback, exception_handler)  # type: ignore[arg-type]
+
+    def _subscribe_one(
+        self, callback: CallbackLike, exception_handler: Optional[ExceptionHandlerLike]
+    ) -> None:
+        subscription = Subscription(
+            callback=as_callback(callback),
+            exception_handler=as_exception_handler(exception_handler),
+            original_callback=callback,
+            original_handler=exception_handler,
+        )
+        self._add_subscription(subscription)
+
+    def unsubscribe(
+        self,
+        callback: Optional[CallbackLike] = None,
+        exception_handler: Optional[ExceptionHandlerLike] = None,
+    ) -> int:
+        """(4)/(5) Remove one subscription, or every subscription.
+
+        With a ``callback`` (and optionally its handler) only the matching
+        subscription is removed; with no arguments all call-back objects are
+        removed and "no event is received anymore".  Returns the number of
+        subscriptions removed.
+        """
+        return self._remove_subscriptions(callback, exception_handler)
+
+    # --------------------------------------------------------------- history
+
+    @abc.abstractmethod
+    def objects_received(self) -> List[EventT]:
+        """(6) Every event delivered to this interface so far, in order."""
+
+    @abc.abstractmethod
+    def objects_sent(self) -> List[EventT]:
+        """(7) Every event published through this interface so far, in order."""
+
+    # Aliases matching the paper's method names.
+    def objectsReceived(self) -> List[EventT]:  # noqa: N802 - paper-compatible alias
+        """Alias of :meth:`objects_received` matching the paper's Figure 8."""
+        return self.objects_received()
+
+    def objectsSent(self) -> List[EventT]:  # noqa: N802 - paper-compatible alias
+        """Alias of :meth:`objects_sent` matching the paper's Figure 8."""
+        return self.objects_sent()
+
+
+__all__ = ["PublishReceipt", "Subscription", "TPSInterface"]

@@ -1,0 +1,368 @@
+"""The TPS engine over JXTA: ``JxtaTPSEngine`` and its advertisement manager.
+
+This module assembles the four building blocks of the paper's architecture
+(Figure 10) into the concrete implementation of the
+:class:`~repro.core.interface.TPSInterface`:
+
+* **TPSEngine** (the block) -- :class:`JxtaTPSEngine` collects publications
+  and subscriptions and dispatches them to the advertisements manager;
+* **Advs** -- :class:`TPSAdvertisementsManager`, which owns a
+  :class:`~repro.core.advertisements.TPSAdvertisementsCreator` and a
+  :class:`~repro.core.advertisements.TPSAdvertisementsFinder`;
+* **IR** (interface repository) --
+  :class:`~repro.core.subscriber.TPSSubscriberManager`;
+* **Connections** -- one
+  :class:`~repro.core.wire_finder.TPSWireServiceFinder` per attached
+  advertisement, with its input/output wire pipes and
+  :class:`~repro.core.subscriber.TPSPipeReader` readers.
+
+The engine provides the three functional guarantees the paper lists for the
+SR layers (Section 4.4, footnote 1): (1) it minimises the number of
+advertisements for a type by searching before creating, (2) it manages
+multiple advertisements for the same type simultaneously (attaching pipes to
+each), and (3) it filters duplicate messages (which arise precisely when the
+same event is published on several advertisements) by an application-level
+message id.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Set
+
+from repro.core.advertisements import (
+    PS_PREFIX,
+    TPSAdvertisementsCreator,
+    TPSAdvertisementsFinder,
+)
+from repro.core.exceptions import NotInitializedError, PSException
+from repro.core.interface import PublishReceipt, Subscription, TPSInterface
+from repro.core.subscriber import TPSPipeReader, TPSSubscriberManager
+from repro.core.type_registry import Criteria, TypeRegistry, type_name
+from repro.core.wire_finder import TPSMyInputPipe, TPSMyOutputPipe, TPSWireServiceFinder
+from repro.jxta.advertisement import PeerGroupAdvertisement
+from repro.jxta.ids import PeerID
+from repro.jxta.message import Message
+from repro.jxta.peer import Peer
+from repro.serialization.object_codec import ObjectCodec
+
+_tps_message_counter = itertools.count(1)
+
+#: Message element carrying the serialised typed event.
+TPS_EVENT_ELEMENT = "TPSEvent"
+#: Message element carrying the event's concrete type name.
+TPS_TYPE_ELEMENT = "TPSType"
+#: Message element carrying the application-level message id (duplicate filtering).
+TPS_MSG_ID_ELEMENT = "TPSMsgId"
+
+
+@dataclass
+class TPSConfig:
+    """Tunable behaviour of a :class:`JxtaTPSEngine`.
+
+    Attributes
+    ----------
+    search_timeout:
+        How long (virtual seconds) to search for an existing advertisement of
+        the type before creating our own ("If the application does not find
+        such advertisement in a specific amount of time, it creates its own
+        one" -- paper, Section 4.1).
+    research_interval:
+        How often the finder keeps re-querying for further advertisements
+        ("but keeps trying to find others in order to send messages to the
+        maximum number of interested subscribers").
+    create_if_missing:
+        Whether to create an advertisement at all when none is found (pure
+        subscribers may prefer to wait instead).
+    charge_layer_costs:
+        Whether to charge the calibrated SR-layer + TPS-layer virtual CPU
+        costs on publish and receive.  Disabled in micro-benchmarks that
+        measure only the real Python work.
+    duplicate_filtering:
+        Whether to drop events whose application-level message id has been
+        seen before (functionality (3) of the paper's Section 4.4 footnote).
+    message_padding:
+        When positive, pad published messages to this many bytes (the paper's
+        measurements use 1910-byte messages).
+    """
+
+    search_timeout: float = 3.0
+    research_interval: float = 5.0
+    create_if_missing: bool = True
+    charge_layer_costs: bool = True
+    duplicate_filtering: bool = True
+    message_padding: int = 0
+
+
+@dataclass
+class TPSAttachment:
+    """One advertisement the engine is attached to, with its pipes."""
+
+    advertisement: PeerGroupAdvertisement
+    finder: TPSWireServiceFinder
+    output_pipe: Optional[TPSMyOutputPipe] = None
+    input_pipe: Optional[TPSMyInputPipe] = None
+
+    @property
+    def group_id(self):
+        """The attached advertisement's group ID."""
+        return self.advertisement.get_gid()
+
+
+class TPSAdvertisementsManager:
+    """Finds/creates the type's advertisements and manages the attachments."""
+
+    def __init__(self, engine: "JxtaTPSEngine") -> None:
+        self.engine = engine
+        group = engine.peer.world_group
+        self.creator = TPSAdvertisementsCreator(group)
+        self.finder = TPSAdvertisementsFinder(
+            group, PS_PREFIX + engine.registry.advertised_name
+        )
+        self.attachments: List[TPSAttachment] = []
+        self.created_own = False
+        self._started = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Start the finder and arm the create-if-missing timeout."""
+        if self._started:
+            return
+        self._started = True
+        self.finder.add_advertisements_listener(self.handle_new_advertisements)
+        self.finder.start(interval=self.engine.config.research_interval)
+        if self.engine.config.create_if_missing:
+            self.engine.peer.simulator.schedule(
+                self.engine.config.search_timeout,
+                self._create_if_needed,
+                label=f"tps-create:{self.engine.registry.advertised_name}",
+            )
+
+    def stop(self) -> None:
+        """Stop searching and close every pipe."""
+        self.finder.stop()
+        for attachment in self.attachments:
+            if attachment.input_pipe is not None:
+                attachment.input_pipe.close()
+            if attachment.output_pipe is not None:
+                attachment.output_pipe.close()
+
+    def _create_if_needed(self) -> None:
+        if self.attachments or not self.engine.config.create_if_missing:
+            return
+        advertisement = self.creator.create_peer_group_advertisement(
+            self.engine.registry.advertised_name
+        )
+        self.creator.publish_advertisement(advertisement)
+        self.created_own = True
+        self.handle_new_advertisements(advertisement)
+
+    # ---------------------------------------------------------- attachments
+
+    def handle_new_advertisements(self, advertisement: PeerGroupAdvertisement) -> None:
+        """Attach to a newly discovered (or newly created) advertisement."""
+        criteria = self.engine.criteria
+        if criteria is not None and not criteria.matches_advertisement(advertisement):
+            return
+        gid = advertisement.get_gid()
+        if any(attachment.group_id == gid for attachment in self.attachments):
+            return
+        finder = TPSWireServiceFinder(self.engine.peer.world_group, advertisement)
+        finder.lookup_wire_service()
+        output_pipe = finder.create_output_pipe(extra_send_cost=self.engine.send_overhead)
+        attachment = TPSAttachment(
+            advertisement=advertisement, finder=finder, output_pipe=output_pipe
+        )
+        self.attachments.append(attachment)
+        if not self.engine.subscriber_manager.empty:
+            self._open_reader(attachment)
+        self.engine.peer.metrics.counter("tps_attachments").increment()
+
+    def ensure_readers(self) -> None:
+        """Open an input pipe (reader) on every attachment that lacks one."""
+        for attachment in self.attachments:
+            if attachment.input_pipe is None:
+                self._open_reader(attachment)
+
+    def close_readers(self) -> None:
+        """Close every reader (called when the last subscription is removed)."""
+        for attachment in self.attachments:
+            if attachment.input_pipe is not None:
+                attachment.input_pipe.close()
+                attachment.input_pipe = None
+
+    def _open_reader(self, attachment: TPSAttachment) -> None:
+        reader = TPSPipeReader(self.engine)
+        attachment.input_pipe = attachment.finder.create_input_pipe(
+            reader, processing_cost=self.engine.receive_overhead
+        )
+
+
+class JxtaTPSEngine(TPSInterface):
+    """The TPS interface implemented over the JXTA substrate."""
+
+    def __init__(
+        self,
+        event_type: type,
+        peer: Peer,
+        *,
+        criteria: Optional[Criteria] = None,
+        codec: Optional[ObjectCodec] = None,
+        config: Optional[TPSConfig] = None,
+    ) -> None:
+        self.registry = TypeRegistry(event_type, codec=codec)
+        self.peer = peer
+        self.criteria = criteria
+        self.config = config or TPSConfig()
+        self.subscriber_manager = TPSSubscriberManager()
+        self._received: List[Any] = []
+        self._sent: List[Any] = []
+        self._seen_message_ids: Set[str] = set()
+        cost_model = peer.cost_model
+        if self.config.charge_layer_costs:
+            #: The SR application-layer work (duplicate ids, multi-advertisement
+            #: bookkeeping) plus the TPS-specific work (typed serialisation,
+            #: registry lookups) charged per published message.
+            self.send_overhead = cost_model.app_layer_send + cost_model.tps_layer_send
+            #: The receive-side equivalent, charged per delivered message.
+            self.receive_overhead = cost_model.app_layer_receive + cost_model.tps_layer_receive
+        else:
+            self.send_overhead = 0.0
+            self.receive_overhead = 0.0
+        self.manager = TPSAdvertisementsManager(self)
+        self.manager.start()
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def event_type(self) -> type:
+        """The interface's event type."""
+        return self.registry.event_type
+
+    @property
+    def ready(self) -> bool:
+        """Whether at least one advertisement is attached (publishing will work)."""
+        return any(a.output_pipe is not None for a in self.manager.attachments)
+
+    @property
+    def attachment_count(self) -> int:
+        """Number of advertisements currently attached."""
+        return len(self.manager.attachments)
+
+    # ------------------------------------------------------------ publishing
+
+    def publish(self, event: Any) -> PublishReceipt:
+        """Publish a typed event to every subscriber of the type (Figure 8, (1))."""
+        self.registry.check_publishable(event)
+        attachments = [a for a in self.manager.attachments if a.output_pipe is not None]
+        if not attachments:
+            raise NotInitializedError(
+                f"the TPS interface for {self.registry.interface_name} has no attached "
+                "advertisement yet; run the network (settle) to let initialisation finish"
+            )
+        payload = self.registry.encode(event)
+        message = Message()
+        message.add(TPS_TYPE_ELEMENT, type_name(type(event)))
+        message.add(
+            TPS_MSG_ID_ELEMENT,
+            f"{self.peer.peer_id.to_urn()}/t{next(_tps_message_counter)}",
+        )
+        message.add(TPS_EVENT_ELEMENT, payload)
+        if self.config.message_padding:
+            message.pad_to(self.config.message_padding)
+        receipts = [attachment.output_pipe.send(message) for attachment in attachments]
+        self._sent.append(event)
+        self.peer.metrics.counter("tps_published").increment()
+        cpu_time = sum(receipt.cpu_time for receipt in receipts)
+        completion = max(receipt.completion_time for receipt in receipts)
+        self.peer.metrics.timer("tps_publish_cpu").observe(cpu_time)
+        return PublishReceipt(
+            cpu_time=cpu_time,
+            completion_time=completion,
+            pipes=len(receipts),
+            wire_receipts=receipts,
+        )
+
+    # ----------------------------------------------------------- subscribing
+
+    def _add_subscription(self, subscription: Subscription) -> None:
+        self.subscriber_manager.add(subscription)
+        self.manager.ensure_readers()
+        self.peer.metrics.counter("tps_subscriptions").increment()
+
+    def _remove_subscriptions(
+        self, callback: Optional[Any] = None, handler: Optional[Any] = None
+    ) -> int:
+        removed = self.subscriber_manager.remove(callback, handler)
+        if self.subscriber_manager.empty:
+            # "After this call, no event is received anymore."
+            self.manager.close_readers()
+        return removed
+
+    # --------------------------------------------------------------- history
+
+    def objects_received(self) -> List[Any]:
+        return list(self._received)
+
+    def objects_sent(self) -> List[Any]:
+        return list(self._sent)
+
+    # --------------------------------------------------------------- receive
+
+    def _on_wire_message(self, message: Message, source: PeerID) -> None:
+        """Handle one raw wire message: decode, filter, dispatch."""
+        message_id = message.get_text(TPS_MSG_ID_ELEMENT)
+        if self.config.duplicate_filtering and message_id:
+            if message_id in self._seen_message_ids:
+                self.peer.metrics.counter("tps_duplicates_filtered").increment()
+                return
+            self._seen_message_ids.add(message_id)
+        payload = message.get_bytes(TPS_EVENT_ELEMENT)
+        if not payload:
+            self.peer.metrics.counter("tps_malformed").increment()
+            return
+        try:
+            event = self.registry.decode(payload)
+        except Exception as error:  # noqa: BLE001 - surfaced to the application handlers
+            self.peer.metrics.counter("tps_decode_errors").increment()
+            for subscription in self.subscriber_manager.subscriptions():
+                subscription.exception_handler.handle(error)
+            return
+        if not self.registry.conforms(event):
+            # The event belongs to another branch of the hierarchy: this is
+            # normal subtype filtering (Figure 7), not an error.
+            self.peer.metrics.counter("tps_filtered_by_type").increment()
+            return
+        if self.criteria is not None and not self.criteria.matches_event(event):
+            self.peer.metrics.counter("tps_filtered_by_content").increment()
+            return
+        self._received.append(event)
+        self.peer.metrics.counter("tps_delivered").increment()
+        self.peer.metrics.series("tps_received").record(self.peer.now)
+        self.subscriber_manager.dispatch(event)
+
+    # ----------------------------------------------------------------- close
+
+    def close(self) -> None:
+        """Stop the finder, close all pipes and drop subscriptions."""
+        self.manager.stop()
+        self.subscriber_manager.remove()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"JxtaTPSEngine(type={self.registry.interface_name}, peer={self.peer.name!r}, "
+            f"attachments={self.attachment_count})"
+        )
+
+
+__all__ = [
+    "JxtaTPSEngine",
+    "TPSAdvertisementsManager",
+    "TPSAttachment",
+    "TPSConfig",
+    "TPS_EVENT_ELEMENT",
+    "TPS_MSG_ID_ELEMENT",
+    "TPS_TYPE_ELEMENT",
+]

@@ -1,0 +1,138 @@
+"""An in-process TPS binding.
+
+The paper's ``TPSEngine.newInterface`` takes a *name* selecting the
+underlying infrastructure ("JXTA" in all of the paper's listings).  The
+reproduction adds a second binding, ``"LOCAL"``: a purely in-process bus with
+the same Figure 7 semantics (type hierarchy matching, duplicate-free
+delivery, callback/exception-handler dispatch) but no simulated network.
+
+The local binding is useful on its own (unit-testing application callbacks,
+prototyping event types before deploying on the P2P substrate) and doubles as
+a semantic reference implementation: property-based tests check that the
+JXTA binding delivers exactly what the local binding would.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Type
+
+from repro.core.exceptions import PSException
+from repro.core.interface import PublishReceipt, Subscription, TPSInterface
+from repro.core.type_registry import Criteria, TypeRegistry, hierarchy_root, type_name
+from repro.core.subscriber import TPSSubscriberManager
+
+
+class LocalBus:
+    """A process-local event bus connecting :class:`LocalTPSEngine` instances.
+
+    Engines attach under the *root* of their type hierarchy; publishing walks
+    every engine attached to the same hierarchy and delivers to those whose
+    interface type the event conforms to.
+    """
+
+    def __init__(self) -> None:
+        self._engines: Dict[str, List["LocalTPSEngine"]] = {}
+
+    def attach(self, engine: "LocalTPSEngine") -> None:
+        """Attach an engine to its hierarchy's topic."""
+        self._engines.setdefault(engine.registry.advertised_name, []).append(engine)
+
+    def detach(self, engine: "LocalTPSEngine") -> None:
+        """Detach an engine (missing engines are ignored)."""
+        engines = self._engines.get(engine.registry.advertised_name, [])
+        if engine in engines:
+            engines.remove(engine)
+
+    def engines_for(self, root: Type[Any]) -> List["LocalTPSEngine"]:
+        """Every engine attached to the hierarchy rooted at ``root``."""
+        return list(self._engines.get(type_name(root), []))
+
+    def publish(self, publisher: "LocalTPSEngine", event: Any) -> int:
+        """Deliver ``event`` to every conforming engine except the publisher.
+
+        Returns the number of engines the event was delivered to.
+        """
+        delivered = 0
+        for engine in self.engines_for(publisher.registry.root):
+            if engine is publisher:
+                continue
+            if engine._deliver(event):
+                delivered += 1
+        return delivered
+
+
+#: Default process-wide bus used when no explicit bus is supplied.
+DEFAULT_BUS = LocalBus()
+
+
+class LocalTPSEngine(TPSInterface):
+    """The TPS interface implemented over an in-process :class:`LocalBus`."""
+
+    def __init__(
+        self,
+        event_type: Type[Any],
+        *,
+        bus: Optional[LocalBus] = None,
+        criteria: Optional[Criteria] = None,
+    ) -> None:
+        self.registry = TypeRegistry(event_type)
+        self.criteria = criteria
+        self.bus = bus or DEFAULT_BUS
+        self.subscriber_manager = TPSSubscriberManager()
+        self._received: List[Any] = []
+        self._sent: List[Any] = []
+        self.bus.attach(self)
+
+    # ------------------------------------------------------------ publishing
+
+    def publish(self, event: Any) -> PublishReceipt:
+        """Publish an event to every conforming local subscriber."""
+        self.registry.check_publishable(event)
+        # Round-trip through the codec so local and JXTA bindings agree on
+        # what is serialisable (and so subscribers get an isolated copy).
+        copy = self.registry.decode(self.registry.encode(event))
+        delivered = self.bus.publish(self, copy)
+        self._sent.append(event)
+        return PublishReceipt(
+            cpu_time=0.0, completion_time=0.0, pipes=1, wire_receipts=[delivered]
+        )
+
+    # ----------------------------------------------------------- subscribing
+
+    def _add_subscription(self, subscription: Subscription) -> None:
+        self.subscriber_manager.add(subscription)
+
+    def _remove_subscriptions(
+        self, callback: Optional[Any] = None, handler: Optional[Any] = None
+    ) -> int:
+        return self.subscriber_manager.remove(callback, handler)
+
+    # --------------------------------------------------------------- history
+
+    def objects_received(self) -> List[Any]:
+        return list(self._received)
+
+    def objects_sent(self) -> List[Any]:
+        return list(self._sent)
+
+    # --------------------------------------------------------------- receive
+
+    def _deliver(self, event: Any) -> bool:
+        """Deliver an event coming from the bus; returns whether it was accepted."""
+        if self.subscriber_manager.empty:
+            return False
+        if not self.registry.conforms(event):
+            return False
+        if self.criteria is not None and not self.criteria.matches_event(event):
+            return False
+        self._received.append(event)
+        self.subscriber_manager.dispatch(event)
+        return True
+
+    def close(self) -> None:
+        """Detach from the bus and drop every subscription."""
+        self.bus.detach(self)
+        self.subscriber_manager.remove()
+
+
+__all__ = ["DEFAULT_BUS", "LocalBus", "LocalTPSEngine"]

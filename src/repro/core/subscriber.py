@@ -1,0 +1,104 @@
+"""Subscription management: the "Interface Repository" block.
+
+"This block stores all the call-back interfaces and exception handlers.  It
+also starts and stops the subscriptions."  (paper, Section 3.4)
+
+:class:`TPSSubscriberManager` is the interface repository;
+:class:`TPSPipeReader` is the reader the paper attaches to each wire input
+pipe "in order to receive the events" -- it hands raw wire messages to the
+engine, which decodes, type-checks, de-duplicates and dispatches them to the
+registered callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+from repro.core.interface import Subscription
+from repro.jxta.ids import PeerID
+from repro.jxta.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.jxta_engine import JxtaTPSEngine
+
+
+class TPSSubscriberManager:
+    """Stores the (callback, exception handler) pairs of one TPS interface."""
+
+    def __init__(self) -> None:
+        self._subscriptions: List[Subscription] = []
+
+    # ------------------------------------------------------------ mutation
+
+    def add(self, subscription: Subscription) -> None:
+        """Register one subscription."""
+        self._subscriptions.append(subscription)
+
+    def remove(self, callback: Optional[Any] = None, handler: Optional[Any] = None) -> int:
+        """Remove matching subscriptions; with no arguments remove everything.
+
+        Returns the number of subscriptions removed.
+        """
+        if callback is None:
+            removed = len(self._subscriptions)
+            self._subscriptions.clear()
+            return removed
+        keep: List[Subscription] = []
+        removed = 0
+        for subscription in self._subscriptions:
+            if subscription.matches(callback, handler):
+                removed += 1
+            else:
+                keep.append(subscription)
+        self._subscriptions = keep
+        return removed
+
+    # ------------------------------------------------------------- queries
+
+    def subscriptions(self) -> List[Subscription]:
+        """A snapshot of the registered subscriptions."""
+        return list(self._subscriptions)
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    @property
+    def empty(self) -> bool:
+        """Whether no subscription is registered."""
+        return not self._subscriptions
+
+    # ------------------------------------------------------------ dispatch
+
+    def dispatch(self, event: Any) -> int:
+        """Hand an event to every callback, routing errors to the paired handler.
+
+        Returns the number of callbacks that processed the event without
+        raising.
+        """
+        delivered = 0
+        for subscription in list(self._subscriptions):
+            try:
+                subscription.callback.handle(event)
+                delivered += 1
+            except BaseException as error:  # noqa: BLE001 - routed to the handler
+                try:
+                    subscription.exception_handler.handle(error)
+                except BaseException:  # noqa: BLE001 - a broken handler must not stop dispatch
+                    pass
+        return delivered
+
+
+class TPSPipeReader:
+    """The wire input pipe listener: feeds received messages to the engine."""
+
+    def __init__(self, engine: "JxtaTPSEngine") -> None:
+        self.engine = engine
+        self.messages_seen = 0
+
+    def __call__(self, message: Message, source: PeerID) -> None:
+        """Wire pipe listener entry point."""
+        self.messages_seen += 1
+        self.engine._on_wire_message(message, source)
+
+
+__all__ = ["TPSPipeReader", "TPSSubscriberManager"]

@@ -1,0 +1,90 @@
+"""A JXTA-like peer-to-peer substrate, built from scratch.
+
+The paper layers TPS on top of Sun's JXTA 1.0, "an analogous to the sockets
+for P2P infrastructures".  This package reimplements the JXTA machinery the
+paper relies on:
+
+Concepts (Section 2.1 of the paper)
+    :mod:`repro.jxta.ids` (IDs), :mod:`repro.jxta.peer` (peers, rendez-vous
+    and router peers), :mod:`repro.jxta.pipes` (pipes),
+    :mod:`repro.jxta.peergroup` (peer groups),
+    :mod:`repro.jxta.advertisement` (advertisements) and
+    :mod:`repro.jxta.message` (messages).
+
+Protocols (Section 2.2)
+    * Peer Discovery Protocol (PDP) -- :mod:`repro.jxta.discovery`
+    * Peer Resolver Protocol (PRP) -- :mod:`repro.jxta.resolver`
+    * Peer Information Protocol (PIP) -- :mod:`repro.jxta.peerinfo`
+    * Peer Membership Protocol (PMP) -- :mod:`repro.jxta.membership`
+    * Pipe Binding Protocol (PBP) -- :mod:`repro.jxta.pipe_binding`
+    * Endpoint Routing Protocol (ERP) -- :mod:`repro.jxta.routing`
+
+Services (Section 2 "service layer")
+    * the many-to-many WIRE service -- :mod:`repro.jxta.wire`
+    * the monitoring service -- :mod:`repro.jxta.monitoring`
+    * a small content-management (cms-like) service -- :mod:`repro.jxta.cms`
+
+:mod:`repro.jxta.platform` bootstraps a peer (endpoint, world peer group and
+all standard services) on top of a :class:`repro.net.Node`.
+"""
+
+from __future__ import annotations
+
+from repro.jxta.bidipipe import BidirectionalPipe, BidirectionalPipeListener
+from repro.jxta.advertisement import (
+    Advertisement,
+    AdvertisementFactory,
+    ModuleAdvertisement,
+    PeerAdvertisement,
+    PeerGroupAdvertisement,
+    PipeAdvertisement,
+    ServiceAdvertisement,
+)
+from repro.jxta.errors import (
+    JxtaError,
+    MembershipError,
+    PipeError,
+    ResolverError,
+    ServiceNotFoundError,
+)
+from repro.jxta.ids import CodatID, JxtaID, ModuleID, PeerGroupID, PeerID, PipeID
+from repro.jxta.message import Message, MessageElement
+from repro.jxta.peer import Peer, PeerConfig
+from repro.jxta.peergroup import PeerGroup
+from repro.jxta.pipes import InputPipe, OutputPipe, PipeKind
+from repro.jxta.platform import JxtaNetworkBuilder, create_peer
+from repro.jxta.wire import WireService
+
+__all__ = [
+    "Advertisement",
+    "AdvertisementFactory",
+    "BidirectionalPipe",
+    "BidirectionalPipeListener",
+    "CodatID",
+    "InputPipe",
+    "JxtaError",
+    "JxtaID",
+    "JxtaNetworkBuilder",
+    "MembershipError",
+    "Message",
+    "MessageElement",
+    "ModuleAdvertisement",
+    "ModuleID",
+    "OutputPipe",
+    "Peer",
+    "PeerAdvertisement",
+    "PeerConfig",
+    "PeerGroup",
+    "PeerGroupAdvertisement",
+    "PeerGroupID",
+    "PeerID",
+    "PipeAdvertisement",
+    "PipeError",
+    "PipeID",
+    "PipeKind",
+    "ResolverError",
+    "ServiceAdvertisement",
+    "ServiceNotFoundError",
+    "WireService",
+    "create_peer",
+]

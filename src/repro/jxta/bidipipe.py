@@ -1,0 +1,306 @@
+"""Bi-directional pipes.
+
+The paper lists them among the pipe variants JXTA was growing at the time:
+"The basic pipes are asynchronous and uni-directionnal but some other
+variants are available (e.g., the very new bi-directional pipes or the
+many-to-many pipes (called wire))."
+
+A bi-directional pipe is built from two unicast pipes and a tiny handshake:
+
+* the *accepting* peer opens a :class:`BidirectionalPipeListener` on a pipe
+  advertisement (the "server" pipe) and publishes that advertisement like any
+  other resource;
+* a *connecting* peer calls :func:`connect`: it creates a private return pipe,
+  sends a CONNECT message over the server pipe carrying the return pipe's
+  advertisement, and gets a :class:`BidirectionalPipe` back;
+* the accepting side answers with an ACCEPT message over the return pipe and
+  obtains its own :class:`BidirectionalPipe` for the same session.
+
+Both ends can then ``send`` application messages and register receive
+listeners; sessions are identified so one listener can serve many clients.
+
+The TPS layer does not use bi-directional pipes (its interaction is
+deliberately decoupled); they exist as part of the substrate's completeness
+and are exercised by the test suite and available to applications that need
+a request/response channel below the TPS abstraction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.jxta.advertisement import AdvertisementFactory, PipeAdvertisement
+from repro.jxta.errors import PipeError
+from repro.jxta.ids import PeerID, PipeID
+from repro.jxta.message import Message
+from repro.jxta.peergroup import PeerGroup
+from repro.jxta.pipes import InputPipe, OutputPipe, PipeKind
+
+_session_counter = itertools.count(1)
+
+#: Message element names of the handshake and data frames.
+_KIND = "BidiKind"
+_SESSION = "BidiSession"
+_RETURN_ADV = "BidiReturnAdvertisement"
+_PEER = "BidiPeer"
+
+_CONNECT = "connect"
+_ACCEPT = "accept"
+_DATA = "data"
+_CLOSE = "close"
+
+#: Receive listeners get ``(message, session_id)``.
+BidiListener = Callable[[Message, str], None]
+
+
+class BidirectionalPipe:
+    """One end of an established bi-directional session."""
+
+    def __init__(
+        self,
+        group: PeerGroup,
+        session_id: str,
+        remote_peer: PeerID,
+        send_pipe: OutputPipe,
+        receive_pipe: Optional[InputPipe],
+    ) -> None:
+        self.group = group
+        self.session_id = session_id
+        self.remote_peer = remote_peer
+        self._send_pipe = send_pipe
+        self._receive_pipe = receive_pipe
+        self._listeners: List[BidiListener] = []
+        self.closed = False
+        self.received: List[Message] = []
+
+    # ------------------------------------------------------------ listeners
+
+    def add_listener(self, listener: BidiListener) -> None:
+        """Register a callback invoked for every received data message."""
+        self._listeners.append(listener)
+
+    def _deliver(self, message: Message) -> None:
+        if self.closed:
+            return
+        self.received.append(message)
+        for listener in list(self._listeners):
+            listener(message, self.session_id)
+
+    # ----------------------------------------------------------------- I/O
+
+    def send(self, message: Message) -> int:
+        """Send a data message to the other end of the session."""
+        if self.closed:
+            raise PipeError("cannot send on a closed bidirectional pipe")
+        frame = message.dup()
+        frame.add(_KIND, _DATA)
+        frame.add(_SESSION, self.session_id)
+        frame.add(_PEER, self.group.peer.peer_id.to_urn())
+        return self._send_pipe.send(frame)
+
+    def send_text(self, name: str, text: str) -> int:
+        """Convenience: send a single-element text message."""
+        message = Message()
+        message.add(name, text)
+        return self.send(message)
+
+    def close(self) -> None:
+        """Close this end and notify the other end.  Idempotent."""
+        if self.closed:
+            return
+        notice = Message()
+        notice.add(_KIND, _CLOSE)
+        notice.add(_SESSION, self.session_id)
+        notice.add(_PEER, self.group.peer.peer_id.to_urn())
+        try:
+            self._send_pipe.send(notice)
+        except PipeError:
+            pass
+        self._shutdown()
+
+    def _shutdown(self) -> None:
+        self.closed = True
+        if self._receive_pipe is not None:
+            self._receive_pipe.close()
+            self._receive_pipe = None
+
+
+class BidirectionalPipeListener:
+    """The accepting side: turns CONNECT handshakes into sessions."""
+
+    def __init__(
+        self,
+        group: PeerGroup,
+        advertisement: PipeAdvertisement,
+        *,
+        on_session: Optional[Callable[[BidirectionalPipe], None]] = None,
+    ) -> None:
+        self.group = group
+        self.advertisement = advertisement
+        self.sessions: Dict[str, BidirectionalPipe] = {}
+        self._on_session = on_session
+        self._server_pipe = group.pipe_service.create_input_pipe(
+            advertisement, self._on_message
+        )
+        self.closed = False
+
+    # --------------------------------------------------------------- receive
+
+    def _on_message(self, message: Message, source: PeerID) -> None:
+        kind = message.get_text(_KIND)
+        if kind == _CONNECT:
+            self._accept(message, source)
+        elif kind == _DATA:
+            session = self.sessions.get(message.get_text(_SESSION))
+            if session is not None:
+                session._deliver(_strip_framing(message))
+        elif kind == _CLOSE:
+            session = self.sessions.pop(message.get_text(_SESSION), None)
+            if session is not None:
+                session._shutdown()
+
+    def _accept(self, message: Message, source: PeerID) -> None:
+        session_id = message.get_text(_SESSION)
+        if not session_id or session_id in self.sessions:
+            return
+        return_document = message.get_text(_RETURN_ADV)
+        return_advertisement = AdvertisementFactory.from_document(return_document)
+        if not isinstance(return_advertisement, PipeAdvertisement):
+            self.group.peer.metrics.counter("bidi_malformed_connect").increment()
+            return
+        send_pipe = self.group.pipe_service.create_output_pipe(return_advertisement)
+        session = BidirectionalPipe(
+            group=self.group,
+            session_id=session_id,
+            remote_peer=source,
+            send_pipe=send_pipe,
+            receive_pipe=None,  # the listener's server pipe does the receiving
+        )
+        self.sessions[session_id] = session
+        accept = Message()
+        accept.add(_KIND, _ACCEPT)
+        accept.add(_SESSION, session_id)
+        accept.add(_PEER, self.group.peer.peer_id.to_urn())
+
+        # The return pipe binding is announced asynchronously; send the ACCEPT
+        # once the simulator has had a chance to deliver the announcement.
+        def _send_accept() -> None:
+            try:
+                send_pipe.send(accept)
+            except PipeError:
+                self.group.peer.metrics.counter("bidi_accept_failed").increment()
+
+        self.group.peer.simulator.schedule(0.05, _send_accept, label="bidi-accept")
+        self.group.peer.metrics.counter("bidi_sessions_accepted").increment()
+        if self._on_session is not None:
+            self._on_session(session)
+
+    def close(self) -> None:
+        """Stop accepting new sessions and close the established ones."""
+        if self.closed:
+            return
+        self.closed = True
+        for session in list(self.sessions.values()):
+            session.close()
+        self.sessions.clear()
+        self._server_pipe.close()
+
+
+@dataclass
+class PendingConnection:
+    """Returned by :func:`connect`; resolves into a live pipe once accepted."""
+
+    pipe: BidirectionalPipe
+    accepted: bool = False
+
+    def established(self) -> bool:
+        """Whether the remote side has acknowledged the session."""
+        return self.accepted and not self.pipe.closed
+
+
+def connect(
+    group: PeerGroup,
+    advertisement: PipeAdvertisement,
+    *,
+    listener: Optional[BidiListener] = None,
+) -> PendingConnection:
+    """Connect to a :class:`BidirectionalPipeListener` advertised by another peer.
+
+    Returns a :class:`PendingConnection` immediately; run the simulation to
+    let the handshake complete (``established()`` turns True when the ACCEPT
+    arrives).
+    """
+    peer = group.peer
+    session_id = f"{peer.peer_id.to_urn()}/bidi{next(_session_counter)}"
+    return_advertisement = PipeAdvertisement(
+        pipe_id=PipeID(),
+        name=f"{advertisement.name}-return-{session_id[-6:]}",
+        pipe_kind=PipeKind.UNICAST.value,
+    )
+    send_pipe = group.pipe_service.create_output_pipe(advertisement)
+    pipe = BidirectionalPipe(
+        group=group,
+        session_id=session_id,
+        remote_peer=PeerID(),  # refined when the ACCEPT arrives
+        send_pipe=send_pipe,
+        receive_pipe=None,
+    )
+    pending = PendingConnection(pipe=pipe)
+
+    def _on_return_message(message: Message, source: PeerID) -> None:
+        kind = message.get_text(_KIND)
+        if message.get_text(_SESSION) != session_id:
+            return
+        if kind == _ACCEPT:
+            pending.accepted = True
+            pipe.remote_peer = source
+        elif kind == _DATA:
+            pipe._deliver(_strip_framing(message))
+        elif kind == _CLOSE:
+            pipe._shutdown()
+
+    return_pipe = group.pipe_service.create_input_pipe(return_advertisement, _on_return_message)
+    pipe._receive_pipe = return_pipe
+    if listener is not None:
+        pipe.add_listener(listener)
+
+    request = Message()
+    request.add(_KIND, _CONNECT)
+    request.add(_SESSION, session_id)
+    request.add(_PEER, peer.peer_id.to_urn())
+    request.add(_RETURN_ADV, return_advertisement.to_document())
+
+    # The server pipe binding may still be resolving; retry the CONNECT a few
+    # times on the simulation clock until it can be sent.
+    def _try_connect(attempts_left: int = 10) -> None:
+        try:
+            send_pipe.send(request)
+        except PipeError:
+            if attempts_left > 0:
+                peer.simulator.schedule(
+                    0.5, lambda: _try_connect(attempts_left - 1), label="bidi-connect-retry"
+                )
+            else:
+                peer.metrics.counter("bidi_connect_failed").increment()
+
+    _try_connect()
+    peer.metrics.counter("bidi_connects").increment()
+    return pending
+
+
+def _strip_framing(message: Message) -> Message:
+    """Remove the handshake elements, leaving only the application payload."""
+    stripped = message.dup()
+    for name in (_KIND, _SESSION, _PEER, _RETURN_ADV):
+        stripped.remove(name)
+    return stripped
+
+
+__all__ = [
+    "BidirectionalPipe",
+    "BidirectionalPipeListener",
+    "PendingConnection",
+    "connect",
+]

@@ -1,0 +1,180 @@
+"""Local advertisement cache (JXTA's "cm" -- cache manager).
+
+Every peer keeps discovered and locally published advertisements in a local
+cache, organised by discovery kind (peer / group / generic advertisement).
+The Peer Discovery Protocol answers remote queries out of this cache and the
+paper's ``AdvertisementsFinder`` flushes it at startup
+(``discoveryService.flushAdvertisements(null, Discovery.ADV)`` -- Figure 16,
+lines 9-11) to avoid acting on stale advertisements.
+
+Entries carry the insertion time and a lifetime, so the cache can drop
+advertisements whose age exceeds their lifetime ("each advertisement
+encompasses an age to distinguish stale advertisements from new ones").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.jxta.advertisement import Advertisement
+from repro.net.simclock import SimClock
+
+
+class DiscoveryKind:
+    """The three discovery kinds, matching JXTA's ``Discovery.PEER/GROUP/ADV``."""
+
+    PEER = 0
+    GROUP = 1
+    ADV = 2
+
+    ALL = (PEER, GROUP, ADV)
+
+    @classmethod
+    def validate(cls, kind: int) -> int:
+        """Check that ``kind`` is one of the three valid discovery kinds."""
+        if kind not in cls.ALL:
+            raise ValueError(f"invalid discovery kind {kind!r} (expected 0, 1 or 2)")
+        return kind
+
+
+@dataclass
+class CacheEntry:
+    """One cached advertisement with its bookkeeping."""
+
+    advertisement: Advertisement
+    inserted_at: float
+    lifetime: float
+    #: Whether the advertisement was published locally (vs. learned remotely).
+    local: bool = True
+
+    def expired(self, now: float) -> bool:
+        """Whether the entry has outlived its lifetime."""
+        return (now - self.inserted_at) > self.lifetime
+
+
+class CacheManager:
+    """An in-memory advertisement cache indexed by discovery kind and unique key."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._entries: Dict[int, Dict[str, CacheEntry]] = {
+            DiscoveryKind.PEER: {},
+            DiscoveryKind.GROUP: {},
+            DiscoveryKind.ADV: {},
+        }
+
+    # ------------------------------------------------------------- mutation
+
+    def publish(
+        self,
+        advertisement: Advertisement,
+        kind: int,
+        *,
+        lifetime: Optional[float] = None,
+        local: bool = True,
+    ) -> CacheEntry:
+        """Insert (or refresh) an advertisement in the cache.
+
+        Re-publishing an advertisement with the same unique key refreshes its
+        insertion time and lifetime -- this is how remote republications keep
+        advertisements alive.
+        """
+        DiscoveryKind.validate(kind)
+        entry = CacheEntry(
+            advertisement=advertisement,
+            inserted_at=self._clock.now,
+            lifetime=lifetime if lifetime is not None else advertisement.lifetime,
+            local=local,
+        )
+        self._entries[kind][advertisement.unique_key()] = entry
+        return entry
+
+    def remove(self, advertisement: Advertisement, kind: int) -> bool:
+        """Remove one advertisement; returns whether it was present."""
+        DiscoveryKind.validate(kind)
+        return self._entries[kind].pop(advertisement.unique_key(), None) is not None
+
+    def flush(self, kind: Optional[int] = None, *, remote_only: bool = False) -> int:
+        """Drop cached advertisements.
+
+        ``kind`` of None flushes every kind.  With ``remote_only`` only
+        advertisements learned from other peers are dropped, which is what a
+        restarting application wants (its own published advertisements stay).
+        Returns the number of entries removed.
+        """
+        kinds = DiscoveryKind.ALL if kind is None else (DiscoveryKind.validate(kind),)
+        removed = 0
+        for k in kinds:
+            table = self._entries[k]
+            if remote_only:
+                doomed = [key for key, entry in table.items() if not entry.local]
+            else:
+                doomed = list(table)
+            for key in doomed:
+                del table[key]
+                removed += 1
+        return removed
+
+    def expire(self) -> int:
+        """Drop every entry whose age exceeds its lifetime; return how many were dropped."""
+        now = self._clock.now
+        removed = 0
+        for table in self._entries.values():
+            doomed = [key for key, entry in table.items() if entry.expired(now)]
+            for key in doomed:
+                del table[key]
+                removed += 1
+        return removed
+
+    # -------------------------------------------------------------- queries
+
+    def search(
+        self,
+        kind: int,
+        attribute: Optional[str] = None,
+        value: Optional[str] = None,
+        *,
+        limit: Optional[int] = None,
+    ) -> List[Advertisement]:
+        """Return cached advertisements of ``kind`` matching the attribute query.
+
+        Expired entries are skipped (and lazily removed).  ``limit`` bounds
+        the number of results, mirroring the discovery threshold.
+        """
+        DiscoveryKind.validate(kind)
+        now = self._clock.now
+        table = self._entries[kind]
+        results: List[Advertisement] = []
+        doomed: List[str] = []
+        for key, entry in table.items():
+            if entry.expired(now):
+                doomed.append(key)
+                continue
+            if entry.advertisement.matches(attribute, value):
+                results.append(entry.advertisement)
+                if limit is not None and len(results) >= limit:
+                    break
+        for key in doomed:
+            table.pop(key, None)
+        return results
+
+    def contains(self, advertisement: Advertisement, kind: int) -> bool:
+        """Whether an (unexpired) entry with the same unique key exists."""
+        DiscoveryKind.validate(kind)
+        entry = self._entries[kind].get(advertisement.unique_key())
+        return entry is not None and not entry.expired(self._clock.now)
+
+    def count(self, kind: Optional[int] = None) -> int:
+        """Number of cached entries (of one kind, or overall)."""
+        if kind is None:
+            return sum(len(table) for table in self._entries.values())
+        return len(self._entries[DiscoveryKind.validate(kind)])
+
+    def entries(self, kind: int) -> List[CacheEntry]:
+        """All entries of one kind (including expired ones, for inspection)."""
+        DiscoveryKind.validate(kind)
+        return list(self._entries[kind].values())
+
+
+__all__ = ["CacheEntry", "CacheManager", "DiscoveryKind"]

@@ -1,0 +1,184 @@
+"""A small content-management (cms-like) service.
+
+The paper names the cms (content management system) service among the best
+known JXTA services.  The reproduction provides a compact but functional
+equivalent: peers *share* named blobs of content (codats), other peers
+*search* for content by name over the Peer Resolver Protocol and *fetch* the
+bytes from whichever peer advertised them.  One of the example applications
+(:mod:`examples.file_sharing`, if present) and several integration tests
+exercise it; neither the TPS layer nor the benchmarks depend on it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.jxta.ids import CodatID, PeerID
+from repro.jxta.resolver import ResolverQuery, ResolverResponse
+from repro.serialization.xml_codec import XmlElement, parse_xml, to_xml
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.jxta.peergroup import PeerGroup
+
+
+@dataclass
+class ContentSummary:
+    """Metadata describing one shared codat."""
+
+    codat_id: CodatID
+    name: str
+    description: str
+    size: int
+    checksum: str
+    owner: PeerID
+
+    def to_xml_element(self) -> XmlElement:
+        """Render the summary as an XML element."""
+        element = XmlElement("Content")
+        element.add("Id", self.codat_id.to_urn())
+        element.add("Name", self.name)
+        element.add("Desc", self.description)
+        element.add("Size", str(self.size))
+        element.add("Checksum", self.checksum)
+        element.add("Owner", self.owner.to_urn())
+        return element
+
+    @classmethod
+    def from_xml_element(cls, element: XmlElement) -> "ContentSummary":
+        """Parse a summary rendered by :meth:`to_xml_element`."""
+        return cls(
+            codat_id=CodatID.from_urn(element.child_text("Id")),
+            name=element.child_text("Name"),
+            description=element.child_text("Desc"),
+            size=int(element.child_text("Size", "0")),
+            checksum=element.child_text("Checksum"),
+            owner=PeerID.from_urn(element.child_text("Owner")),
+        )
+
+
+class ContentService:
+    """Per-group content sharing: share, search and fetch codats."""
+
+    HANDLER_NAME = "urn:jxta:cms"
+
+    def __init__(self, group: "PeerGroup") -> None:
+        self.group = group
+        self.peer = group.peer
+        self._local: Dict[str, tuple[ContentSummary, bytes]] = {}
+        #: Summaries discovered from remote peers.
+        self.found: List[ContentSummary] = []
+        #: Content fetched from remote peers, keyed by codat URN.
+        self.fetched: Dict[str, bytes] = {}
+        group.resolver.register_handler(self.HANDLER_NAME, self)
+
+    # ---------------------------------------------------------------- share
+
+    def share(self, name: str, data: bytes, *, description: str = "") -> ContentSummary:
+        """Share a named blob of content; returns its summary."""
+        codat_id = CodatID()
+        summary = ContentSummary(
+            codat_id=codat_id,
+            name=name,
+            description=description,
+            size=len(data),
+            checksum=hashlib.sha256(data).hexdigest(),
+            owner=self.peer.peer_id,
+        )
+        self._local[codat_id.to_urn()] = (summary, bytes(data))
+        self.peer.metrics.counter("cms_shared").increment()
+        return summary
+
+    def unshare(self, codat_id: CodatID) -> bool:
+        """Stop sharing a codat; returns whether it was shared."""
+        return self._local.pop(codat_id.to_urn(), None) is not None
+
+    def list_local(self) -> List[ContentSummary]:
+        """Summaries of every locally shared codat."""
+        return [summary for summary, _ in self._local.values()]
+
+    # --------------------------------------------------------------- search
+
+    def search_remote(self, name_pattern: str, *, peer: Optional[PeerID] = None) -> str:
+        """Search other peers for content whose name matches ``name_pattern``.
+
+        A trailing ``*`` performs prefix matching, like discovery queries.
+        Matches arrive asynchronously in :attr:`found`.  Returns the query id.
+        """
+        query = XmlElement("ContentSearch")
+        query.add("Name", name_pattern)
+        return self.group.resolver.send_query(
+            self.HANDLER_NAME, to_xml(query, declaration=False), dest_peer=peer
+        )
+
+    def fetch(self, summary: ContentSummary) -> str:
+        """Request the bytes of a previously found codat from its owner.
+
+        The content arrives asynchronously in :attr:`fetched`, keyed by the
+        codat URN.  Returns the query id.
+        """
+        query = XmlElement("ContentFetch")
+        query.add("Id", summary.codat_id.to_urn())
+        return self.group.resolver.send_query(
+            self.HANDLER_NAME, to_xml(query, declaration=False), dest_peer=summary.owner
+        )
+
+    # ----------------------------------------------------- resolver handler
+
+    def process_query(self, query: ResolverQuery) -> Optional[str]:
+        """Answer content searches and fetch requests from the local store."""
+        element = parse_xml(query.body)
+        if element.name == "ContentSearch":
+            pattern = element.child_text("Name")
+            matches = [
+                summary
+                for summary, _ in self._local.values()
+                if self._name_matches(summary.name, pattern)
+            ]
+            if not matches:
+                return None
+            response = XmlElement("ContentSearchResponse")
+            for summary in matches:
+                response.add_child(summary.to_xml_element())
+            return to_xml(response, declaration=False)
+        if element.name == "ContentFetch":
+            urn = element.child_text("Id")
+            entry = self._local.get(urn)
+            if entry is None:
+                return None
+            summary, data = entry
+            response = XmlElement("ContentFetchResponse")
+            response.add("Id", urn)
+            response.add("Data", data.hex())
+            response.add("Checksum", summary.checksum)
+            return to_xml(response, declaration=False)
+        return None
+
+    def process_response(self, response: ResolverResponse) -> None:
+        """Record search results and fetched content."""
+        element = parse_xml(response.body)
+        if element.name == "ContentSearchResponse":
+            for child in element.find_all("Content"):
+                summary = ContentSummary.from_xml_element(child)
+                if summary.codat_id.to_urn() not in {
+                    s.codat_id.to_urn() for s in self.found
+                }:
+                    self.found.append(summary)
+        elif element.name == "ContentFetchResponse":
+            data = bytes.fromhex(element.child_text("Data"))
+            checksum = element.child_text("Checksum")
+            if hashlib.sha256(data).hexdigest() == checksum:
+                self.fetched[element.child_text("Id")] = data
+                self.peer.metrics.counter("cms_fetched").increment()
+            else:
+                self.peer.metrics.counter("cms_corrupt").increment()
+
+    @staticmethod
+    def _name_matches(name: str, pattern: str) -> bool:
+        if pattern.endswith("*"):
+            return name.startswith(pattern[:-1])
+        return name == pattern
+
+
+__all__ = ["ContentService", "ContentSummary"]

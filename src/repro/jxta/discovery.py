@@ -1,0 +1,252 @@
+"""Peer Discovery Protocol (PDP).
+
+"The PDP allows different peers to find each other.  In fact, this protocol
+allows to find any kind of published advertisements.  Without this protocol,
+a peer remains alone unless it knows in advance the peers it wants to connect
+to."  (paper, Section 2.2, Figure 1)
+
+The discovery service exposes the JXTA API surface the paper's code uses in
+Figures 15 and 16:
+
+* ``publish`` / ``remote_publish`` -- store an advertisement locally and push
+  it to other peers;
+* ``get_remote_advertisements`` -- send a discovery query (optionally scoped
+  to one peer) for advertisements matching an attribute/value pattern;
+* ``get_local_advertisements`` -- search the local cache;
+* ``flush_advertisements`` -- drop cached advertisements;
+* ``add_discovery_listener`` -- be notified when responses arrive.
+
+Queries and responses travel over the Peer Resolver Protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, TYPE_CHECKING, Union
+
+from repro.jxta.advertisement import (
+    Advertisement,
+    AdvertisementFactory,
+    DEFAULT_REMOTE_LIFETIME,
+)
+from repro.jxta.cache import CacheManager, DiscoveryKind
+from repro.jxta.ids import PeerID
+from repro.jxta.resolver import ResolverQuery, ResolverResponse
+from repro.serialization.xml_codec import XmlElement, parse_xml, to_xml
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.jxta.peergroup import PeerGroup
+
+
+@dataclass
+class DiscoveryEvent:
+    """Delivered to discovery listeners when remote advertisements arrive."""
+
+    kind: int
+    advertisements: List[Advertisement]
+    src_peer: Optional[PeerID] = None
+    query_id: str = ""
+
+
+#: Listeners are callables taking a :class:`DiscoveryEvent` (objects with a
+#: ``discovery_event`` method are also accepted).
+DiscoveryListener = Union[Callable[[DiscoveryEvent], None], object]
+
+
+class DiscoveryService:
+    """Per-group advertisement discovery, caching and publication."""
+
+    SERVICE_NAME = "jxta.service.discovery"
+    HANDLER_NAME = "urn:jxta:pdp"
+
+    #: Discovery kinds, mirroring JXTA's ``Discovery.PEER/GROUP/ADV``.
+    PEER = DiscoveryKind.PEER
+    GROUP = DiscoveryKind.GROUP
+    ADV = DiscoveryKind.ADV
+
+    #: Default maximum number of advertisements returned per responding peer.
+    DEFAULT_THRESHOLD = 10
+
+    def __init__(self, group: "PeerGroup") -> None:
+        self.group = group
+        self.peer = group.peer
+        self.cache = CacheManager(self.peer.clock)
+        self._listeners: List[DiscoveryListener] = []
+        group.resolver.register_handler(self.HANDLER_NAME, self)
+
+    # ------------------------------------------------------------ listeners
+
+    def add_discovery_listener(self, listener: DiscoveryListener) -> None:
+        """Register a listener for incoming discovery responses."""
+        self._listeners.append(listener)
+
+    def remove_discovery_listener(self, listener: DiscoveryListener) -> None:
+        """Unregister a listener (missing listeners are ignored)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _notify(self, event: DiscoveryEvent) -> None:
+        for listener in list(self._listeners):
+            callback = getattr(listener, "discovery_event", listener)
+            callback(event)
+
+    # ----------------------------------------------------------- publishing
+
+    def publish(
+        self,
+        advertisement: Advertisement,
+        kind: int,
+        *,
+        lifetime: Optional[float] = None,
+    ) -> None:
+        """Store an advertisement in the local cache.
+
+        "The first call writes the advertisement to the stable storage of the
+        peer [...] in order for the peers that are looking for advertisements
+        to find that peer." (paper, Section 4.4.1)
+        """
+        if advertisement.created_at == 0.0:
+            advertisement.created_at = self.peer.now
+        self.cache.publish(advertisement, kind, lifetime=lifetime, local=True)
+        self.peer.metrics.counter("discovery_published").increment()
+
+    def remote_publish(
+        self,
+        advertisement: Advertisement,
+        kind: int,
+        *,
+        expiration: float = DEFAULT_REMOTE_LIFETIME,
+    ) -> None:
+        """Push an advertisement to other peers (unsolicited discovery response).
+
+        "The second call sends the advertisements to the other peers via the
+        standard used protocols (e.g, IP-Multicast, TCP or HTTP)."
+        (paper, Section 4.4.1)
+        """
+        advertisement.expiration = expiration
+        body = self._response_body(kind, [advertisement], query_id="push")
+        self.group.resolver.send_query(self.HANDLER_NAME, body)
+        self.peer.metrics.counter("discovery_remote_published").increment()
+
+    # -------------------------------------------------------------- queries
+
+    def get_local_advertisements(
+        self,
+        kind: int,
+        attribute: Optional[str] = None,
+        value: Optional[str] = None,
+    ) -> List[Advertisement]:
+        """Search the local cache (``getLocalAdvertisements`` in Figure 16)."""
+        self.peer.metrics.counter("discovery_local_queries").increment()
+        return self.cache.search(kind, attribute, value)
+
+    def get_remote_advertisements(
+        self,
+        peer: Optional[PeerID],
+        kind: int,
+        attribute: Optional[str] = None,
+        value: Optional[str] = None,
+        threshold: int = DEFAULT_THRESHOLD,
+    ) -> str:
+        """Send a remote discovery query; returns the resolver query id.
+
+        With ``peer`` set the query goes to that peer only, otherwise it is
+        propagated (multicast + rendez-vous).  Responses arrive asynchronously:
+        they are added to the local cache and delivered to discovery
+        listeners.
+        """
+        DiscoveryKind.validate(kind)
+        query = XmlElement("DiscoveryQuery")
+        query.add("Kind", str(kind))
+        query.add("Attribute", attribute or "")
+        query.add("Value", value or "")
+        query.add("Threshold", str(threshold))
+        self.peer.metrics.counter("discovery_remote_queries").increment()
+        return self.group.resolver.send_query(
+            self.HANDLER_NAME, to_xml(query, declaration=False), dest_peer=peer
+        )
+
+    def flush_advertisements(self, ident: Optional[str], kind: int) -> int:
+        """Drop cached advertisements of one kind (Figure 16, lines 9-11).
+
+        ``ident`` of None flushes every advertisement of that kind; otherwise
+        only the advertisement whose resource ID matches is dropped.  Returns
+        the number of entries removed.
+        """
+        DiscoveryKind.validate(kind)
+        if ident is None:
+            return self.cache.flush(kind)
+        removed = 0
+        for entry in self.cache.entries(kind):
+            rid = entry.advertisement.resource_id()
+            if rid is not None and rid.to_urn() == ident:
+                if self.cache.remove(entry.advertisement, kind):
+                    removed += 1
+        return removed
+
+    # ----------------------------------------------------- resolver handler
+
+    def process_query(self, query: ResolverQuery) -> Optional[str]:
+        """Answer a discovery query (or absorb a pushed advertisement)."""
+        element = parse_xml(query.body)
+        if element.name == "DiscoveryResponse":
+            # remote_publish pushes advertisements as unsolicited "queries"
+            # carrying a response payload; absorb them without replying.
+            self._absorb_response(element, src_peer=query.src_peer, query_id=query.query_id)
+            return None
+        kind = int(element.child_text("Kind", str(self.ADV)))
+        attribute = element.child_text("Attribute") or None
+        value = element.child_text("Value") or None
+        threshold = int(element.child_text("Threshold", str(self.DEFAULT_THRESHOLD)))
+        matches = self.cache.search(kind, attribute, value, limit=threshold)
+        self.peer.metrics.counter("discovery_queries_served").increment()
+        if not matches:
+            return None
+        return self._response_body(kind, matches, query_id=query.query_id)
+
+    def process_response(self, response: ResolverResponse) -> None:
+        """Handle a discovery response: cache the advertisements, notify listeners."""
+        element = parse_xml(response.body)
+        self._absorb_response(element, src_peer=response.src_peer, query_id=response.query_id)
+
+    def _absorb_response(
+        self, element: XmlElement, *, src_peer: PeerID, query_id: str
+    ) -> None:
+        if src_peer == self.peer.peer_id:
+            return
+        kind = int(element.child_text("Kind", str(self.ADV)))
+        advertisements: List[Advertisement] = []
+        for child in element.find_all("Adv"):
+            try:
+                advertisement = AdvertisementFactory.from_document(child.text)
+            except Exception:
+                self.peer.metrics.counter("discovery_malformed").increment()
+                continue
+            advertisement.created_at = self.peer.now
+            advertisements.append(advertisement)
+            self.cache.publish(
+                advertisement, kind, lifetime=advertisement.expiration, local=False
+            )
+        if advertisements:
+            self.peer.metrics.counter("discovery_responses_received").increment()
+            self._notify(
+                DiscoveryEvent(
+                    kind=kind,
+                    advertisements=advertisements,
+                    src_peer=src_peer,
+                    query_id=query_id,
+                )
+            )
+
+    def _response_body(
+        self, kind: int, advertisements: List[Advertisement], *, query_id: str
+    ) -> str:
+        response = XmlElement("DiscoveryResponse")
+        response.add("Kind", str(kind))
+        response.add("QueryId", query_id)
+        for advertisement in advertisements:
+            response.add("Adv", advertisement.to_document())
+        return to_xml(response, declaration=False)
+
+
+__all__ = ["DiscoveryEvent", "DiscoveryListener", "DiscoveryService"]

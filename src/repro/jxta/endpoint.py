@@ -1,0 +1,535 @@
+"""The endpoint service: peer-to-peer message delivery.
+
+The endpoint service is the lowest layer of the JXTA substrate.  It turns
+"send this :class:`~repro.jxta.message.Message` to that peer (or to everyone)
+for that service" into packets on the simulated network, picking a transport
+both ends share, relaying through router peers when no direct route exists
+(the Endpoint Routing Protocol, Figure 6 of the paper) and re-propagating
+broadcast traffic through rendez-vous peers (which "are mainly used to
+dispatch information and discovery queries between peers").
+
+Services register listeners keyed by a service name and an optional service
+parameter; incoming envelopes are dispatched to the most specific listener.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.jxta.errors import RoutingError
+from repro.jxta.ids import PeerID
+from repro.jxta.message import Message
+from repro.net.network import NetworkError, NoRouteError
+from repro.net.packet import Packet
+from repro.net.transport import TransportKind
+from repro.serialization.object_codec import ObjectCodec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.jxta.peer import Peer
+
+_ENVELOPE_CODEC = ObjectCodec(strict=True)
+_envelope_counter = itertools.count(1)
+
+#: Address used for propagated (broadcast) envelopes.
+PROPAGATE_DESTINATION = "*"
+
+#: Destination used when the sender only knows a network address, not a peer
+#: ID (e.g. the first rendez-vous lease request): whichever peer answers at
+#: that address accepts the envelope.
+ANY_PEER = "urn:jxta:any"
+
+#: Default number of rendez-vous re-propagation hops.
+DEFAULT_PROPAGATE_TTL = 4
+
+
+@dataclass
+class EndpointEnvelope:
+    """The wire-level envelope wrapping a JXTA message.
+
+    Attributes mirror what a real JXTA endpoint header carries: source and
+    destination peer IDs, the addressed service and parameter, a unique
+    envelope id for duplicate suppression during propagation, a TTL and the
+    list of relay peers traversed.
+    """
+
+    src_peer: str
+    src_address: str
+    dst_peer: str
+    service: str
+    param: str
+    envelope_id: str
+    ttl: int
+    propagate: bool
+    hops: List[str] = field(default_factory=list)
+    body: bytes = b""
+
+    def to_bytes(self) -> bytes:
+        """Serialise the envelope for the network."""
+        return _ENVELOPE_CODEC.encode(
+            {
+                "src_peer": self.src_peer,
+                "src_address": self.src_address,
+                "dst_peer": self.dst_peer,
+                "service": self.service,
+                "param": self.param,
+                "envelope_id": self.envelope_id,
+                "ttl": self.ttl,
+                "propagate": self.propagate,
+                "hops": self.hops,
+                "body": self.body,
+            }
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "EndpointEnvelope":
+        """Decode an envelope serialised with :meth:`to_bytes`."""
+        raw = _ENVELOPE_CODEC.decode(data)
+        return cls(
+            src_peer=raw["src_peer"],
+            src_address=raw["src_address"],
+            dst_peer=raw["dst_peer"],
+            service=raw["service"],
+            param=raw["param"],
+            envelope_id=raw["envelope_id"],
+            ttl=raw["ttl"],
+            propagate=raw["propagate"],
+            hops=list(raw["hops"]),
+            body=raw["body"],
+        )
+
+    @property
+    def source_peer_id(self) -> PeerID:
+        """The sender's :class:`PeerID`."""
+        return PeerID.from_urn(self.src_peer)
+
+    def message(self) -> Message:
+        """Deserialise the carried JXTA message."""
+        return Message.from_bytes(self.body)
+
+
+#: Listener signature: ``listener(envelope, message)``.
+EndpointListener = Callable[[EndpointEnvelope, Message], None]
+
+
+class _SeenSet:
+    """A bounded set of recently seen envelope ids (duplicate suppression)."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._capacity = capacity
+        self._items: "OrderedDict[str, None]" = OrderedDict()
+
+    def seen(self, key: str) -> bool:
+        """Record ``key``; return True if it had been recorded before."""
+        if key in self._items:
+            self._items.move_to_end(key)
+            return True
+        self._items[key] = None
+        if len(self._items) > self._capacity:
+            self._items.popitem(last=False)
+        return False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class EndpointService:
+    """Per-peer message delivery service.
+
+    Parameters
+    ----------
+    peer:
+        The owning :class:`~repro.jxta.peer.Peer`; the endpoint uses its node,
+        simulator, noise source and metrics registry.
+    """
+
+    SERVICE_NAME = "jxta.service.endpoint"
+
+    def __init__(self, peer: "Peer") -> None:
+        self.peer = peer
+        self.node = peer.node
+        self._listeners: Dict[Tuple[str, str], EndpointListener] = {}
+        #: peer URN -> network address, learned from advertisements and traffic.
+        self._address_book: Dict[str, str] = {peer.peer_id.to_urn(): peer.node.address}
+        #: peer URN -> network address of rendez-vous peers this peer is connected to.
+        self._rendezvous: Dict[str, str] = {}
+        #: peer URN -> network address of connected clients (when *this* peer is a rdv).
+        self._clients: Dict[str, str] = {}
+        #: peer URN -> network address of known router peers.
+        self._routers: Dict[str, str] = {}
+        self._seen = _SeenSet()
+        self.metrics = peer.metrics
+        self.node.add_handler(self._on_packet)
+
+    # ----------------------------------------------------------- listeners
+
+    def register_listener(
+        self, service: str, param: str, listener: EndpointListener
+    ) -> None:
+        """Register ``listener`` for envelopes addressed to (service, param)."""
+        self._listeners[(service, param)] = listener
+
+    def unregister_listener(self, service: str, param: str) -> None:
+        """Remove a listener (missing registrations are ignored)."""
+        self._listeners.pop((service, param), None)
+
+    def listener_count(self) -> int:
+        """Number of registered listeners (a proxy for PRP handler coverage)."""
+        return len(self._listeners)
+
+    # --------------------------------------------------------- address book
+
+    def learn_address(self, peer_id: PeerID | str, address: str) -> None:
+        """Record that ``peer_id`` currently lives at network address ``address``.
+
+        Addresses are learned from peer advertisements and refreshed from the
+        source address of every received envelope, which is how pipes keep
+        working when a peer's IP changes (the Pipe Binding Protocol relies on
+        the stable peer UUID, not the address).
+        """
+        urn = peer_id.to_urn() if isinstance(peer_id, PeerID) else peer_id
+        self._address_book[urn] = address
+
+    def known_address(self, peer_id: PeerID | str) -> Optional[str]:
+        """The last known network address of a peer, or None."""
+        urn = peer_id.to_urn() if isinstance(peer_id, PeerID) else peer_id
+        return self._address_book.get(urn)
+
+    def forget_address(self, peer_id: PeerID | str) -> None:
+        """Drop a peer from the address book (used by failure-injection tests)."""
+        urn = peer_id.to_urn() if isinstance(peer_id, PeerID) else peer_id
+        self._address_book.pop(urn, None)
+
+    # ---------------------------------------------- rendezvous / router book
+
+    def add_rendezvous(self, peer_id: PeerID | str, address: str) -> None:
+        """Record a rendez-vous peer this peer is connected to."""
+        urn = peer_id.to_urn() if isinstance(peer_id, PeerID) else peer_id
+        self._rendezvous[urn] = address
+        self.learn_address(urn, address)
+
+    def remove_rendezvous(self, peer_id: PeerID | str) -> None:
+        """Drop a rendez-vous connection."""
+        urn = peer_id.to_urn() if isinstance(peer_id, PeerID) else peer_id
+        self._rendezvous.pop(urn, None)
+
+    def rendezvous_connections(self) -> Dict[str, str]:
+        """The rendez-vous peers this peer is connected to (URN -> address)."""
+        return dict(self._rendezvous)
+
+    def add_client(self, peer_id: PeerID | str, address: str) -> None:
+        """Record a client peer connected to this rendez-vous."""
+        urn = peer_id.to_urn() if isinstance(peer_id, PeerID) else peer_id
+        self._clients[urn] = address
+        self.learn_address(urn, address)
+
+    def remove_client(self, peer_id: PeerID | str) -> None:
+        """Drop a connected client."""
+        urn = peer_id.to_urn() if isinstance(peer_id, PeerID) else peer_id
+        self._clients.pop(urn, None)
+
+    def client_connections(self) -> Dict[str, str]:
+        """The clients connected to this rendez-vous (URN -> address)."""
+        return dict(self._clients)
+
+    def add_router(self, peer_id: PeerID | str, address: str) -> None:
+        """Record a router peer usable for relayed delivery."""
+        urn = peer_id.to_urn() if isinstance(peer_id, PeerID) else peer_id
+        self._routers[urn] = address
+        self.learn_address(urn, address)
+
+    def router_addresses(self) -> List[str]:
+        """Known router addresses, in insertion order."""
+        return list(self._routers.values())
+
+    # ----------------------------------------------------------------- send
+
+    def send(
+        self,
+        dest_peer: PeerID,
+        message: Message,
+        service: str,
+        param: str = "",
+        *,
+        ttl: int = DEFAULT_PROPAGATE_TTL,
+    ) -> bool:
+        """Send a message to one peer for the given service.
+
+        Tries a direct transport first (TCP then HTTP); if neither endpoint
+        can reach the other directly, relays through a known router peer
+        (the Endpoint Routing Protocol).  Returns True when the envelope was
+        handed to the network, False when no route exists.
+        """
+        envelope = self._make_envelope(
+            dest_peer.to_urn(), message, service, param, propagate=False, ttl=ttl
+        )
+        return self._dispatch_unicast(envelope)
+
+    def send_to_address(
+        self,
+        address: str,
+        message: Message,
+        service: str,
+        param: str = "",
+        *,
+        ttl: int = DEFAULT_PROPAGATE_TTL,
+    ) -> bool:
+        """Send a message to whatever peer answers at a known network address.
+
+        Used during bootstrap, before the destination's :class:`PeerID` is
+        known -- typically the first lease request a peer sends to a
+        configured rendez-vous address.  Returns True when the envelope was
+        handed to the network.
+        """
+        envelope = self._make_envelope(ANY_PEER, message, service, param, propagate=False, ttl=ttl)
+        if address == self.node.address:
+            self._deliver_local(envelope)
+            return True
+        return self._send_packet(address, envelope)
+
+    def propagate(
+        self,
+        message: Message,
+        service: str,
+        param: str = "",
+        *,
+        ttl: int = DEFAULT_PROPAGATE_TTL,
+    ) -> int:
+        """Broadcast a message to every reachable peer for the given service.
+
+        Propagation combines IP multicast on the local segment with unicast
+        re-propagation through connected rendez-vous peers; duplicate
+        envelopes are suppressed by id on every hop.  Returns the number of
+        outbound sends performed.
+        """
+        envelope = self._make_envelope(
+            PROPAGATE_DESTINATION, message, service, param, propagate=True, ttl=ttl
+        )
+        # Mark our own envelope as seen so a multicast echo is not re-handled.
+        self._seen.seen(envelope.envelope_id)
+        return self._dispatch_propagate(envelope, exclude_address=None)
+
+    def _make_envelope(
+        self,
+        dst_peer: str,
+        message: Message,
+        service: str,
+        param: str,
+        *,
+        propagate: bool,
+        ttl: int,
+    ) -> EndpointEnvelope:
+        return EndpointEnvelope(
+            src_peer=self.peer.peer_id.to_urn(),
+            src_address=self.node.address,
+            dst_peer=dst_peer,
+            service=service,
+            param=param,
+            envelope_id=f"{self.peer.peer_id.to_urn()}/{next(_envelope_counter)}",
+            ttl=ttl,
+            propagate=propagate,
+            body=message.to_bytes(),
+        )
+
+    # --------------------------------------------------------- unicast path
+
+    def _dispatch_unicast(self, envelope: EndpointEnvelope) -> bool:
+        if envelope.dst_peer == self.peer.peer_id.to_urn():
+            # Loopback: deliver locally without touching the network.
+            self._deliver_local(envelope)
+            return True
+        address = self._address_book.get(envelope.dst_peer)
+        if address is not None and self._send_packet(address, envelope):
+            return True
+        return self._relay_through_router(envelope)
+
+    def _send_packet(self, address: str, envelope: EndpointEnvelope) -> bool:
+        """Try to send directly to ``address`` over TCP, then HTTP."""
+        network = self.node.network
+        if network is None:
+            return False
+        for kind in (TransportKind.TCP, TransportKind.HTTP):
+            if not network.reachable(self.node.address, address, kind):
+                continue
+            packet = Packet(
+                source=self.node.address,
+                destination=address,
+                payload=envelope.to_bytes(),
+                protocol="jxta",
+                transport=kind.value,
+                ttl=envelope.ttl,
+            )
+            try:
+                self.node.send(packet)
+            except (NoRouteError, NetworkError):
+                continue
+            self.metrics.counter("endpoint_sent").increment()
+            return True
+        return False
+
+    def _relay_through_router(self, envelope: EndpointEnvelope) -> bool:
+        """Endpoint Routing Protocol: hand the envelope to a router peer."""
+        if envelope.ttl <= 0:
+            self.metrics.counter("endpoint_ttl_expired").increment()
+            return False
+        relayed = EndpointEnvelope(
+            src_peer=envelope.src_peer,
+            src_address=envelope.src_address,
+            dst_peer=envelope.dst_peer,
+            service=envelope.service,
+            param=envelope.param,
+            envelope_id=envelope.envelope_id,
+            ttl=envelope.ttl - 1,
+            propagate=False,
+            hops=[*envelope.hops, self.peer.peer_id.to_urn()],
+            body=envelope.body,
+        )
+        for address in self._router_candidates():
+            if address == self.node.address:
+                continue
+            if self._send_packet(address, relayed):
+                self.metrics.counter("endpoint_relayed").increment()
+                return True
+        self.metrics.counter("endpoint_no_route").increment()
+        return False
+
+    def _router_candidates(self) -> List[str]:
+        """Router peers first, then rendez-vous peers (which also route)."""
+        candidates = list(self._routers.values())
+        candidates.extend(a for a in self._rendezvous.values() if a not in candidates)
+        return candidates
+
+    # -------------------------------------------------------- propagate path
+
+    def _dispatch_propagate(
+        self, envelope: EndpointEnvelope, *, exclude_address: Optional[str]
+    ) -> int:
+        sends = 0
+        network = self.node.network
+        if network is None:
+            return 0
+        # 1. IP multicast on the local segment (if we have the interface).
+        if self.node.supports(TransportKind.MULTICAST):
+            packet = Packet(
+                source=self.node.address,
+                destination=Packet.MULTICAST_ADDRESS,
+                payload=envelope.to_bytes(),
+                protocol="jxta",
+                transport=TransportKind.MULTICAST.value,
+                ttl=envelope.ttl,
+            )
+            try:
+                self.node.send(packet)
+                sends += 1
+            except NetworkError:
+                pass
+        # 2. Unicast to connected rendez-vous peers (and, when we are the
+        #    rendez-vous, to our connected clients).
+        targets: Dict[str, str] = {}
+        targets.update(self._rendezvous)
+        targets.update(self._clients)
+        for urn, address in targets.items():
+            if address in (self.node.address, exclude_address):
+                continue
+            if self._send_packet(address, envelope):
+                sends += 1
+        self.metrics.counter("endpoint_propagated").increment(sends if sends else 0)
+        return sends
+
+    # --------------------------------------------------------------- receive
+
+    def _on_packet(self, packet: Packet) -> None:
+        try:
+            envelope = EndpointEnvelope.from_bytes(packet.payload)
+        except Exception:  # malformed payloads are counted and dropped
+            self.metrics.counter("endpoint_malformed").increment()
+            return
+        # Refresh the sender's address from live traffic.
+        self.learn_address(envelope.src_peer, envelope.src_address)
+        if envelope.propagate:
+            self._receive_propagated(envelope)
+        else:
+            self._receive_unicast(envelope)
+
+    def _receive_unicast(self, envelope: EndpointEnvelope) -> None:
+        my_urn = self.peer.peer_id.to_urn()
+        if envelope.dst_peer in (my_urn, ANY_PEER):
+            self._deliver_local(envelope)
+            return
+        # Not for us: we are acting as a relay (router/rendez-vous peer).
+        if not (self.peer.config.router or self.peer.config.rendezvous):
+            self.metrics.counter("endpoint_misdelivered").increment()
+            return
+        if envelope.ttl <= 0:
+            self.metrics.counter("endpoint_ttl_expired").increment()
+            return
+        forwarded = EndpointEnvelope(
+            src_peer=envelope.src_peer,
+            src_address=envelope.src_address,
+            dst_peer=envelope.dst_peer,
+            service=envelope.service,
+            param=envelope.param,
+            envelope_id=envelope.envelope_id,
+            ttl=envelope.ttl - 1,
+            propagate=False,
+            hops=[*envelope.hops, my_urn],
+            body=envelope.body,
+        )
+        address = self._address_book.get(envelope.dst_peer)
+        if address is not None and self._send_packet(address, forwarded):
+            self.metrics.counter("endpoint_forwarded").increment()
+            return
+        # Last resort: try another router that is not already on the path.
+        for candidate in self._router_candidates():
+            if candidate in (self.node.address, envelope.src_address):
+                continue
+            if self._send_packet(candidate, forwarded):
+                self.metrics.counter("endpoint_forwarded").increment()
+                return
+        self.metrics.counter("endpoint_undeliverable").increment()
+
+    def _receive_propagated(self, envelope: EndpointEnvelope) -> None:
+        if self._seen.seen(envelope.envelope_id):
+            self.metrics.counter("endpoint_duplicate_suppressed").increment()
+            return
+        self._deliver_local(envelope)
+        # Rendez-vous peers re-propagate towards their other clients/rdvs.
+        if (self.peer.config.rendezvous or self.peer.config.router) and envelope.ttl > 0:
+            forwarded = EndpointEnvelope(
+                src_peer=envelope.src_peer,
+                src_address=envelope.src_address,
+                dst_peer=envelope.dst_peer,
+                service=envelope.service,
+                param=envelope.param,
+                envelope_id=envelope.envelope_id,
+                ttl=envelope.ttl - 1,
+                propagate=True,
+                hops=[*envelope.hops, self.peer.peer_id.to_urn()],
+                body=envelope.body,
+            )
+            self._dispatch_propagate(forwarded, exclude_address=envelope.src_address)
+
+    def _deliver_local(self, envelope: EndpointEnvelope) -> None:
+        listener = self._listeners.get((envelope.service, envelope.param))
+        if listener is None:
+            listener = self._listeners.get((envelope.service, ""))
+        if listener is None:
+            self.metrics.counter("endpoint_unhandled").increment()
+            return
+        self.metrics.counter("endpoint_delivered").increment()
+        try:
+            listener(envelope, envelope.message())
+        except Exception:
+            # A misbehaving service must not take the whole endpoint down.
+            self.metrics.counter("endpoint_listener_errors").increment()
+
+
+__all__ = [
+    "DEFAULT_PROPAGATE_TTL",
+    "EndpointEnvelope",
+    "EndpointListener",
+    "EndpointService",
+    "PROPAGATE_DESTINATION",
+]

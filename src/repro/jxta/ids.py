@@ -1,0 +1,177 @@
+"""JXTA identifiers.
+
+"An ID identifies any JXTA resource, which can be a peer, a pipe, a peergroup
+or a codat (code and data)."  (paper, Section 2.1)
+
+IDs are UUID-based and rendered in the JXTA URN style
+(``urn:jxta:uuid-<32 hex digits><2-digit kind code>``).  Crucially for the
+Pipe Binding Protocol, IDs are stable: a peer that crashes and comes back with
+a different network address keeps its PeerID, which is what lets pipes survive
+address changes (paper, Section 2.2 footnote on the PBP).
+
+ID generation is deterministic when a seed is supplied, so simulations and
+tests are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import uuid
+from typing import ClassVar, Optional, Type
+
+from repro.jxta.errors import AdvertisementError
+
+_URN_PREFIX = "urn:jxta:uuid-"
+
+
+class IDFactory:
+    """Generates UUIDs, deterministically when seeded."""
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rng = random.Random(seed) if seed is not None else None
+
+    def new_uuid(self) -> uuid.UUID:
+        """Return a fresh UUID (random, or derived from the seeded RNG)."""
+        if self._rng is None:
+            return uuid.uuid4()
+        return uuid.UUID(int=self._rng.getrandbits(128), version=4)
+
+
+#: Process-wide default factory; :func:`seed_ids` replaces it for reproducible runs.
+_default_factory = IDFactory()
+
+
+def seed_ids(seed: Optional[int]) -> None:
+    """Make subsequently generated IDs deterministic (or random again with ``None``)."""
+    global _default_factory
+    _default_factory = IDFactory(seed)
+
+
+class JxtaID:
+    """Base class of all JXTA identifiers.
+
+    Subclasses declare a two-character ``kind_code`` which is appended to the
+    URN so that the resource kind can be recovered from the string form, as in
+    real JXTA IDs.
+    """
+
+    kind_code: ClassVar[str] = "00"
+    kind_name: ClassVar[str] = "generic"
+
+    __slots__ = ("_uuid",)
+
+    def __init__(self, value: Optional[uuid.UUID] = None) -> None:
+        self._uuid = value if value is not None else _default_factory.new_uuid()
+
+    @property
+    def uuid(self) -> uuid.UUID:
+        """The underlying UUID."""
+        return self._uuid
+
+    def to_urn(self) -> str:
+        """Render as ``urn:jxta:uuid-<hex><kind code>``."""
+        return f"{_URN_PREFIX}{self._uuid.hex.upper()}{self.kind_code}"
+
+    @classmethod
+    def from_urn(cls, urn: str) -> "JxtaID":
+        """Parse a URN back into the appropriate :class:`JxtaID` subclass.
+
+        The subclass is chosen from the kind code; calling ``PeerID.from_urn``
+        on a pipe URN raises :class:`AdvertisementError`.
+        """
+        if not urn.startswith(_URN_PREFIX):
+            raise AdvertisementError(f"not a JXTA URN: {urn!r}")
+        body = urn[len(_URN_PREFIX) :]
+        if len(body) != 34:
+            raise AdvertisementError(f"malformed JXTA URN body: {urn!r}")
+        hex_part, kind = body[:32], body[32:]
+        target = _KIND_REGISTRY.get(kind)
+        if target is None:
+            raise AdvertisementError(f"unknown JXTA ID kind code {kind!r} in {urn!r}")
+        if cls is not JxtaID and not issubclass(target, cls):
+            raise AdvertisementError(
+                f"URN {urn!r} identifies a {target.kind_name}, not a {cls.kind_name}"
+            )
+        try:
+            value = uuid.UUID(hex=hex_part)
+        except ValueError as exc:
+            raise AdvertisementError(f"malformed UUID in {urn!r}") from exc
+        return target(value)
+
+    # Equality and hashing are by (type, uuid) so a PeerID never compares
+    # equal to a PipeID even if the UUIDs collide.
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, JxtaID):
+            return NotImplemented
+        return type(self) is type(other) and self._uuid == other._uuid
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._uuid))
+
+    def __lt__(self, other: "JxtaID") -> bool:
+        if not isinstance(other, JxtaID):
+            return NotImplemented
+        return (type(self).__name__, self._uuid.int) < (type(other).__name__, other._uuid.int)
+
+    def __str__(self) -> str:
+        return self.to_urn()
+
+    def __repr__(self) -> str:
+        short = self._uuid.hex[:6] + ".." + self._uuid.hex[-3:]
+        return f"{type(self).__name__}({short})"
+
+
+class PeerID(JxtaID):
+    """Identifies a peer (any networked device running the substrate)."""
+
+    kind_code = "03"
+    kind_name = "peer"
+
+
+class PeerGroupID(JxtaID):
+    """Identifies a peer group."""
+
+    kind_code = "02"
+    kind_name = "peergroup"
+
+
+class PipeID(JxtaID):
+    """Identifies a pipe (virtual communication channel)."""
+
+    kind_code = "04"
+    kind_name = "pipe"
+
+
+class ModuleID(JxtaID):
+    """Identifies a module/service implementation."""
+
+    kind_code = "05"
+    kind_name = "module"
+
+
+class CodatID(JxtaID):
+    """Identifies a codat (a unit of code-and-data shared inside a group)."""
+
+    kind_code = "06"
+    kind_name = "codat"
+
+
+_KIND_REGISTRY: dict[str, Type[JxtaID]] = {
+    cls.kind_code: cls for cls in (JxtaID, PeerID, PeerGroupID, PipeID, ModuleID, CodatID)
+}
+
+#: The well-known ID of the world (net) peer group every peer boots into.
+WORLD_GROUP_ID = PeerGroupID(uuid.UUID(int=0x4A585441_57524C44_00000000_00000001))
+
+
+__all__ = [
+    "CodatID",
+    "IDFactory",
+    "JxtaID",
+    "ModuleID",
+    "PeerGroupID",
+    "PeerID",
+    "PipeID",
+    "WORLD_GROUP_ID",
+    "seed_ids",
+]

@@ -1,0 +1,191 @@
+"""Peer Membership Protocol (PMP).
+
+"The PMP is used to obtain information about group membership requirements
+(credentials, password requirements, ...).  Once a peer has those
+requirements, it can apply for membership as well as it can leave and join
+the group.  This protocol is also used to update and cancel the membership,
+or create a secure environment using different credential authentification
+protocols."  (paper, Section 2.2, Figure 4)
+
+The flow mirrors JXTA's: ``apply`` returns an :class:`Authenticator`
+describing what the group requires; the application completes it (e.g. fills
+in the password) and passes it to ``join``, which returns a
+:class:`Credential`.  ``resign`` cancels the membership, ``renew`` refreshes
+an expiring credential.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.jxta.errors import MembershipError
+from repro.jxta.ids import PeerGroupID, PeerID
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.jxta.peergroup import PeerGroup
+
+_credential_counter = itertools.count(1)
+
+#: Default credential validity (seconds of virtual time).
+DEFAULT_CREDENTIAL_LIFETIME = 24 * 3600.0
+
+
+@dataclass
+class Authenticator:
+    """The membership application form returned by :meth:`MembershipService.apply`.
+
+    ``requires_password`` tells the applicant whether the group demands a
+    password; the applicant fills ``password`` before calling ``join``.
+    """
+
+    group_id: PeerGroupID
+    peer_id: PeerID
+    identity: str
+    requires_password: bool
+    password: Optional[str] = None
+
+    def completed(self) -> bool:
+        """Whether the authenticator carries everything the group requires."""
+        return not self.requires_password or self.password is not None
+
+
+@dataclass
+class Credential:
+    """Proof of membership in a group, issued by :meth:`MembershipService.join`."""
+
+    group_id: PeerGroupID
+    peer_id: PeerID
+    identity: str
+    issued_at: float
+    expires_at: float
+    serial: int = field(default_factory=lambda: next(_credential_counter))
+    signature: str = ""
+
+    def valid(self, now: float) -> bool:
+        """Whether the credential has not expired at virtual time ``now``."""
+        return now < self.expires_at
+
+
+class MembershipService:
+    """Per-group membership management."""
+
+    SERVICE_NAME = "jxta.service.membership"
+
+    def __init__(self, group: "PeerGroup") -> None:
+        self.group = group
+        self.peer = group.peer
+        self._current: Optional[Credential] = None
+        #: Credentials issued for remote members (when this peer created the group).
+        self._members: Dict[str, Credential] = {}
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def current_credential(self) -> Optional[Credential]:
+        """The local peer's credential for this group, if joined."""
+        return self._current
+
+    def is_member(self) -> bool:
+        """Whether the local peer currently holds a valid credential."""
+        return self._current is not None and self._current.valid(self.peer.now)
+
+    def member_count(self) -> int:
+        """Number of credentials this peer has issued (as group authority)."""
+        return len(self._members)
+
+    # ---------------------------------------------------------------- apply
+
+    def apply(self, identity: Optional[str] = None) -> Authenticator:
+        """Ask for the group's membership requirements.
+
+        Returns an :class:`Authenticator` that must be completed (password
+        filled in when required) and passed to :meth:`join`.
+        """
+        requires_password = self.group.advertisement.membership_password is not None
+        return Authenticator(
+            group_id=self.group.group_id,
+            peer_id=self.peer.peer_id,
+            identity=identity or self.peer.name,
+            requires_password=requires_password,
+        )
+
+    def join(self, authenticator: Authenticator) -> Credential:
+        """Complete the membership application and obtain a credential.
+
+        Raises :class:`MembershipError` when the authenticator targets another
+        group, is incomplete, or carries the wrong password.
+        """
+        if authenticator.group_id != self.group.group_id:
+            raise MembershipError(
+                "authenticator was issued for a different group "
+                f"({authenticator.group_id!r} != {self.group.group_id!r})"
+            )
+        if not authenticator.completed():
+            raise MembershipError("authenticator is incomplete (missing password)")
+        expected = self.group.advertisement.membership_password
+        if expected is not None and authenticator.password != expected:
+            raise MembershipError("wrong group password")
+        now = self.peer.now
+        credential = Credential(
+            group_id=self.group.group_id,
+            peer_id=authenticator.peer_id,
+            identity=authenticator.identity,
+            issued_at=now,
+            expires_at=now + DEFAULT_CREDENTIAL_LIFETIME,
+            signature=self._sign(authenticator),
+        )
+        if authenticator.peer_id == self.peer.peer_id:
+            self._current = credential
+        self._members[authenticator.peer_id.to_urn()] = credential
+        self.peer.metrics.counter("membership_joins").increment()
+        return credential
+
+    def renew(self) -> Credential:
+        """Refresh the local credential's expiry (``update the membership``)."""
+        if self._current is None:
+            raise MembershipError("cannot renew: not a member of the group")
+        now = self.peer.now
+        self._current.issued_at = now
+        self._current.expires_at = now + DEFAULT_CREDENTIAL_LIFETIME
+        self.peer.metrics.counter("membership_renewals").increment()
+        return self._current
+
+    def resign(self) -> None:
+        """Leave the group (``cancel the membership``)."""
+        if self._current is None:
+            raise MembershipError("cannot resign: not a member of the group")
+        self._members.pop(self._current.peer_id.to_urn(), None)
+        self._current = None
+        self.peer.metrics.counter("membership_resignations").increment()
+
+    def validate(self, credential: Credential) -> bool:
+        """Check a presented credential (right group, unexpired, signature intact)."""
+        if credential.group_id != self.group.group_id:
+            return False
+        if not credential.valid(self.peer.now):
+            return False
+        return bool(credential.signature)
+
+    def _sign(self, authenticator: Authenticator) -> str:
+        digest = hashlib.sha256(
+            "|".join(
+                (
+                    authenticator.group_id.to_urn(),
+                    authenticator.peer_id.to_urn(),
+                    authenticator.identity,
+                    authenticator.password or "",
+                )
+            ).encode("utf-8")
+        )
+        return digest.hexdigest()
+
+
+__all__ = [
+    "Authenticator",
+    "Credential",
+    "DEFAULT_CREDENTIAL_LIFETIME",
+    "MembershipService",
+]

@@ -1,0 +1,107 @@
+"""The monitoring service.
+
+One of the three best-known JXTA services named by the paper ("the monitoring
+service, the cms service and the wire service").  It exposes the local peer's
+counters and timers, and can collect the same snapshot from remote peers over
+the Peer Resolver Protocol -- which the benchmark harness uses to aggregate
+per-peer statistics after an experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.jxta.ids import PeerID
+from repro.jxta.resolver import ResolverQuery, ResolverResponse
+from repro.serialization.xml_codec import XmlElement, parse_xml, to_xml
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.jxta.peergroup import PeerGroup
+
+
+@dataclass
+class MonitoringReport:
+    """A snapshot of one peer's counters (and selected timer means)."""
+
+    peer_id: PeerID
+    peer_name: str
+    counters: Dict[str, int] = field(default_factory=dict)
+    timer_means: Dict[str, float] = field(default_factory=dict)
+
+    def to_xml(self) -> str:
+        """Serialise the report for the resolver response body."""
+        element = XmlElement("MonitoringReport")
+        element.add("PID", self.peer_id.to_urn())
+        element.add("Name", self.peer_name)
+        counters = element.add("Counters")
+        for name, value in sorted(self.counters.items()):
+            counters.add("Counter", str(value), name=name)
+        timers = element.add("Timers")
+        for name, value in sorted(self.timer_means.items()):
+            timers.add("Timer", f"{value:.9f}", name=name)
+        return to_xml(element, declaration=False)
+
+    @classmethod
+    def from_xml(cls, body: str) -> "MonitoringReport":
+        """Parse a report serialised by :meth:`to_xml`."""
+        element = parse_xml(body)
+        counters = {}
+        counters_xml = element.find("Counters")
+        if counters_xml is not None:
+            for child in counters_xml.find_all("Counter"):
+                counters[child.attributes.get("name", "")] = int(child.text)
+        timers = {}
+        timers_xml = element.find("Timers")
+        if timers_xml is not None:
+            for child in timers_xml.find_all("Timer"):
+                timers[child.attributes.get("name", "")] = float(child.text)
+        return cls(
+            peer_id=PeerID.from_urn(element.child_text("PID")),
+            peer_name=element.child_text("Name"),
+            counters=counters,
+            timer_means=timers,
+        )
+
+
+class MonitoringService:
+    """Per-group metric snapshots, local and remote."""
+
+    HANDLER_NAME = "urn:jxta:monitoring"
+
+    def __init__(self, group: "PeerGroup") -> None:
+        self.group = group
+        self.peer = group.peer
+        self.collected: List[MonitoringReport] = []
+        group.resolver.register_handler(self.HANDLER_NAME, self)
+
+    def local_report(self) -> MonitoringReport:
+        """Snapshot the local peer's counters and timer means."""
+        registry = self.peer.metrics
+        return MonitoringReport(
+            peer_id=self.peer.peer_id,
+            peer_name=self.peer.name,
+            counters=registry.counters(),
+            timer_means={name: timer.mean for name, timer in registry.timers().items()},
+        )
+
+    def collect_remote(self, peer: Optional[PeerID] = None) -> str:
+        """Ask one peer (or every reachable peer) for its report; returns the query id."""
+        query = XmlElement("MonitoringQuery")
+        query.add("Requester", self.peer.peer_id.to_urn())
+        return self.group.resolver.send_query(
+            self.HANDLER_NAME, to_xml(query, declaration=False), dest_peer=peer
+        )
+
+    # ----------------------------------------------------- resolver handler
+
+    def process_query(self, query: ResolverQuery) -> Optional[str]:
+        """Answer a monitoring query with the local report."""
+        return self.local_report().to_xml()
+
+    def process_response(self, response: ResolverResponse) -> None:
+        """Record a remote report."""
+        self.collected.append(MonitoringReport.from_xml(response.body))
+
+
+__all__ = ["MonitoringReport", "MonitoringService"]

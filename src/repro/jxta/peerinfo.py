@@ -1,0 +1,144 @@
+"""Peer Information Protocol (PIP).
+
+"The PIP is used to know the status of a peer.  This protocol is responsible
+for finding and dispatching information about a peer, like the time the peer
+was up, the different incoming and outgoing channels, the traffic on them,
+and the different target and source IDs."  (paper, Section 2.2, Figure 3)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, TYPE_CHECKING, Union
+
+from repro.jxta.ids import PeerID
+from repro.jxta.resolver import ResolverQuery, ResolverResponse
+from repro.serialization.xml_codec import XmlElement, parse_xml, to_xml
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.jxta.peergroup import PeerGroup
+
+
+@dataclass
+class PeerInfo:
+    """A snapshot of one peer's status, as reported over the PIP."""
+
+    peer_id: PeerID
+    name: str
+    uptime: float
+    packets_sent: int
+    packets_received: int
+    bytes_sent: int
+    bytes_received: int
+    incoming_channels: int
+    outgoing_channels: int
+    is_rendezvous: bool
+    is_router: bool
+
+    def to_xml(self) -> str:
+        """Serialise the snapshot for the resolver response body."""
+        element = XmlElement("PeerInfoResponse")
+        element.add("PID", self.peer_id.to_urn())
+        element.add("Name", self.name)
+        element.add("Uptime", f"{self.uptime:.6f}")
+        element.add("PacketsSent", str(self.packets_sent))
+        element.add("PacketsReceived", str(self.packets_received))
+        element.add("BytesSent", str(self.bytes_sent))
+        element.add("BytesReceived", str(self.bytes_received))
+        element.add("IncomingChannels", str(self.incoming_channels))
+        element.add("OutgoingChannels", str(self.outgoing_channels))
+        element.add("Rdv", "true" if self.is_rendezvous else "false")
+        element.add("Router", "true" if self.is_router else "false")
+        return to_xml(element, declaration=False)
+
+    @classmethod
+    def from_xml(cls, body: str) -> "PeerInfo":
+        """Parse a snapshot serialised by :meth:`to_xml`."""
+        element = parse_xml(body)
+        return cls(
+            peer_id=PeerID.from_urn(element.child_text("PID")),
+            name=element.child_text("Name"),
+            uptime=float(element.child_text("Uptime", "0")),
+            packets_sent=int(element.child_text("PacketsSent", "0")),
+            packets_received=int(element.child_text("PacketsReceived", "0")),
+            bytes_sent=int(element.child_text("BytesSent", "0")),
+            bytes_received=int(element.child_text("BytesReceived", "0")),
+            incoming_channels=int(element.child_text("IncomingChannels", "0")),
+            outgoing_channels=int(element.child_text("OutgoingChannels", "0")),
+            is_rendezvous=element.child_text("Rdv") == "true",
+            is_router=element.child_text("Router") == "true",
+        )
+
+
+#: Listeners receive :class:`PeerInfo` snapshots as they arrive.
+PeerInfoListener = Union[Callable[[PeerInfo], None], object]
+
+
+class PeerInfoService:
+    """Per-group peer status queries, over the Peer Resolver Protocol."""
+
+    HANDLER_NAME = "urn:jxta:pip"
+
+    def __init__(self, group: "PeerGroup") -> None:
+        self.group = group
+        self.peer = group.peer
+        self._listeners: List[PeerInfoListener] = []
+        self.received: List[PeerInfo] = []
+        group.resolver.register_handler(self.HANDLER_NAME, self)
+
+    # ------------------------------------------------------------ listeners
+
+    def add_peer_info_listener(self, listener: PeerInfoListener) -> None:
+        """Register a listener for incoming peer-info responses."""
+        self._listeners.append(listener)
+
+    def remove_peer_info_listener(self, listener: PeerInfoListener) -> None:
+        """Unregister a listener (missing listeners are ignored)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    # --------------------------------------------------------------- queries
+
+    def local_peer_info(self) -> PeerInfo:
+        """The status snapshot of the local peer."""
+        counters = self.peer.metrics.counters()
+        return PeerInfo(
+            peer_id=self.peer.peer_id,
+            name=self.peer.name,
+            uptime=self.peer.uptime(),
+            packets_sent=counters.get("packets_sent", 0),
+            packets_received=counters.get("packets_received", 0),
+            bytes_sent=counters.get("bytes_sent", 0),
+            bytes_received=counters.get("bytes_received", 0),
+            incoming_channels=len(self.peer.endpoint.client_connections()),
+            outgoing_channels=len(self.peer.endpoint.rendezvous_connections()),
+            is_rendezvous=self.peer.is_rendezvous,
+            is_router=self.peer.is_router,
+        )
+
+    def get_remote_peer_info(self, peer: Optional[PeerID] = None) -> str:
+        """Query one peer (or every reachable peer) for its status; returns the query id."""
+        query = XmlElement("PeerInfoQuery")
+        query.add("Requester", self.peer.peer_id.to_urn())
+        return self.group.resolver.send_query(
+            self.HANDLER_NAME, to_xml(query, declaration=False), dest_peer=peer
+        )
+
+    # ----------------------------------------------------- resolver handler
+
+    def process_query(self, query: ResolverQuery) -> Optional[str]:
+        """Answer a status query with the local snapshot."""
+        self.peer.metrics.counter("peerinfo_queries_served").increment()
+        return self.local_peer_info().to_xml()
+
+    def process_response(self, response: ResolverResponse) -> None:
+        """Record the remote snapshot and notify listeners."""
+        info = PeerInfo.from_xml(response.body)
+        self.received.append(info)
+        self.peer.metrics.counter("peerinfo_responses_received").increment()
+        for listener in list(self._listeners):
+            callback = getattr(listener, "peer_info_event", listener)
+            callback(info)
+
+
+__all__ = ["PeerInfo", "PeerInfoListener", "PeerInfoService"]

@@ -1,0 +1,218 @@
+"""Pipe Binding Protocol (PBP).
+
+"The PBP is responsible for keeping the different peers of a pipe bound
+together.  Even if the peers are moving in the network (i.e., if their IP
+addresses do not remain the same), they can continue to use the same pipes to
+send/receive messages. [...] instead of counting upon a fixed IP address, the
+protocol relies on a fixed Universal Unique IDentifier (UUID) for each peer."
+(paper, Section 2.2, Figure 5)
+
+The binding service keeps two tables:
+
+* *local bindings*: pipe ID -> the input pipes this peer has opened;
+* *remote bindings*: pipe ID -> the peers known to have opened input pipes.
+
+When an input pipe is created the binding is announced (propagated) so
+existing output pipes learn about it; when an output pipe is created a
+binding query is propagated and peers with local bindings respond.  Because
+the tables are keyed by :class:`PeerID` (not by network address), a peer that
+crashes and comes back at a new address keeps receiving messages -- the
+endpoint simply refreshes the address from new traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.jxta.advertisement import PipeAdvertisement
+from repro.jxta.endpoint import EndpointEnvelope
+from repro.jxta.ids import PeerID, PipeID
+from repro.jxta.message import Message
+from repro.jxta.pipes import InputPipe, OutputPipe, PipeMessageListener
+from repro.jxta.resolver import ResolverQuery, ResolverResponse
+from repro.serialization.xml_codec import XmlElement, parse_xml, to_xml
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.jxta.peergroup import PeerGroup
+
+
+class PipeBindingService:
+    """Per-group pipe creation, binding resolution and plain-pipe data delivery."""
+
+    SERVICE_NAME = "jxta.service.pipe"
+    DATA_SERVICE_NAME = "jxta.service.pipedata"
+    HANDLER_NAME = "urn:jxta:pbp"
+
+    def __init__(self, group: "PeerGroup") -> None:
+        self.group = group
+        self.peer = group.peer
+        #: pipe URN -> input pipes opened locally.
+        self._local: Dict[str, List[InputPipe]] = {}
+        #: pipe URN -> {peer URN -> last known address} for remote bindings.
+        self._remote: Dict[str, Dict[str, str]] = {}
+        group.resolver.register_handler(self.HANDLER_NAME, self)
+
+    # --------------------------------------------------------- pipe creation
+
+    def create_input_pipe(
+        self,
+        advertisement: PipeAdvertisement,
+        listener: Optional[PipeMessageListener] = None,
+        *,
+        processing_cost: float = 0.0,
+        announce: bool = True,
+    ) -> InputPipe:
+        """Open an input pipe for ``advertisement`` and announce the binding."""
+        pipe = InputPipe(
+            advertisement,
+            self,
+            listener=listener,
+            processing_cost=processing_cost,
+        )
+        urn = advertisement.pipe_id.to_urn()
+        if urn not in self._local:
+            self._local[urn] = []
+            # First local input pipe for this pipe: listen for data envelopes.
+            self.peer.endpoint.register_listener(
+                self.DATA_SERVICE_NAME, urn, self._on_data_envelope
+            )
+        self._local[urn].append(pipe)
+        self.peer.metrics.counter("pipes_input_created").increment()
+        if announce:
+            self._announce(advertisement.pipe_id, bind=True)
+        return pipe
+
+    def create_output_pipe(
+        self, advertisement: PipeAdvertisement, *, resolve: bool = True
+    ) -> OutputPipe:
+        """Open an output pipe and (by default) issue a binding resolution query."""
+        pipe = OutputPipe(advertisement, self)
+        self.peer.metrics.counter("pipes_output_created").increment()
+        if resolve:
+            self.resolve(advertisement.pipe_id)
+        return pipe
+
+    def unbind(self, pipe: InputPipe) -> None:
+        """Remove a local binding (called by :meth:`InputPipe.close`)."""
+        urn = pipe.pipe_id.to_urn()
+        pipes = self._local.get(urn, [])
+        if pipe in pipes:
+            pipes.remove(pipe)
+        if not pipes and urn in self._local:
+            del self._local[urn]
+            self.peer.endpoint.unregister_listener(self.DATA_SERVICE_NAME, urn)
+            self._announce(pipe.pipe_id, bind=False)
+
+    # ------------------------------------------------------------ resolution
+
+    def resolve(self, pipe_id: PipeID) -> str:
+        """Propagate a binding query for ``pipe_id``; returns the query id."""
+        query = XmlElement("PipeResolve")
+        query.add("Pipe", pipe_id.to_urn())
+        query.add("Peer", self.peer.peer_id.to_urn())
+        self.peer.metrics.counter("pbp_resolve_queries").increment()
+        return self.group.resolver.send_query(
+            self.HANDLER_NAME, to_xml(query, declaration=False)
+        )
+
+    def resolved_peers(self, pipe_id: PipeID) -> List[PeerID]:
+        """Peers known to have an input pipe bound for ``pipe_id`` (excluding self)."""
+        urn = pipe_id.to_urn()
+        me = self.peer.peer_id.to_urn()
+        return [
+            PeerID.from_urn(peer_urn)
+            for peer_urn in sorted(self._remote.get(urn, {}))
+            if peer_urn != me
+        ]
+
+    def local_pipes(self, pipe_id: PipeID) -> List[InputPipe]:
+        """Input pipes this peer has open for ``pipe_id``."""
+        return list(self._local.get(pipe_id.to_urn(), []))
+
+    def has_local_binding(self, pipe_id: PipeID) -> bool:
+        """Whether this peer has at least one open input pipe for ``pipe_id``."""
+        return bool(self._local.get(pipe_id.to_urn()))
+
+    def _announce(self, pipe_id: PipeID, *, bind: bool) -> None:
+        announcement = XmlElement("PipeBind" if bind else "PipeUnbind")
+        announcement.add("Pipe", pipe_id.to_urn())
+        announcement.add("Peer", self.peer.peer_id.to_urn())
+        announcement.add("Address", self.peer.node.address)
+        self.peer.metrics.counter("pbp_announcements").increment()
+        self.group.resolver.send_query(
+            self.HANDLER_NAME, to_xml(announcement, declaration=False)
+        )
+
+    # ------------------------------------------------------ resolver handler
+
+    def process_query(self, query: ResolverQuery) -> Optional[str]:
+        """Handle binding announcements and resolution queries."""
+        element = parse_xml(query.body)
+        if element.name == "PipeBind":
+            self._record_remote(
+                element.child_text("Pipe"),
+                element.child_text("Peer"),
+                element.child_text("Address"),
+            )
+            return None
+        if element.name == "PipeUnbind":
+            pipe_urn = element.child_text("Pipe")
+            peer_urn = element.child_text("Peer")
+            self._remote.get(pipe_urn, {}).pop(peer_urn, None)
+            return None
+        if element.name == "PipeResolve":
+            pipe_urn = element.child_text("Pipe")
+            if not self._local.get(pipe_urn):
+                return None
+            response = XmlElement("PipeBound")
+            response.add("Pipe", pipe_urn)
+            response.add("Peer", self.peer.peer_id.to_urn())
+            response.add("Address", self.peer.node.address)
+            return to_xml(response, declaration=False)
+        return None
+
+    def process_response(self, response: ResolverResponse) -> None:
+        """Record a ``PipeBound`` response to one of our resolution queries."""
+        element = parse_xml(response.body)
+        if element.name == "PipeBound":
+            self._record_remote(
+                element.child_text("Pipe"),
+                element.child_text("Peer"),
+                element.child_text("Address"),
+            )
+
+    def _record_remote(self, pipe_urn: str, peer_urn: str, address: str) -> None:
+        if not pipe_urn or not peer_urn:
+            return
+        if peer_urn == self.peer.peer_id.to_urn():
+            return
+        self._remote.setdefault(pipe_urn, {})[peer_urn] = address
+        if address:
+            self.peer.endpoint.learn_address(peer_urn, address)
+        self.peer.metrics.counter("pbp_bindings_learned").increment()
+
+    # ------------------------------------------------------------ data plane
+
+    def send_data(self, pipe_id: PipeID, message: Message, targets: List[PeerID]) -> int:
+        """Send ``message`` to each target's input pipe(s); returns sends performed."""
+        sent = 0
+        for target in targets:
+            if self.peer.endpoint.send(
+                target, message, self.DATA_SERVICE_NAME, pipe_id.to_urn()
+            ):
+                sent += 1
+        self.peer.metrics.counter("pipes_messages_sent").increment(sent if sent else 0)
+        return sent
+
+    def _on_data_envelope(self, envelope: EndpointEnvelope, message: Message) -> None:
+        pipes = self._local.get(envelope.param, [])
+        if not pipes:
+            self.peer.metrics.counter("pipes_unbound_deliveries").increment()
+            return
+        source = envelope.source_peer_id
+        self.peer.metrics.counter("pipes_messages_received").increment()
+        for pipe in list(pipes):
+            pipe.receive(message, source)
+
+
+__all__ = ["PipeBindingService"]

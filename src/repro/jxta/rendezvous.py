@@ -1,0 +1,204 @@
+"""Rendez-vous service: connection leases and propagation membership.
+
+"Rendez-vous (rdv) are specific peers that keep track of information about
+peers that are connected.  Rendez-vous allow to make the bridge between two
+different sub-networks.  They are mainly used to dispatch information and
+discovery queries between peers."  (paper, Section 2.1)
+
+The propagation mechanics themselves (re-flooding with duplicate suppression)
+live in the endpoint service; this service manages the *connections*: an edge
+peer requests a lease from a configured rendez-vous address, the rendez-vous
+grants it and records the client, and the client renews the lease
+periodically.  Both sides expose their connection tables, which the endpoint
+uses when propagating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.jxta.endpoint import EndpointEnvelope
+from repro.jxta.ids import PeerID
+from repro.jxta.message import Message
+from repro.net.simclock import PeriodicTask
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.jxta.peergroup import PeerGroup
+
+#: How long a granted lease lasts (seconds of virtual time).
+DEFAULT_LEASE_DURATION = 30 * 60.0
+#: How often clients renew their leases.
+DEFAULT_RENEWAL_INTERVAL = 10 * 60.0
+
+
+@dataclass
+class Lease:
+    """One granted rendez-vous connection."""
+
+    peer_id: PeerID
+    address: str
+    granted_at: float
+    expires_at: float
+
+    def valid(self, now: float) -> bool:
+        """Whether the lease is still in force at virtual time ``now``."""
+        return now < self.expires_at
+
+
+class RendezvousService:
+    """Per-group rendez-vous connection management."""
+
+    SERVICE_NAME = "jxta.service.rendezvous"
+
+    _KIND_REQUEST = "lease-request"
+    _KIND_GRANT = "lease-grant"
+    _KIND_CANCEL = "lease-cancel"
+
+    def __init__(self, group: "PeerGroup") -> None:
+        self.group = group
+        self.peer = group.peer
+        self._param = group.group_id.to_urn()
+        #: Leases granted by this peer (when acting as a rendez-vous).
+        self._granted: Dict[str, Lease] = {}
+        #: Leases held by this peer on remote rendez-vous peers.
+        self._held: Dict[str, Lease] = {}
+        self._renewal_task: Optional[PeriodicTask] = None
+        self.peer.endpoint.register_listener(self.SERVICE_NAME, self._param, self._on_envelope)
+
+    # ------------------------------------------------------------ properties
+
+    def granted_leases(self) -> Dict[str, Lease]:
+        """Leases this rendez-vous has granted (client URN -> lease)."""
+        return dict(self._granted)
+
+    def held_leases(self) -> Dict[str, Lease]:
+        """Leases this peer holds on rendez-vous peers (rdv URN -> lease)."""
+        return dict(self._held)
+
+    def is_connected(self) -> bool:
+        """Whether this peer currently holds at least one valid lease."""
+        now = self.peer.now
+        return any(lease.valid(now) for lease in self._held.values())
+
+    # --------------------------------------------------------------- client
+
+    def connect(self, rendezvous_address: str) -> bool:
+        """Request a lease from the rendez-vous at ``rendezvous_address``.
+
+        The grant arrives asynchronously; once it does, the rendez-vous is
+        added to the endpoint's propagation targets.  Returns True when the
+        request could be sent.
+        """
+        message = Message()
+        message.add("kind", self._KIND_REQUEST)
+        message.add("peer", self.peer.peer_id.to_urn())
+        message.add("address", self.peer.node.address)
+        message.add("name", self.peer.name)
+        sent = self.peer.endpoint.send_to_address(
+            rendezvous_address, message, self.SERVICE_NAME, self._param
+        )
+        if sent:
+            self.peer.metrics.counter("rendezvous_lease_requests").increment()
+        return sent
+
+    def start_lease_renewal(
+        self, interval: float = DEFAULT_RENEWAL_INTERVAL
+    ) -> PeriodicTask:
+        """Renew held leases periodically (idempotent)."""
+        if self._renewal_task is None or self._renewal_task.stopped:
+            self._renewal_task = self.peer.simulator.schedule_periodic(
+                interval, self._renew_all, label=f"rdv-renewal:{self.peer.name}"
+            )
+        return self._renewal_task
+
+    def stop_lease_renewal(self) -> None:
+        """Stop the periodic lease renewal, if running."""
+        if self._renewal_task is not None:
+            self._renewal_task.stop()
+
+    def disconnect(self, rendezvous_peer: PeerID) -> None:
+        """Cancel a held lease and drop the rendez-vous from propagation."""
+        urn = rendezvous_peer.to_urn()
+        lease = self._held.pop(urn, None)
+        self.peer.endpoint.remove_rendezvous(urn)
+        if lease is None:
+            return
+        message = Message()
+        message.add("kind", self._KIND_CANCEL)
+        message.add("peer", self.peer.peer_id.to_urn())
+        self.peer.endpoint.send(rendezvous_peer, message, self.SERVICE_NAME, self._param)
+
+    def _renew_all(self) -> None:
+        for urn, lease in list(self._held.items()):
+            self.connect(lease.address)
+
+    # --------------------------------------------------------- rendez-vous
+
+    def expire_leases(self) -> int:
+        """Drop granted leases whose lifetime has passed; return how many."""
+        now = self.peer.now
+        doomed = [urn for urn, lease in self._granted.items() if not lease.valid(now)]
+        for urn in doomed:
+            del self._granted[urn]
+            self.peer.endpoint.remove_client(urn)
+        return len(doomed)
+
+    # --------------------------------------------------------------- receive
+
+    def _on_envelope(self, envelope: EndpointEnvelope, message: Message) -> None:
+        kind = message.get_text("kind")
+        if kind == self._KIND_REQUEST:
+            self._handle_request(envelope, message)
+        elif kind == self._KIND_GRANT:
+            self._handle_grant(envelope, message)
+        elif kind == self._KIND_CANCEL:
+            self._handle_cancel(message)
+
+    def _handle_request(self, envelope: EndpointEnvelope, message: Message) -> None:
+        if not self.peer.is_rendezvous:
+            # Only rendez-vous peers grant leases.
+            self.peer.metrics.counter("rendezvous_requests_refused").increment()
+            return
+        client_urn = message.get_text("peer")
+        client_address = message.get_text("address")
+        now = self.peer.now
+        lease = Lease(
+            peer_id=PeerID.from_urn(client_urn),
+            address=client_address,
+            granted_at=now,
+            expires_at=now + DEFAULT_LEASE_DURATION,
+        )
+        self._granted[client_urn] = lease
+        self.peer.endpoint.add_client(client_urn, client_address)
+        self.peer.metrics.counter("rendezvous_leases_granted").increment()
+        grant = Message()
+        grant.add("kind", self._KIND_GRANT)
+        grant.add("peer", self.peer.peer_id.to_urn())
+        grant.add("address", self.peer.node.address)
+        grant.add("expires_at", f"{lease.expires_at:.6f}")
+        self.peer.endpoint.send(
+            PeerID.from_urn(client_urn), grant, self.SERVICE_NAME, self._param
+        )
+
+    def _handle_grant(self, envelope: EndpointEnvelope, message: Message) -> None:
+        rdv_urn = message.get_text("peer")
+        rdv_address = message.get_text("address")
+        expires_at = float(message.get_text("expires_at", "0"))
+        self._held[rdv_urn] = Lease(
+            peer_id=PeerID.from_urn(rdv_urn),
+            address=rdv_address,
+            granted_at=self.peer.now,
+            expires_at=expires_at,
+        )
+        self.peer.endpoint.add_rendezvous(rdv_urn, rdv_address)
+        self.peer.metrics.counter("rendezvous_leases_held").increment()
+
+    def _handle_cancel(self, message: Message) -> None:
+        client_urn = message.get_text("peer")
+        self._granted.pop(client_urn, None)
+        self.peer.endpoint.remove_client(client_urn)
+        self.peer.metrics.counter("rendezvous_leases_cancelled").increment()
+
+
+__all__ = ["DEFAULT_LEASE_DURATION", "DEFAULT_RENEWAL_INTERVAL", "Lease", "RendezvousService"]

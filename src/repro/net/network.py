@@ -1,0 +1,313 @@
+"""The simulated network: topology, links and packet delivery.
+
+The :class:`Network` connects :class:`~repro.net.node.Node` objects through
+:class:`Link` objects carrying latency, bandwidth, jitter and loss parameters.
+The default topology is a single LAN segment (full mesh with one shared
+:class:`LinkSpec`), matching the paper's FastEthernet testbed; experiments
+exercising the Endpoint Routing Protocol build multi-segment topologies with
+firewalled nodes instead.
+
+Delivery is asynchronous: ``transmit`` charges the delay to the simulator and
+schedules ``Node.deliver`` at the future instant.  Unreliable transports may
+drop packets according to the link's loss rate; reliable transports (TCP,
+HTTP) never lose packets but pay their per-packet overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.net.cost import CostModel, NoiseSource, PAPER_TESTBED
+from repro.net.firewall import Direction
+from repro.net.metrics import MetricsRegistry
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.net.simclock import Simulator
+from repro.net.transport import TransportKind, transport_for
+
+
+class NetworkError(RuntimeError):
+    """Base class for network-level failures."""
+
+
+class NoRouteError(NetworkError):
+    """Raised when no enabled, firewall-permitted path exists between two nodes."""
+
+
+class UnknownNodeError(NetworkError):
+    """Raised when addressing a node the network has never seen."""
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static parameters of a link (or of a whole LAN segment).
+
+    Attributes
+    ----------
+    latency:
+        One-way propagation delay in seconds.
+    bandwidth:
+        Capacity in bytes/second used for the serialisation delay.
+    jitter:
+        Relative sigma of lognormal noise applied to the latency.
+    loss_rate:
+        Probability of dropping a packet carried by an *unreliable* transport.
+    """
+
+    latency: float = 0.0006
+    bandwidth: float = 100e6 / 8
+    jitter: float = 0.05
+    loss_rate: float = 0.0
+
+    @classmethod
+    def lan(cls, cost_model: CostModel = PAPER_TESTBED) -> "LinkSpec":
+        """The paper's 100 Mbit/s FastEthernet segment."""
+        return cls(latency=cost_model.lan_latency, bandwidth=cost_model.lan_bandwidth)
+
+    @classmethod
+    def wan(cls) -> "LinkSpec":
+        """A rough wide-area link for multi-site experiments."""
+        return cls(latency=0.045, bandwidth=1.5e6 / 8, jitter=0.2, loss_rate=0.01)
+
+
+@dataclass
+class Link:
+    """A concrete (directed-pair) link between two attached nodes."""
+
+    a: str
+    b: str
+    spec: LinkSpec
+
+    def connects(self, x: str, y: str) -> bool:
+        """Whether this link joins addresses ``x`` and ``y`` (in either order)."""
+        return {self.a, self.b} == {x, y}
+
+
+class Network:
+    """A collection of nodes, links and segments driven by one simulator.
+
+    Parameters
+    ----------
+    simulator:
+        The discrete-event scheduler charging all delays.
+    default_link:
+        Link parameters used for any pair of nodes on the same segment that
+        has no explicit link.
+    cost_model:
+        The calibrated cost model shared with the JXTA substrate.
+    noise:
+        Deterministic noise source (seeded) used for jitter and loss.
+    """
+
+    DEFAULT_SEGMENT = "lan0"
+
+    def __init__(
+        self,
+        simulator: Optional[Simulator] = None,
+        *,
+        default_link: Optional[LinkSpec] = None,
+        cost_model: CostModel = PAPER_TESTBED,
+        noise: Optional[NoiseSource] = None,
+    ) -> None:
+        self.simulator = simulator or Simulator()
+        self.cost_model = cost_model
+        self.noise = noise or NoiseSource()
+        self.default_link = default_link or LinkSpec.lan(cost_model)
+        self.metrics = MetricsRegistry(name="network")
+        self._nodes: Dict[str, Node] = {}
+        self._segments: Dict[str, set[str]] = {self.DEFAULT_SEGMENT: set()}
+        self._links: List[Link] = []
+        self._partitions: set[frozenset[str]] = set()
+
+    # --------------------------------------------------------------- topology
+
+    @property
+    def nodes(self) -> List[Node]:
+        """All attached nodes, in attachment order."""
+        return list(self._nodes.values())
+
+    def node(self, address: str) -> Node:
+        """Look up a node by address, raising :class:`UnknownNodeError` if absent."""
+        try:
+            return self._nodes[address]
+        except KeyError:
+            raise UnknownNodeError(f"unknown node address {address!r}") from None
+
+    def has_node(self, address: str) -> bool:
+        """Whether a node with the given address is attached."""
+        return address in self._nodes
+
+    def attach(self, node: Node, *, segment: str = DEFAULT_SEGMENT) -> Node:
+        """Attach a node to the network on the given segment.
+
+        Attaching the same address twice is an error; segments are created on
+        first use.
+        """
+        if node.address in self._nodes:
+            raise NetworkError(f"a node with address {node.address!r} is already attached")
+        node.network = self
+        self._nodes[node.address] = node
+        self._segments.setdefault(segment, set()).add(node.address)
+        return node
+
+    def create_node(
+        self,
+        address: str,
+        *,
+        segment: str = DEFAULT_SEGMENT,
+        transports: Optional[List[TransportKind | str]] = None,
+        firewall=None,
+    ) -> Node:
+        """Convenience: construct a node and attach it in one call."""
+        node = Node(address, transports=transports, firewall=firewall)
+        return self.attach(node, segment=segment)
+
+    def segment_of(self, address: str) -> str:
+        """Return the name of the segment the node lives on."""
+        for name, members in self._segments.items():
+            if address in members:
+                return name
+        raise UnknownNodeError(f"node {address!r} is not on any segment")
+
+    def segment_members(self, segment: str) -> List[str]:
+        """Addresses of every node attached to the given segment."""
+        return sorted(self._segments.get(segment, set()))
+
+    def connect(self, a: str, b: str, spec: Optional[LinkSpec] = None) -> Link:
+        """Add an explicit link between two nodes (possibly on different segments)."""
+        self.node(a)
+        self.node(b)
+        link = Link(a=a, b=b, spec=spec or self.default_link)
+        self._links.append(link)
+        return link
+
+    def partition(self, a: str, b: str) -> None:
+        """Cut all communication between two nodes (fault injection)."""
+        self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        """Undo a previous :meth:`partition` between two nodes."""
+        self._partitions.discard(frozenset((a, b)))
+
+    def partitioned(self, a: str, b: str) -> bool:
+        """Whether a partition currently separates the two addresses."""
+        return frozenset((a, b)) in self._partitions
+
+    def _link_between(self, a: str, b: str) -> Optional[LinkSpec]:
+        """The link spec to use between two addresses, or None if unreachable."""
+        for link in self._links:
+            if link.connects(a, b):
+                return link.spec
+        if self.segment_of(a) == self.segment_of(b):
+            return self.default_link
+        return None
+
+    def reachable(self, a: str, b: str, transport: TransportKind | str = TransportKind.TCP) -> bool:
+        """Whether ``a`` can send a packet of the given transport directly to ``b``."""
+        if a == b:
+            return True
+        if not self.has_node(a) or not self.has_node(b):
+            return False
+        if self.partitioned(a, b):
+            return False
+        if self._link_between(a, b) is None:
+            return False
+        kind = TransportKind(transport) if isinstance(transport, str) else transport
+        sender, receiver = self.node(a), self.node(b)
+        if not (sender.supports(kind) and receiver.supports(kind)):
+            return False
+        probe = Packet(source=a, destination=b, payload=b"", transport=kind.value)
+        return sender.firewall.permits(probe, Direction.OUTBOUND) and receiver.firewall.permits(
+            probe, Direction.INBOUND
+        )
+
+    # --------------------------------------------------------------- delivery
+
+    def transmit(self, sender: Node, packet: Packet) -> None:
+        """Deliver a packet from ``sender`` according to its destination and transport.
+
+        Point-to-point packets go to ``packet.destination``; multicast packets
+        are expanded to every multicast-capable node on the sender's segment.
+        Raises :class:`NoRouteError` when a unicast destination is unreachable.
+        """
+        packet.created_at = self.simulator.now
+        self.metrics.counter("packets_offered").increment()
+        if packet.is_multicast:
+            self._transmit_multicast(sender, packet)
+        else:
+            self._transmit_unicast(sender, packet)
+
+    def _transmit_unicast(self, sender: Node, packet: Packet) -> None:
+        destination = packet.destination
+        if not self.has_node(destination):
+            raise UnknownNodeError(f"unknown destination {destination!r}")
+        if not self.reachable(sender.address, destination, packet.transport):
+            raise NoRouteError(
+                f"no {packet.transport} route from {sender.address!r} to {destination!r}"
+            )
+        spec = self._link_between(sender.address, destination) or self.default_link
+        self._schedule_delivery(sender, self.node(destination), packet, spec)
+
+    def _transmit_multicast(self, sender: Node, packet: Packet) -> None:
+        segment = self.segment_of(sender.address)
+        probe_kind = TransportKind.MULTICAST
+        if not sender.supports(probe_kind):
+            raise NoRouteError(f"node {sender.address!r} has no multicast interface")
+        outbound_ok = sender.firewall.permits(packet, Direction.OUTBOUND)
+        if not outbound_ok:
+            self.metrics.counter("packets_blocked").increment()
+            return
+        for address in self.segment_members(segment):
+            if address == sender.address:
+                continue
+            receiver = self.node(address)
+            if not receiver.supports(probe_kind):
+                continue
+            if self.partitioned(sender.address, address):
+                continue
+            copy = packet.retargeted(address)
+            if not receiver.firewall.permits(copy, Direction.INBOUND):
+                self.metrics.counter("packets_blocked").increment()
+                continue
+            spec = self._link_between(sender.address, address) or self.default_link
+            self._schedule_delivery(sender, receiver, copy, spec)
+
+    def _schedule_delivery(
+        self, sender: Node, receiver: Node, packet: Packet, spec: LinkSpec
+    ) -> None:
+        transport = transport_for(packet.transport)
+        if not transport.reliable and self.noise.chance(spec.loss_rate):
+            self.metrics.counter("packets_lost").increment()
+            return
+        delay = (
+            self.noise.jittered(spec.latency, spec.jitter)
+            + packet.size / spec.bandwidth
+            + transport.per_packet_overhead
+        )
+        self.metrics.counter("packets_delivered").increment()
+        self.metrics.counter("bytes_carried").increment(packet.size)
+        self.simulator.schedule(
+            delay,
+            lambda: receiver.deliver(packet),
+            label=f"deliver:{sender.address}->{receiver.address}",
+        )
+
+    # ------------------------------------------------------------------ misc
+
+    def settle(self, rounds: int = 64, quantum: float = 1.0) -> int:
+        """Let in-flight traffic and periodic tasks quiesce (see ``Simulator.drain``)."""
+        return self.simulator.drain(rounds=rounds, quantum=quantum)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Network(nodes={len(self._nodes)}, segments={len(self._segments)})"
+
+
+__all__ = [
+    "Link",
+    "LinkSpec",
+    "Network",
+    "NetworkError",
+    "NoRouteError",
+    "UnknownNodeError",
+]

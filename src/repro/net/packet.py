@@ -1,0 +1,110 @@
+"""Network packets exchanged between simulated nodes.
+
+A :class:`Packet` is the unit the simulated network moves around.  The JXTA
+substrate serialises its messages to bytes before handing them to the network,
+so packets carry opaque payloads plus the addressing metadata the transports
+and firewalls need.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_packet_counter = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """A single datagram travelling through the simulated network.
+
+    Attributes
+    ----------
+    source:
+        Network address (node name) of the sender.
+    destination:
+        Network address of the receiver, or ``"*"`` for multicast.
+    payload:
+        Opaque serialised bytes (a JXTA message, usually).
+    protocol:
+        Name of the logical protocol carried (``"jxta"`` by default); used by
+        firewalls to apply protocol-specific rules.
+    transport:
+        Transport kind used for this hop (``"tcp"``, ``"http"``, ``"multicast"``).
+    ttl:
+        Remaining relay hops before the packet is dropped.
+    relay_path:
+        Addresses of relays the packet has traversed, in order.
+    packet_id:
+        Monotonically increasing identifier, unique per process.
+    created_at:
+        Virtual time at which the packet was created (set by the sender).
+    """
+
+    source: str
+    destination: str
+    payload: bytes
+    protocol: str = "jxta"
+    transport: str = "tcp"
+    ttl: int = 8
+    relay_path: list[str] = field(default_factory=list)
+    packet_id: int = field(default_factory=lambda: next(_packet_counter))
+    created_at: float = 0.0
+
+    MULTICAST_ADDRESS = "*"
+
+    @property
+    def size(self) -> int:
+        """Size of the payload in bytes."""
+        return len(self.payload)
+
+    @property
+    def is_multicast(self) -> bool:
+        """True when the packet targets every reachable node."""
+        return self.destination == self.MULTICAST_ADDRESS
+
+    def with_relay(self, relay_address: str) -> "Packet":
+        """Return a copy of the packet after passing through ``relay_address``.
+
+        The copy has its TTL decremented and the relay appended to
+        ``relay_path``.  The original packet is left untouched so that metrics
+        can still inspect it.
+        """
+        return Packet(
+            source=self.source,
+            destination=self.destination,
+            payload=self.payload,
+            protocol=self.protocol,
+            transport=self.transport,
+            ttl=self.ttl - 1,
+            relay_path=[*self.relay_path, relay_address],
+            packet_id=self.packet_id,
+            created_at=self.created_at,
+        )
+
+    def retargeted(self, destination: str) -> "Packet":
+        """Return a copy of the packet addressed to ``destination``.
+
+        Used when expanding a multicast packet into per-receiver deliveries.
+        """
+        return Packet(
+            source=self.source,
+            destination=destination,
+            payload=self.payload,
+            protocol=self.protocol,
+            transport=self.transport,
+            ttl=self.ttl,
+            relay_path=list(self.relay_path),
+            packet_id=self.packet_id,
+            created_at=self.created_at,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Packet(#{self.packet_id} {self.source}->{self.destination} "
+            f"{self.size}B via {self.transport})"
+        )
+
+
+__all__ = ["Packet"]

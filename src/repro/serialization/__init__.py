@@ -1,0 +1,34 @@
+"""Serialisation codecs used by the JXTA substrate and the TPS layer.
+
+Two codecs are provided, mirroring the two representations in the paper's
+system:
+
+* :mod:`repro.serialization.xml_codec` -- a small XML document model with a
+  writer and a recursive-descent parser.  JXTA advertisements are XML
+  documents, and JXTA messages carry XML elements.
+* :mod:`repro.serialization.object_codec` -- a compact, deterministic binary
+  codec for application-defined event objects, standing in for the Java
+  object serialisation the paper relies on (``SkiRental implements
+  Serializable``).  Types must be registered (explicitly or implicitly via
+  the TPS type registry), which is what lets the subscriber reconstruct a
+  *typed* event and what makes type safety checkable.
+"""
+
+from __future__ import annotations
+
+from repro.serialization.object_codec import (
+    ObjectCodec,
+    SerializationError,
+    UnregisteredTypeError,
+)
+from repro.serialization.xml_codec import XmlElement, XmlParseError, parse_xml, to_xml
+
+__all__ = [
+    "ObjectCodec",
+    "SerializationError",
+    "UnregisteredTypeError",
+    "XmlElement",
+    "XmlParseError",
+    "parse_xml",
+    "to_xml",
+]

@@ -1,0 +1,265 @@
+"""A compact binary codec for application-defined event objects.
+
+The paper's event types are plain serialisable Java classes
+(``public class SkiRental implements Serializable``).  When a publisher calls
+``publish(new SkiRental(...))`` the instance is serialised, carried inside a
+JXTA message across the wire service, and reconstructed on each subscriber so
+the typed callback (``handle(SkiRental skiR)``) receives a real object of the
+right type.
+
+:class:`ObjectCodec` plays the role of Java serialisation here.  It is a
+deterministic, self-describing tagged binary format supporting the usual
+scalar types, lists, tuples, dicts and *registered classes*.  Classes are
+encoded by their registered name plus their instance ``__dict__`` (or the
+value returned by an optional ``__getstate__``), and decoded by instantiating
+the class without calling ``__init__`` and restoring the state -- the same
+contract Java serialisation provides.
+
+Requiring registration is what gives the TPS layer its type-safety story:
+only event types the engine knows about can cross the wire, and the decoded
+object is an instance of the exact registered class (so ``isinstance`` checks
+and subtype matching are meaningful on the subscriber side).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, Dict, Optional, Tuple, Type
+
+
+class SerializationError(ValueError):
+    """Raised when a value cannot be encoded or bytes cannot be decoded."""
+
+
+class UnregisteredTypeError(SerializationError):
+    """Raised when encoding or decoding an object whose class is not registered."""
+
+
+# One-byte type tags of the wire format.
+_T_NONE = b"N"
+_T_TRUE = b"T"
+_T_FALSE = b"F"
+_T_INT = b"I"
+_T_FLOAT = b"D"
+_T_STR = b"S"
+_T_BYTES = b"B"
+_T_LIST = b"L"
+_T_TUPLE = b"U"
+_T_DICT = b"M"
+_T_OBJECT = b"O"
+
+
+class ObjectCodec:
+    """Encodes and decodes Python objects to a deterministic binary format.
+
+    Parameters
+    ----------
+    strict:
+        When True (the default), encountering an unregistered class raises
+        :class:`UnregisteredTypeError`.  When False, unregistered objects are
+        encoded as plain dictionaries of their attributes (useful for the raw
+        JXTA-WIRE baseline, which has no type knowledge and therefore no type
+        safety -- exactly the paper's point).
+    """
+
+    def __init__(self, *, strict: bool = True) -> None:
+        self.strict = strict
+        self._classes_by_name: Dict[str, Type[Any]] = {}
+        self._names_by_class: Dict[Type[Any], str] = {}
+
+    # ------------------------------------------------------------ registry
+
+    def register(self, cls: Type[Any], name: Optional[str] = None) -> Type[Any]:
+        """Register a class for encoding/decoding under ``name``.
+
+        The default name is ``module.QualifiedName``.  Registering the same
+        class twice under the same name is a no-op; re-registering a name for
+        a different class raises, because silently swapping types would break
+        the decoder on in-flight messages.
+        """
+        label = name or f"{cls.__module__}.{cls.__qualname__}"
+        existing = self._classes_by_name.get(label)
+        if existing is not None and existing is not cls:
+            raise SerializationError(
+                f"type name {label!r} is already registered for {existing!r}"
+            )
+        self._classes_by_name[label] = cls
+        self._names_by_class[cls] = label
+        return cls
+
+    def is_registered(self, cls: Type[Any]) -> bool:
+        """Whether the given class has been registered."""
+        return cls in self._names_by_class
+
+    def registered_name(self, cls: Type[Any]) -> Optional[str]:
+        """The wire name of a registered class, or None."""
+        return self._names_by_class.get(cls)
+
+    def class_for(self, name: str) -> Optional[Type[Any]]:
+        """The class registered under ``name``, or None."""
+        return self._classes_by_name.get(name)
+
+    # ------------------------------------------------------------- encoding
+
+    def encode(self, value: Any) -> bytes:
+        """Encode ``value`` to bytes."""
+        out = bytearray()
+        self._encode_value(value, out)
+        return bytes(out)
+
+    def _encode_value(self, value: Any, out: bytearray) -> None:
+        if value is None:
+            out += _T_NONE
+        elif value is True:
+            out += _T_TRUE
+        elif value is False:
+            out += _T_FALSE
+        elif isinstance(value, int):
+            payload = str(value).encode("ascii")
+            out += _T_INT + struct.pack(">I", len(payload)) + payload
+        elif isinstance(value, float):
+            out += _T_FLOAT + struct.pack(">d", value)
+        elif isinstance(value, str):
+            payload = value.encode("utf-8")
+            out += _T_STR + struct.pack(">I", len(payload)) + payload
+        elif isinstance(value, (bytes, bytearray)):
+            out += _T_BYTES + struct.pack(">I", len(value)) + bytes(value)
+        elif isinstance(value, list):
+            out += _T_LIST + struct.pack(">I", len(value))
+            for item in value:
+                self._encode_value(item, out)
+        elif isinstance(value, tuple):
+            out += _T_TUPLE + struct.pack(">I", len(value))
+            for item in value:
+                self._encode_value(item, out)
+        elif isinstance(value, dict):
+            out += _T_DICT + struct.pack(">I", len(value))
+            for key in sorted(value, key=repr):
+                self._encode_value(key, out)
+                self._encode_value(value[key], out)
+        else:
+            self._encode_object(value, out)
+
+    def _object_state(self, value: Any) -> Dict[str, Any]:
+        getstate = getattr(value, "__getstate__", None)
+        if callable(getstate):
+            state = getstate()
+            if isinstance(state, dict):
+                return state
+        if hasattr(value, "__dict__"):
+            return dict(vars(value))
+        raise SerializationError(
+            f"cannot extract a serialisable state from {type(value).__name__}"
+        )
+
+    def _encode_object(self, value: Any, out: bytearray) -> None:
+        cls = type(value)
+        name = self._names_by_class.get(cls)
+        if name is None:
+            if self.strict:
+                raise UnregisteredTypeError(
+                    f"type {cls.__module__}.{cls.__qualname__} is not registered with this codec"
+                )
+            # Lenient mode: degrade to a plain dict (losing the type, exactly
+            # like hand-rolled XML payloads over raw JXTA would).
+            self._encode_value(self._object_state(value), out)
+            return
+        state = self._object_state(value)
+        name_bytes = name.encode("utf-8")
+        out += _T_OBJECT + struct.pack(">I", len(name_bytes)) + name_bytes
+        self._encode_value(state, out)
+
+    # ------------------------------------------------------------- decoding
+
+    def decode(self, data: bytes) -> Any:
+        """Decode bytes produced by :meth:`encode` back into a value."""
+        value, offset = self._decode_value(data, 0)
+        if offset != len(data):
+            raise SerializationError(
+                f"trailing bytes after decoded value ({len(data) - offset} left)"
+            )
+        return value
+
+    def _decode_value(self, data: bytes, offset: int) -> Tuple[Any, int]:
+        if offset >= len(data):
+            raise SerializationError("truncated input")
+        tag = data[offset : offset + 1]
+        offset += 1
+        if tag == _T_NONE:
+            return None, offset
+        if tag == _T_TRUE:
+            return True, offset
+        if tag == _T_FALSE:
+            return False, offset
+        if tag == _T_INT:
+            length, offset = self._read_length(data, offset)
+            return int(data[offset : offset + length].decode("ascii")), offset + length
+        if tag == _T_FLOAT:
+            if offset + 8 > len(data):
+                raise SerializationError("truncated float")
+            (value,) = struct.unpack(">d", data[offset : offset + 8])
+            return value, offset + 8
+        if tag == _T_STR:
+            length, offset = self._read_length(data, offset)
+            return data[offset : offset + length].decode("utf-8"), offset + length
+        if tag == _T_BYTES:
+            length, offset = self._read_length(data, offset)
+            return data[offset : offset + length], offset + length
+        if tag == _T_LIST:
+            count, offset = self._read_length(data, offset)
+            items = []
+            for _ in range(count):
+                item, offset = self._decode_value(data, offset)
+                items.append(item)
+            return items, offset
+        if tag == _T_TUPLE:
+            count, offset = self._read_length(data, offset)
+            items = []
+            for _ in range(count):
+                item, offset = self._decode_value(data, offset)
+                items.append(item)
+            return tuple(items), offset
+        if tag == _T_DICT:
+            count, offset = self._read_length(data, offset)
+            result: Dict[Any, Any] = {}
+            for _ in range(count):
+                key, offset = self._decode_value(data, offset)
+                value, offset = self._decode_value(data, offset)
+                result[key] = value
+            return result, offset
+        if tag == _T_OBJECT:
+            length, offset = self._read_length(data, offset)
+            name = data[offset : offset + length].decode("utf-8")
+            offset += length
+            state, offset = self._decode_value(data, offset)
+            cls = self._classes_by_name.get(name)
+            if cls is None:
+                raise UnregisteredTypeError(
+                    f"cannot decode object of unregistered type {name!r}"
+                )
+            instance = object.__new__(cls)
+            setstate = getattr(instance, "__setstate__", None)
+            if callable(setstate):
+                setstate(state)
+            else:
+                instance.__dict__.update(state)
+            return instance, offset
+        raise SerializationError(f"unknown type tag {tag!r} at offset {offset - 1}")
+
+    @staticmethod
+    def _read_length(data: bytes, offset: int) -> Tuple[int, int]:
+        if offset + 4 > len(data):
+            raise SerializationError("truncated length prefix")
+        (length,) = struct.unpack(">I", data[offset : offset + 4])
+        if offset + 4 + length > len(data):
+            raise SerializationError("declared length exceeds available bytes")
+        return length, offset + 4
+
+    # ---------------------------------------------------------------- sizing
+
+    def encoded_size(self, value: Any) -> int:
+        """Return the number of bytes :meth:`encode` would produce."""
+        return len(self.encode(value))
+
+
+__all__ = ["ObjectCodec", "SerializationError", "UnregisteredTypeError"]

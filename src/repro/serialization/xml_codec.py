@@ -1,0 +1,314 @@
+"""A minimal XML document model, writer and parser.
+
+JXTA represents every advertisement as an XML document and every message as a
+bag of named (possibly XML) elements.  The reproduction does not need the full
+XML specification -- only elements, attributes, text content and nesting --
+so this module implements exactly that, from scratch, with strict escaping.
+
+The parser is a small recursive-descent parser over the writer's output
+grammar.  It accepts the documents this package produces (and reasonable
+hand-written ones), and raises :class:`XmlParseError` with a position on
+malformed input.  Comments and processing instructions are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+_ESCAPES = {
+    "&": "&amp;",
+    "<": "&lt;",
+    ">": "&gt;",
+    '"': "&quot;",
+    "'": "&apos;",
+}
+_UNESCAPES = {v: k for k, v in _ESCAPES.items()}
+
+
+class XmlParseError(ValueError):
+    """Raised when a document cannot be parsed; carries the offending position."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+def escape_text(text: str) -> str:
+    """Escape the five XML special characters in ``text``."""
+    out = []
+    for ch in text:
+        out.append(_ESCAPES.get(ch, ch))
+    return "".join(out)
+
+
+def unescape_text(text: str) -> str:
+    """Reverse :func:`escape_text` (also handles numeric character references)."""
+    result: List[str] = []
+    i = 0
+    while i < len(text):
+        if text[i] == "&":
+            end = text.find(";", i)
+            if end == -1:
+                raise XmlParseError("unterminated entity reference", i)
+            entity = text[i : end + 1]
+            if entity in _UNESCAPES:
+                result.append(_UNESCAPES[entity])
+            elif entity.startswith("&#x"):
+                result.append(chr(int(entity[3:-1], 16)))
+            elif entity.startswith("&#"):
+                result.append(chr(int(entity[2:-1])))
+            else:
+                raise XmlParseError(f"unknown entity {entity!r}", i)
+            i = end + 1
+        else:
+            result.append(text[i])
+            i += 1
+    return "".join(result)
+
+
+@dataclass
+class XmlElement:
+    """One XML element: a name, attributes, text content and child elements."""
+
+    name: str
+    attributes: Dict[str, str] = field(default_factory=dict)
+    text: str = ""
+    children: List["XmlElement"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name or any(c.isspace() for c in self.name):
+            raise ValueError(f"invalid element name {self.name!r}")
+
+    # -------------------------------------------------------------- building
+
+    def add_child(self, child: "XmlElement") -> "XmlElement":
+        """Append a child element and return it (for chaining)."""
+        self.children.append(child)
+        return child
+
+    def add(self, tag: str, text: str = "", **attributes: str) -> "XmlElement":
+        """Create a child element with the given tag/text/attributes and return it.
+
+        Keyword arguments become XML attributes (e.g. ``parent.add("Service",
+        name="wire")`` produces ``<Service name="wire"/>``).
+        """
+        return self.add_child(XmlElement(name=tag, attributes=dict(attributes), text=text))
+
+    def set_attribute(self, key: str, value: str) -> None:
+        """Set an attribute on this element."""
+        self.attributes[key] = value
+
+    # -------------------------------------------------------------- querying
+
+    def find(self, name: str) -> Optional["XmlElement"]:
+        """Return the first direct child with the given name, or None."""
+        for child in self.children:
+            if child.name == name:
+                return child
+        return None
+
+    def find_all(self, name: str) -> List["XmlElement"]:
+        """Return every direct child with the given name."""
+        return [child for child in self.children if child.name == name]
+
+    def child_text(self, name: str, default: str = "") -> str:
+        """Return the text of the first child with the given name, or ``default``."""
+        child = self.find(name)
+        return child.text if child is not None else default
+
+    def iter(self) -> Iterator["XmlElement"]:
+        """Depth-first iteration over this element and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.iter()
+
+    # ------------------------------------------------------------- rendering
+
+    def to_string(self, *, indent: Optional[int] = None, _level: int = 0) -> str:
+        """Serialise the element (and subtree) to a string.
+
+        ``indent`` of None produces a compact single-line document; an integer
+        pretty-prints with that many spaces per level.
+        """
+        pad = "" if indent is None else "\n" + " " * (indent * _level)
+        child_pad = "" if indent is None else "\n" + " " * (indent * (_level + 1))
+        attrs = "".join(
+            f' {key}="{escape_text(str(value))}"' for key, value in self.attributes.items()
+        )
+        inner = escape_text(self.text)
+        if not self.children and not inner:
+            return f"<{self.name}{attrs}/>"
+        parts = [f"<{self.name}{attrs}>"]
+        if inner:
+            parts.append(inner)
+        for child in self.children:
+            if indent is not None:
+                parts.append(child_pad)
+            parts.append(child.to_string(indent=indent, _level=_level + 1))
+        if self.children and indent is not None:
+            parts.append(pad if _level else "\n")
+        parts.append(f"</{self.name}>")
+        return "".join(parts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, XmlElement):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.attributes == other.attributes
+            and self.text == other.text
+            and self.children == other.children
+        )
+
+
+def to_xml(element: XmlElement, *, declaration: bool = True, indent: Optional[int] = None) -> str:
+    """Serialise an element tree to a full document string."""
+    body = element.to_string(indent=indent)
+    if declaration:
+        return f'<?xml version="1.0" encoding="UTF-8"?>{body}'
+    return body
+
+
+class _Parser:
+    """Recursive-descent parser over the subset of XML this package emits."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def parse_document(self) -> XmlElement:
+        self._skip_prolog()
+        element = self._parse_element()
+        self._skip_whitespace_and_misc()
+        if self.pos != len(self.text):
+            raise XmlParseError("trailing content after document element", self.pos)
+        return element
+
+    # ------------------------------------------------------------- low level
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def _expect(self, literal: str) -> None:
+        if not self.text.startswith(literal, self.pos):
+            raise XmlParseError(f"expected {literal!r}", self.pos)
+        self.pos += len(literal)
+
+    def _skip_whitespace(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _skip_prolog(self) -> None:
+        self._skip_whitespace_and_misc()
+        if self.text.startswith("<?xml", self.pos):
+            end = self.text.find("?>", self.pos)
+            if end == -1:
+                raise XmlParseError("unterminated XML declaration", self.pos)
+            self.pos = end + 2
+        self._skip_whitespace_and_misc()
+
+    def _skip_whitespace_and_misc(self) -> None:
+        while True:
+            self._skip_whitespace()
+            if self.text.startswith("<!--", self.pos):
+                end = self.text.find("-->", self.pos)
+                if end == -1:
+                    raise XmlParseError("unterminated comment", self.pos)
+                self.pos = end + 3
+            elif self.text.startswith("<?", self.pos) and not self.text.startswith(
+                "<?xml", self.pos
+            ):
+                end = self.text.find("?>", self.pos)
+                if end == -1:
+                    raise XmlParseError("unterminated processing instruction", self.pos)
+                self.pos = end + 2
+            else:
+                return
+
+    def _parse_name(self) -> str:
+        start = self.pos
+        first = self._peek()
+        if not (first.isalpha() or first == "_"):
+            raise XmlParseError("names must start with a letter or underscore", self.pos)
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "._-:"
+        ):
+            self.pos += 1
+        return self.text[start : self.pos]
+
+    def _parse_attributes(self) -> Dict[str, str]:
+        attributes: Dict[str, str] = {}
+        while True:
+            self._skip_whitespace()
+            ch = self._peek()
+            if ch in (">", "/", ""):
+                return attributes
+            key = self._parse_name()
+            self._skip_whitespace()
+            self._expect("=")
+            self._skip_whitespace()
+            quote = self._peek()
+            if quote not in ('"', "'"):
+                raise XmlParseError("attribute value must be quoted", self.pos)
+            self.pos += 1
+            end = self.text.find(quote, self.pos)
+            if end == -1:
+                raise XmlParseError("unterminated attribute value", self.pos)
+            attributes[key] = unescape_text(self.text[self.pos : end])
+            self.pos = end + 1
+
+    def _parse_element(self) -> XmlElement:
+        self._expect("<")
+        name = self._parse_name()
+        attributes = self._parse_attributes()
+        if self._peek() == "/":
+            self._expect("/>")
+            return XmlElement(name=name, attributes=attributes)
+        self._expect(">")
+        element = XmlElement(name=name, attributes=attributes)
+        text_chunks: List[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise XmlParseError(f"unterminated element <{name}>", self.pos)
+            if self.text.startswith("</", self.pos):
+                self._expect("</")
+                closing = self._parse_name()
+                if closing != name:
+                    raise XmlParseError(
+                        f"mismatched closing tag </{closing}> for <{name}>", self.pos
+                    )
+                self._skip_whitespace()
+                self._expect(">")
+                element.text = unescape_text("".join(text_chunks).strip())
+                return element
+            if self.text.startswith("<!--", self.pos):
+                end = self.text.find("-->", self.pos)
+                if end == -1:
+                    raise XmlParseError("unterminated comment", self.pos)
+                self.pos = end + 3
+                continue
+            if self._peek() == "<":
+                element.children.append(self._parse_element())
+                continue
+            next_tag = self.text.find("<", self.pos)
+            if next_tag == -1:
+                raise XmlParseError(f"unterminated element <{name}>", self.pos)
+            text_chunks.append(self.text[self.pos : next_tag])
+            self.pos = next_tag
+
+
+def parse_xml(document: str) -> XmlElement:
+    """Parse a document string produced by :func:`to_xml` back into an element tree."""
+    return _Parser(document).parse_document()
+
+
+__all__ = [
+    "XmlElement",
+    "XmlParseError",
+    "escape_text",
+    "parse_xml",
+    "to_xml",
+    "unescape_text",
+]

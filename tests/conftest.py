@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jxta.platform import JxtaNetworkBuilder
+
+
+@pytest.fixture
+def builder():
+    """An empty simulated network builder with a fixed seed."""
+    return JxtaNetworkBuilder(seed=1234)
+
+
+@pytest.fixture
+def lan(builder):
+    """A LAN with one rendez-vous/router and three ordinary peers, settled.
+
+    Returns the builder; peers are ``rdv-0``, ``peer-0``, ``peer-1``, ``peer-2``.
+    """
+    builder.add_rendezvous("rdv-0")
+    for index in range(3):
+        builder.add_peer(f"peer-{index}")
+    builder.settle(rounds=6)
+    return builder
+
+
+@pytest.fixture
+def two_peers(builder):
+    """Two ordinary peers (no rendez-vous) on one multicast LAN, settled."""
+    a = builder.add_peer("alpha", connect_rendezvous=False)
+    b = builder.add_peer("beta", connect_rendezvous=False)
+    builder.settle(rounds=4)
+    return a, b, builder

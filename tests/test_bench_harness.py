@@ -1,0 +1,152 @@
+"""Tests for the benchmark harness: scenarios, figure runners, code size, reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    JXTA_WIRE,
+    SR_JXTA,
+    SR_TPS,
+    VARIANTS,
+    ScenarioConfig,
+    build_scenario,
+    measure_code_size,
+    run_invocation_time,
+    run_publisher_throughput,
+    run_subscriber_throughput,
+)
+from repro.bench.figures import run_figure18, run_figure19, run_figure20
+from repro.bench.reporting import (
+    format_code_size,
+    format_figure18,
+    format_figure19,
+    format_figure20,
+    format_table,
+)
+from repro.bench.scenario import PAPER_MESSAGE_SIZE
+
+
+class TestScenario:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(variant="bogus")
+        with pytest.raises(ValueError):
+            ScenarioConfig(publishers=0)
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_build_and_deliver(self, variant):
+        scenario = build_scenario(
+            ScenarioConfig(variant=variant, publishers=1, subscribers=2, seed=9)
+        )
+        assert len(scenario.publishers) == 1
+        assert len(scenario.subscribers) == 2
+        receipt = scenario.publishers[0].publish()
+        assert receipt.cpu_time > 0
+        scenario.run_until(max(scenario.now, receipt.completion_time))
+        scenario.settle(rounds=8)
+        # Every subscriber got the event exactly once (application level).
+        assert scenario.total_received() == 2
+        assert all(s.received_count() == 1 for s in scenario.subscribers)
+
+    def test_message_size_affects_wire_payload(self):
+        scenario = build_scenario(
+            ScenarioConfig(variant=JXTA_WIRE, message_size=PAPER_MESSAGE_SIZE, seed=9)
+        )
+        receipt = scenario.publishers[0].publish()
+        scenario.settle(rounds=6)
+        subscriber = scenario.subscribers[0]
+        assert len(subscriber.app.payloads[0]) == PAPER_MESSAGE_SIZE
+
+    def test_default_offers_are_generated(self):
+        scenario = build_scenario(ScenarioConfig(variant=SR_TPS, seed=9))
+        handle = scenario.publishers[0]
+        handle.publish()
+        handle.publish()
+        assert handle.published == 2
+
+
+class TestFigureRunners:
+    def test_invocation_time_series_shape(self):
+        series = run_invocation_time(SR_TPS, subscribers=1, events=10, seed=3)
+        assert len(series.per_event_ms) == 10
+        assert series.mean_ms > 0
+        assert series.stdev_ms >= 0
+        assert 0 <= series.relative_stdev < 1.5
+
+    def test_publisher_throughput_requires_divisible_epochs(self):
+        with pytest.raises(ValueError):
+            run_publisher_throughput(SR_TPS, events=10, epochs=3)
+
+    def test_publisher_throughput_small_run(self):
+        series = run_publisher_throughput(JXTA_WIRE, events=20, epochs=4, seed=3)
+        assert len(series.epoch_rates) == 4
+        assert series.mean_rate > 0
+
+    def test_subscriber_throughput_small_run(self):
+        series = run_subscriber_throughput(SR_JXTA, publishers=1, duration=10.0, seed=3)
+        assert len(series.per_second) == 10
+        assert series.mean_rate > 0
+
+    def test_figure_sweeps_produce_all_series(self):
+        fig18 = run_figure18(events=5, subscriber_counts=(1,), variants=(JXTA_WIRE, SR_TPS))
+        assert set(fig18.series) == {(JXTA_WIRE, 1), (SR_TPS, 1)}
+        assert fig18.mean_ms(SR_TPS, 1) > fig18.mean_ms(JXTA_WIRE, 1)
+        fig19 = run_figure19(events=10, epochs=2, subscriber_counts=(1,), variants=(SR_TPS,))
+        assert fig19.mean_rate(SR_TPS, 1) > 0
+        fig20 = run_figure20(duration=5.0, publisher_counts=(1,), variants=(SR_TPS,))
+        assert len(fig20.get(SR_TPS, 1).per_second) == 5
+
+    def test_shapes_match_paper_ordering_quick(self):
+        """A reduced-size sanity check of the headline ordering (full check in benchmarks/)."""
+        wire = run_invocation_time(JXTA_WIRE, subscribers=1, events=15, seed=7)
+        tps = run_invocation_time(SR_TPS, subscribers=1, events=15, seed=7)
+        jxta = run_invocation_time(SR_JXTA, subscribers=1, events=15, seed=7)
+        assert wire.mean_ms < jxta.mean_ms
+        assert abs(tps.mean_ms - jxta.mean_ms) / jxta.mean_ms < 0.10
+
+
+class TestCodeSize:
+    def test_measure_code_size(self):
+        report = measure_code_size()
+        assert report.tps_application > 0
+        assert report.jxta_application > report.tps_application
+        assert report.tps_library > report.jxta_application
+        assert report.minimal_saving == report.jxta_application - report.tps_application
+        assert report.full_saving > report.minimal_saving
+        assert report.application_ratio > 1.0
+        assert any(name.endswith("tps_app.py") for name in report.per_module)
+
+    def test_count_code_lines_ignores_comments_and_docstrings(self, tmp_path):
+        from repro.bench.code_size import count_code_lines
+
+        source = tmp_path / "sample.py"
+        source.write_text(
+            '"""Module docstring."""\n'
+            "# a comment\n"
+            "\n"
+            "def f(x):\n"
+            '    """Docstring."""\n'
+            "    # another comment\n"
+            "    return x + 1\n"
+        )
+        assert count_code_lines(source) == 2  # def line + return line
+
+
+class TestReporting:
+    def test_format_table_aligns_columns(self):
+        table = format_table(["name", "value"], [("a", 1), ("longer-name", 22)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) or len(line) <= len(lines[2]) for line in lines)
+
+    def test_figure_formatters_produce_text(self):
+        fig18 = run_figure18(events=3, subscriber_counts=(1,), variants=(JXTA_WIRE, SR_TPS))
+        fig19 = run_figure19(events=4, epochs=2, subscriber_counts=(1,), variants=(SR_TPS,))
+        fig20 = run_figure20(duration=3.0, publisher_counts=(1,), variants=(SR_TPS,))
+        assert "Figure 18" in format_figure18(fig18)
+        assert "Figure 19" in format_figure19(fig19)
+        assert "Figure 20" in format_figure20(fig20)
+        assert "SR-TPS" in format_figure19(fig19)
+        assert "programming effort" in format_code_size(measure_code_size())

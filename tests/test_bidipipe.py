@@ -1,0 +1,137 @@
+"""Tests for bi-directional pipes (repro.jxta.bidipipe)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jxta.advertisement import PipeAdvertisement
+from repro.jxta.bidipipe import BidirectionalPipeListener, connect
+from repro.jxta.errors import PipeError
+from repro.jxta.message import Message
+from repro.jxta.pipes import PipeKind
+
+
+def _server_advertisement(name="bidi-service"):
+    return PipeAdvertisement(name=name, pipe_kind=PipeKind.UNICAST.value)
+
+
+def _establish(builder, server_peer, client_peer, advertisement=None, **listener_kwargs):
+    advertisement = advertisement or _server_advertisement()
+    listener = BidirectionalPipeListener(
+        server_peer.world_group, advertisement, **listener_kwargs
+    )
+    builder.settle(rounds=2)
+    pending = connect(client_peer.world_group, advertisement)
+    builder.settle(rounds=4)
+    return listener, pending, advertisement
+
+
+class TestHandshake:
+    def test_connect_establishes_a_session(self, two_peers):
+        alpha, beta, builder = two_peers
+        listener, pending, _adv = _establish(builder, alpha, beta)
+        assert pending.established()
+        assert pending.pipe.remote_peer == alpha.peer_id
+        assert len(listener.sessions) == 1
+        (session,) = listener.sessions.values()
+        assert session.remote_peer == beta.peer_id
+        assert session.session_id == pending.pipe.session_id
+
+    def test_multiple_clients_get_separate_sessions(self, lan):
+        builder = lan
+        server = builder.peer_named("peer-0")
+        clients = [builder.peer_named("peer-1"), builder.peer_named("peer-2")]
+        advertisement = _server_advertisement()
+        listener = BidirectionalPipeListener(server.world_group, advertisement)
+        builder.settle(rounds=2)
+        pendings = [connect(client.world_group, advertisement) for client in clients]
+        builder.settle(rounds=4)
+        assert all(pending.established() for pending in pendings)
+        assert len(listener.sessions) == 2
+        assert len({p.pipe.session_id for p in pendings}) == 2
+
+    def test_on_session_callback(self, two_peers):
+        alpha, beta, builder = two_peers
+        accepted = []
+        _listener, pending, _adv = _establish(
+            builder, alpha, beta, on_session=accepted.append
+        )
+        assert len(accepted) == 1
+        assert accepted[0].session_id == pending.pipe.session_id
+
+
+class TestDataExchange:
+    def test_bidirectional_messaging(self, two_peers):
+        alpha, beta, builder = two_peers
+        listener, pending, _adv = _establish(builder, alpha, beta)
+        client_pipe = pending.pipe
+        (server_pipe,) = listener.sessions.values()
+
+        client_inbox, server_inbox = [], []
+        client_pipe.add_listener(lambda m, sid: client_inbox.append(m.get_text("text")))
+        server_pipe.add_listener(lambda m, sid: server_inbox.append(m.get_text("text")))
+
+        client_pipe.send_text("text", "hello from the client")
+        builder.settle(rounds=3)
+        server_pipe.send_text("text", "hello back from the server")
+        builder.settle(rounds=3)
+
+        assert server_inbox == ["hello from the client"]
+        assert client_inbox == ["hello back from the server"]
+        # Framing elements are stripped from delivered messages.
+        assert server_pipe.received[0].element("BidiKind") is None
+
+    def test_sessions_are_isolated(self, lan):
+        builder = lan
+        server = builder.peer_named("peer-0")
+        client_a = builder.peer_named("peer-1")
+        client_b = builder.peer_named("peer-2")
+        advertisement = _server_advertisement()
+        listener = BidirectionalPipeListener(server.world_group, advertisement)
+        builder.settle(rounds=2)
+        pending_a = connect(client_a.world_group, advertisement)
+        pending_b = connect(client_b.world_group, advertisement)
+        builder.settle(rounds=4)
+        pending_a.pipe.send_text("text", "from A")
+        builder.settle(rounds=3)
+        session_a = listener.sessions[pending_a.pipe.session_id]
+        session_b = listener.sessions[pending_b.pipe.session_id]
+        assert [m.get_text("text") for m in session_a.received] == ["from A"]
+        assert session_b.received == []
+        # Replies go only to the right client.
+        session_a.send_text("text", "ack A")
+        builder.settle(rounds=3)
+        assert [m.get_text("text") for m in pending_a.pipe.received] == ["ack A"]
+        assert pending_b.pipe.received == []
+
+
+class TestClosing:
+    def test_client_close_notifies_server(self, two_peers):
+        alpha, beta, builder = two_peers
+        listener, pending, _adv = _establish(builder, alpha, beta)
+        session_id = pending.pipe.session_id
+        pending.pipe.close()
+        builder.settle(rounds=3)
+        assert pending.pipe.closed
+        assert session_id not in listener.sessions
+        with pytest.raises(PipeError):
+            pending.pipe.send(Message())
+
+    def test_listener_close_shuts_sessions(self, two_peers):
+        alpha, beta, builder = two_peers
+        listener, pending, _adv = _establish(builder, alpha, beta)
+        listener.close()
+        builder.settle(rounds=3)
+        assert listener.closed
+        assert listener.sessions == {}
+        assert pending.pipe.closed
+
+    def test_connect_before_listener_exists_eventually_succeeds(self, two_peers):
+        alpha, beta, builder = two_peers
+        advertisement = _server_advertisement()
+        # The client connects first; the CONNECT is retried on the sim clock.
+        pending = connect(beta.world_group, advertisement)
+        builder.settle(rounds=1)
+        BidirectionalPipeListener(alpha.world_group, advertisement)
+        builder.settle(rounds=6)
+        assert pending.established()

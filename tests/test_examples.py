@@ -1,0 +1,71 @@
+"""Smoke tests: every example script runs end-to-end and prints what it promises."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str, capsys, argv=None):
+    path = EXAMPLES_DIR / name
+    assert path.exists(), f"example {name} is missing"
+    old_argv = sys.argv
+    sys.argv = [str(path)] + list(argv or [])
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart_example(capsys):
+    output = _run_example("quickstart.py", capsys)
+    assert "objects sent     : 3" in output
+    assert "objects received : 3" in output
+    assert "[subscriber] received" in output
+
+
+def test_ski_rental_example(capsys):
+    output = _run_example("ski_rental.py", capsys)
+    assert "SR-TPS" in output and "SR-JXTA" in output
+    assert "received 4 offers" in output
+    assert "same offers in the same order: True" in output
+
+
+def test_news_ticker_example(capsys):
+    output = _run_example("news_ticker.py", capsys)
+    assert "archivist (4 stories)" in output
+    assert "sports desk (2 stories)" in output
+    assert "ski club (1 stories)" in output
+
+
+def test_stock_monitor_example(capsys):
+    output = _run_example("stock_monitor.py", capsys)
+    assert "watchlist subscriber" in output
+    assert "dashboard console view (5 quotes)" in output
+    assert "dashboard alerts (3)" in output
+    assert "exception handler: 2" in output
+
+
+def test_firewalled_peers_example(capsys):
+    output = _run_example("firewalled_peers.py", capsys)
+    assert "received 2 alerts" in output
+    assert "relayed by the rendez-vous/router" in output
+
+
+def test_loose_coupling_example(capsys):
+    output = _run_example("loose_coupling.py", capsys)
+    assert "peer without the class sees" in output
+    assert "is it a RentalOffer?      : True" in output
+    assert "counter-offer 70.00" in output
+
+
+def test_reproduce_figures_single_figure(capsys):
+    output = _run_example("reproduce_figures.py", capsys, argv=["--figure", "code-size"])
+    assert "programming effort" in output
+    assert "SR-TPS application" in output

@@ -1,0 +1,151 @@
+"""Failure-injection tests: partitions, crashes, address changes, firewalls, floods.
+
+The paper's setting (JXTA 1.0 in 2001) is explicitly unreliable; the
+reproduction's substrate exposes the corresponding failure hooks, and these
+tests check that the layers above degrade the way the paper's system would:
+lost peers stop receiving, healed partitions resume delivery, a peer that
+comes back under a new address keeps its subscriptions (stable UUIDs), and a
+flooded subscriber drops messages instead of falling over.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.skirental.types import SkiRental
+from repro.core import TPSConfig, TPSEngine
+from repro.jxta.platform import JxtaNetworkBuilder
+from repro.net.firewall import Firewall
+from repro.net.network import LinkSpec
+
+
+def _pub_sub(builder, pub_name="f-pub", sub_name="f-sub", **sub_kwargs):
+    pub_peer = builder.add_peer(pub_name)
+    publisher = TPSEngine(
+        SkiRental, peer=pub_peer, config=TPSConfig(search_timeout=2.0)
+    ).new_interface("JXTA")
+    builder.settle(rounds=8)
+    sub_peer = builder.add_peer(sub_name, **sub_kwargs)
+    subscriber = TPSEngine(
+        SkiRental,
+        peer=sub_peer,
+        config=TPSConfig(search_timeout=6.0, create_if_missing=False),
+    ).new_interface("JXTA")
+    inbox = []
+    subscriber.subscribe(inbox.append)
+    builder.settle(rounds=12)
+    return publisher, subscriber, inbox, pub_peer, sub_peer
+
+
+def _publish(builder, publisher, count=1, price=10.0):
+    receipts = []
+    for index in range(count):
+        receipt = publisher.publish(SkiRental("shop", price + index, "b", 1))
+        builder.simulator.run_until(max(builder.simulator.now, receipt.completion_time))
+        receipts.append(receipt)
+    builder.settle(rounds=8)
+    return receipts
+
+
+class TestPartitions:
+    def test_partition_blocks_then_heals(self, builder):
+        builder.add_rendezvous("rdv-0")
+        publisher, _subscriber, inbox, pub_peer, sub_peer = _pub_sub(builder)
+        _publish(builder, publisher)
+        assert len(inbox) == 1
+        # Partition the publisher from both the subscriber and the rendez-vous
+        # relay: nothing can get through any more.
+        builder.network.partition(pub_peer.node.address, sub_peer.node.address)
+        builder.network.partition(pub_peer.node.address, "rdv-0")
+        _publish(builder, publisher, price=20.0)
+        assert len(inbox) == 1
+        # Healing restores delivery for subsequent events.
+        builder.network.heal(pub_peer.node.address, sub_peer.node.address)
+        builder.network.heal(pub_peer.node.address, "rdv-0")
+        _publish(builder, publisher, price=30.0)
+        assert len(inbox) == 2
+
+    def test_offline_subscriber_misses_events(self, builder):
+        builder.add_rendezvous("rdv-0")
+        publisher, _subscriber, inbox, _pub_peer, sub_peer = _pub_sub(builder)
+        sub_peer.node.go_offline()
+        _publish(builder, publisher)
+        assert inbox == []
+        sub_peer.node.go_online()
+        _publish(builder, publisher, price=42.0)
+        assert len(inbox) == 1
+        assert inbox[0].price == 42.0
+
+
+class TestCrashRecovery:
+    def test_subscriber_survives_address_change(self, builder):
+        """Stable peer UUIDs (PBP): a peer that moves keeps its pipe bindings."""
+        builder.add_rendezvous("rdv-0")
+        publisher, _subscriber, inbox, pub_peer, sub_peer = _pub_sub(builder)
+        _publish(builder, publisher)
+        assert len(inbox) == 1
+        sub_peer.restart_at_address("moved-subscriber")
+        # The publisher's endpoint learns the new address (refreshed peer
+        # advertisement / resolver traffic in real JXTA).
+        pub_peer.endpoint.learn_address(sub_peer.peer_id, "moved-subscriber")
+        _publish(builder, publisher, price=77.0)
+        assert len(inbox) == 2
+        assert inbox[-1].price == 77.0
+
+    def test_rendezvous_loss_on_single_lan_is_tolerated(self, builder):
+        """On one multicast segment, losing the rendez-vous does not stop delivery."""
+        rendezvous = builder.add_rendezvous("rdv-0")
+        publisher, _subscriber, inbox, _pub, _sub = _pub_sub(builder)
+        rendezvous.node.go_offline()
+        _publish(builder, publisher)
+        assert len(inbox) == 1
+
+
+class TestFirewallsAndSegments:
+    def test_subscriber_behind_firewall_still_served(self, builder):
+        builder.add_rendezvous("rdv-0")
+        publisher, _subscriber, inbox, _pub_peer, _sub_peer = _pub_sub(
+            builder, sub_name="guarded", firewall=Firewall.corporate_default()
+        )
+        _publish(builder, publisher)
+        assert len(inbox) == 1
+
+    def test_cross_segment_subscriber_via_router(self, builder):
+        rendezvous = builder.add_rendezvous("rdv-0")
+        pub_peer = builder.add_peer("seg-pub")
+        publisher = TPSEngine(
+            SkiRental, peer=pub_peer, config=TPSConfig(search_timeout=2.0)
+        ).new_interface("JXTA")
+        builder.settle(rounds=8)
+        sub_peer = builder.add_peer("seg-sub", segment="lan1", connect_rendezvous=False)
+        builder.connect_segments("seg-sub", "rdv-0", LinkSpec.lan())
+        sub_peer.world_group.rendezvous.connect("rdv-0")
+        subscriber = TPSEngine(
+            SkiRental,
+            peer=sub_peer,
+            config=TPSConfig(search_timeout=8.0, create_if_missing=False),
+        ).new_interface("JXTA")
+        inbox = []
+        subscriber.subscribe(inbox.append)
+        builder.settle(rounds=16)
+        _publish(builder, publisher)
+        assert len(inbox) == 1
+        assert rendezvous.metrics.counters().get("endpoint_forwarded", 0) >= 1
+
+
+class TestOverload:
+    def test_flooded_subscriber_drops_rather_than_stalls(self, builder):
+        builder.add_rendezvous("rdv-0")
+        publisher, _subscriber, inbox, _pub_peer, sub_peer = _pub_sub(builder)
+        # Publish a burst far beyond the receive queue limit without letting
+        # the subscriber drain.
+        limit = sub_peer.cost_model.receive_queue_limit
+        for _ in range(limit * 2):
+            publisher.publish(SkiRental("shop", 10.0, "b", 1))
+        builder.settle(rounds=64)
+        dropped = sub_peer.metrics.counters().get("wire_messages_dropped", 0)
+        assert dropped > 0
+        assert 0 < len(inbox) <= limit * 2 - dropped + 1
+        # The subscriber keeps working afterwards.
+        _publish(builder, publisher, price=99.0)
+        assert inbox[-1].price == 99.0

@@ -1,0 +1,157 @@
+"""Tests for the in-process TPS binding (LocalBus / LocalTPSEngine)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.skirental.types import PremiumSkiRental, RentalOffer, SkiRental, SnowboardRental
+from repro.core import Criteria, TPSEngine
+from repro.core.exceptions import TypeMismatchError
+from repro.core.local_engine import LocalBus, LocalTPSEngine
+
+
+@pytest.fixture
+def bus():
+    return LocalBus()
+
+
+def _engine(event_type, bus, criteria=None, subscribe_to=None):
+    engine = LocalTPSEngine(event_type, bus=bus, criteria=criteria)
+    if subscribe_to is not None:
+        engine.subscribe(subscribe_to.append)
+    return engine
+
+
+class TestLocalDelivery:
+    def test_publish_reaches_subscribers_of_same_type(self, bus):
+        received = []
+        publisher = _engine(SkiRental, bus)
+        _subscriber = _engine(SkiRental, bus, subscribe_to=received)
+        offer = SkiRental("shop", 10.0, "b", 1)
+        receipt = publisher.publish(offer)
+        assert len(received) == 1
+        assert receipt.pipes == 1
+        # The delivered object is a codec copy, not the same instance.
+        assert received[0] == offer and received[0] is not offer
+
+    def test_publisher_does_not_receive_its_own_events(self, bus):
+        received = []
+        engine = _engine(SkiRental, bus, subscribe_to=received)
+        engine.publish(SkiRental("shop", 10.0, "b", 1))
+        assert received == []
+        assert len(engine.objects_sent()) == 1
+
+    def test_subtype_matching(self, bus):
+        offers, skis, premiums = [], [], []
+        publisher = _engine(RentalOffer, bus)
+        _all_sub = _engine(RentalOffer, bus, subscribe_to=offers)
+        _ski_sub = _engine(SkiRental, bus, subscribe_to=skis)
+        _premium_sub = _engine(PremiumSkiRental, bus, subscribe_to=premiums)
+        publisher.publish(RentalOffer("shop", 5.0, 1))
+        publisher.publish(SkiRental("shop", 10.0, "b", 1))
+        publisher.publish(PremiumSkiRental("shop", 20.0, "b", 1, extras=("x",)))
+        publisher.publish(SnowboardRental("shop", 15.0, "b", 1))
+        assert len(offers) == 4       # root subscriber sees everything
+        assert len(skis) == 2         # ski + premium ski
+        assert len(premiums) == 1     # premium only
+
+    def test_type_mismatch_rejected(self, bus):
+        publisher = _engine(SkiRental, bus)
+        with pytest.raises(TypeMismatchError):
+            publisher.publish(SnowboardRental("shop", 15.0, "b", 1))
+
+    def test_subscriber_without_subscription_receives_nothing(self, bus):
+        publisher = _engine(SkiRental, bus)
+        idle = _engine(SkiRental, bus)
+        publisher.publish(SkiRental("shop", 10.0, "b", 1))
+        assert idle.objects_received() == []
+
+    def test_criteria_event_filtering(self, bus):
+        cheap = []
+        publisher = _engine(SkiRental, bus)
+        subscriber = LocalTPSEngine(
+            SkiRental, bus=bus, criteria=Criteria(event_predicate=lambda o: o.price < 100)
+        )
+        subscriber.subscribe(cheap.append)
+        publisher.publish(SkiRental("shop", 50.0, "b", 1))
+        publisher.publish(SkiRental("shop", 500.0, "b", 1))
+        assert len(cheap) == 1
+
+    def test_objects_received_and_sent_order(self, bus):
+        received = []
+        publisher = _engine(SkiRental, bus)
+        subscriber = _engine(SkiRental, bus, subscribe_to=received)
+        offers = [SkiRental("s", float(i), "b", 1) for i in range(5)]
+        for offer in offers:
+            publisher.publish(offer)
+        assert publisher.objects_sent() == offers
+        assert subscriber.objects_received() == offers
+
+    def test_close_detaches_from_bus(self, bus):
+        received = []
+        publisher = _engine(SkiRental, bus)
+        subscriber = _engine(SkiRental, bus, subscribe_to=received)
+        subscriber.close()
+        publisher.publish(SkiRental("s", 1.0, "b", 1))
+        assert received == []
+
+    def test_exception_handler_per_subscription(self, bus):
+        publisher = _engine(SkiRental, bus)
+        subscriber = _engine(SkiRental, bus)
+        errors = []
+
+        def broken(offer):
+            raise RuntimeError("bad callback")
+
+        subscriber.subscribe(broken, errors.append)
+        publisher.publish(SkiRental("s", 1.0, "b", 1))
+        assert len(errors) == 1
+        assert isinstance(errors[0], RuntimeError)
+
+    def test_unrelated_hierarchies_are_isolated(self, bus):
+        class Telemetry:
+            def __init__(self, reading=0.0):
+                self.reading = reading
+
+        offers, telemetry = [], []
+        offer_pub = _engine(SkiRental, bus)
+        _offer_sub = _engine(SkiRental, bus, subscribe_to=offers)
+        telemetry_pub = _engine(Telemetry, bus)
+        _telemetry_sub = _engine(Telemetry, bus, subscribe_to=telemetry)
+        offer_pub.publish(SkiRental("s", 1.0, "b", 1))
+        telemetry_pub.publish(Telemetry(3.3))
+        assert len(offers) == 1 and len(telemetry) == 1
+
+
+class TestEngineFactory:
+    def test_new_interface_local_binding(self, bus):
+        engine = TPSEngine(SkiRental, local_bus=bus)
+        interface = engine.new_interface("LOCAL")
+        assert isinstance(interface, LocalTPSEngine)
+        assert engine.interfaces == [interface]
+
+    def test_new_interface_unknown_binding_rejected(self, bus):
+        engine = TPSEngine(SkiRental, local_bus=bus)
+        with pytest.raises(Exception):
+            engine.new_interface("CORBA")
+
+    def test_new_interface_jxta_requires_peer(self):
+        engine = TPSEngine(SkiRental)
+        with pytest.raises(Exception):
+            engine.new_interface("JXTA")
+
+    def test_instance_argument_type_checked(self, bus):
+        engine = TPSEngine(SkiRental, local_bus=bus)
+        # A correct instance (as the paper's listing passes) is accepted...
+        engine.new_interface("LOCAL", None, SkiRental("s", 1.0, "b", 1))
+        # ...a wrong one is rejected.
+        with pytest.raises(Exception):
+            engine.new_interface("LOCAL", None, SnowboardRental("s", 1.0, "b", 1))
+
+    def test_camel_case_new_interface_alias(self, bus):
+        engine = TPSEngine(SkiRental, local_bus=bus)
+        assert isinstance(engine.newInterface("LOCAL"), LocalTPSEngine)
+
+    def test_engine_rejects_invalid_event_type(self):
+        with pytest.raises(Exception):
+            TPSEngine(int)

@@ -1,0 +1,153 @@
+"""Tests for the Peer Membership Protocol and the Peer Information Protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jxta.advertisement import PeerGroupAdvertisement
+from repro.jxta.errors import MembershipError
+from repro.jxta.membership import DEFAULT_CREDENTIAL_LIFETIME
+from repro.jxta.peerinfo import PeerInfo
+
+
+class TestMembership:
+    def _group(self, peer, password=None, name="club"):
+        advertisement = PeerGroupAdvertisement(name=name, membership_password=password)
+        return peer.world_group.new_group(advertisement)
+
+    def test_open_group_join_and_resign(self, two_peers):
+        alpha, _beta, _builder = two_peers
+        group = self._group(alpha)
+        membership = group.membership
+        authenticator = membership.apply()
+        assert not authenticator.requires_password
+        credential = membership.join(authenticator)
+        assert membership.is_member()
+        assert membership.current_credential is credential
+        assert credential.group_id == group.group_id
+        membership.resign()
+        assert not membership.is_member()
+
+    def test_password_protected_group(self, two_peers):
+        alpha, _beta, _builder = two_peers
+        group = self._group(alpha, password="hunter2")
+        membership = group.membership
+        authenticator = membership.apply("alice")
+        assert authenticator.requires_password
+        # Incomplete authenticator rejected.
+        with pytest.raises(MembershipError):
+            membership.join(authenticator)
+        # Wrong password rejected.
+        authenticator.password = "wrong"
+        with pytest.raises(MembershipError):
+            membership.join(authenticator)
+        # Right password accepted.
+        authenticator.password = "hunter2"
+        credential = membership.join(authenticator)
+        assert credential.identity == "alice"
+        assert membership.is_member()
+
+    def test_authenticator_for_other_group_rejected(self, two_peers):
+        alpha, _beta, _builder = two_peers
+        group_a = self._group(alpha, name="a")
+        group_b = self._group(alpha, name="b")
+        authenticator = group_a.membership.apply()
+        with pytest.raises(MembershipError):
+            group_b.membership.join(authenticator)
+
+    def test_credential_expiry_and_renew(self, two_peers):
+        alpha, _beta, builder = two_peers
+        group = self._group(alpha)
+        credential = group.membership.join(group.membership.apply())
+        original_issued_at = credential.issued_at
+        assert credential.valid(alpha.now)
+        assert not credential.valid(alpha.now + DEFAULT_CREDENTIAL_LIFETIME + 1)
+        builder.simulator.run_until(builder.simulator.now + 10.0)
+        renewed = group.membership.renew()
+        assert renewed.expires_at > original_issued_at + DEFAULT_CREDENTIAL_LIFETIME
+
+    def test_renew_and_resign_require_membership(self, two_peers):
+        alpha, _beta, _builder = two_peers
+        group = self._group(alpha)
+        with pytest.raises(MembershipError):
+            group.membership.renew()
+        with pytest.raises(MembershipError):
+            group.membership.resign()
+
+    def test_validate_credentials(self, two_peers):
+        alpha, _beta, _builder = two_peers
+        group = self._group(alpha)
+        other = self._group(alpha, name="other")
+        credential = group.membership.join(group.membership.apply())
+        assert group.membership.validate(credential)
+        assert not other.membership.validate(credential)
+
+    def test_member_count_tracks_issued_credentials(self, two_peers):
+        alpha, _beta, _builder = two_peers
+        group = self._group(alpha)
+        assert group.membership.member_count() == 0
+        group.membership.join(group.membership.apply())
+        assert group.membership.member_count() == 1
+
+
+class TestPeerInfo:
+    def test_local_peer_info_reflects_uptime_and_roles(self, lan):
+        builder = lan
+        rendezvous = builder.peer_named("rdv-0")
+        info = rendezvous.world_group.peerinfo.local_peer_info()
+        assert info.peer_id == rendezvous.peer_id
+        assert info.is_rendezvous and info.is_router
+        assert info.uptime >= 0.0
+        assert info.incoming_channels == 3  # the three connected edge peers
+
+    def test_peer_info_xml_round_trip(self, two_peers):
+        alpha, _beta, _builder = two_peers
+        info = alpha.world_group.peerinfo.local_peer_info()
+        restored = PeerInfo.from_xml(info.to_xml())
+        assert restored.peer_id == info.peer_id
+        assert restored.name == info.name
+        assert restored.packets_sent == info.packets_sent
+
+    def test_remote_peer_info_query(self, two_peers):
+        alpha, beta, builder = two_peers
+        alpha.endpoint.learn_address(beta.peer_id, beta.node.address)
+        collected = []
+        alpha.world_group.peerinfo.add_peer_info_listener(collected.append)
+        alpha.world_group.peerinfo.get_remote_peer_info(beta.peer_id)
+        builder.settle(rounds=2)
+        assert len(collected) == 1
+        assert collected[0].peer_id == beta.peer_id
+        assert alpha.world_group.peerinfo.received == collected
+
+    def test_propagated_peer_info_query_reaches_everyone(self, lan):
+        builder = lan
+        source = builder.peer_named("peer-0")
+        source.world_group.peerinfo.get_remote_peer_info(None)
+        builder.settle(rounds=3)
+        names = {info.name for info in source.world_group.peerinfo.received}
+        assert names == {"rdv-0", "peer-1", "peer-2"}
+
+    def test_traffic_counters_grow_with_activity(self, two_peers):
+        alpha, beta, builder = two_peers
+        alpha.endpoint.learn_address(beta.peer_id, beta.node.address)
+        before = alpha.world_group.peerinfo.local_peer_info().packets_sent
+        from repro.jxta.message import Message
+
+        message = Message()
+        message.add("x", "y")
+        alpha.endpoint.send(beta.peer_id, message, "svc")
+        builder.settle(rounds=2)
+        after = alpha.world_group.peerinfo.local_peer_info().packets_sent
+        assert after == before + 1
+
+    def test_listener_removal(self, two_peers):
+        alpha, beta, builder = two_peers
+        collected = []
+        peerinfo = alpha.world_group.peerinfo
+        peerinfo.add_peer_info_listener(collected.append)
+        peerinfo.remove_peer_info_listener(collected.append)
+        alpha.endpoint.learn_address(beta.peer_id, beta.node.address)
+        peerinfo.get_remote_peer_info(beta.peer_id)
+        builder.settle(rounds=2)
+        assert collected == []
+        assert len(peerinfo.received) == 1  # still recorded internally

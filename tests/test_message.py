@@ -1,0 +1,134 @@
+"""Tests for JXTA messages (repro.jxta.message)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.jxta.message import Message, MessageElement
+
+
+class TestMessageElement:
+    def test_qualified_name(self):
+        assert MessageElement("n", "x").qualified_name == "n"
+        assert MessageElement("n", "x", namespace="jxta").qualified_name == "jxta:n"
+
+    def test_text_and_bytes_views(self):
+        text_element = MessageElement("t", "héllo")
+        assert text_element.as_bytes == "héllo".encode("utf-8")
+        assert text_element.as_text == "héllo"
+        bytes_element = MessageElement("b", b"\x01\x02")
+        assert bytes_element.as_bytes == b"\x01\x02"
+
+    def test_size(self):
+        assert MessageElement("t", "abc").size == 3
+        assert MessageElement("b", b"12345").size == 5
+
+
+class TestMessage:
+    def test_add_and_get(self):
+        message = Message()
+        message.add("name", "value")
+        message.add("blob", b"\x00\x01")
+        assert message.get_text("name") == "value"
+        assert message.get_bytes("blob") == b"\x00\x01"
+        assert message.get_text("missing", "default") == "default"
+        assert message.has("name")
+        assert not message.has("missing")
+
+    def test_mime_type_defaults(self):
+        message = Message()
+        assert message.add("t", "text").mime_type == "text/plain"
+        assert message.add("b", b"bytes").mime_type == "application/octet-stream"
+
+    def test_namespaces_are_distinct(self):
+        message = Message()
+        message.add("x", "plain")
+        message.add("x", "scoped", namespace="ns")
+        assert message.get_text("x") == "plain"
+        assert message.get_text("x", namespace="ns") == "scoped"
+
+    def test_elements_filtering_and_len(self):
+        message = Message()
+        message.add("a", "1")
+        message.add("a", "2")
+        message.add("b", "3")
+        assert len(message) == 3
+        assert [e.as_text for e in message.elements("a")] == ["1", "2"]
+        assert len(message.elements()) == 3
+
+    def test_remove(self):
+        message = Message()
+        message.add("a", "1")
+        assert message.remove("a")
+        assert not message.remove("a")
+        assert not message.has("a")
+
+    def test_size_sums_elements(self):
+        message = Message()
+        message.add("a", "12345")
+        message.add("b", b"123")
+        assert message.size == 8
+
+    def test_dup_is_deep_enough(self):
+        message = Message()
+        message.add("a", "original")
+        copy = message.dup()
+        copy.add("b", "extra")
+        copy.remove("a")
+        assert message.has("a")
+        assert not message.has("b")
+        assert copy.message_number != message.message_number
+
+    def test_round_trip(self):
+        message = Message()
+        message.add("text", "héllo", namespace="ns", mime_type="text/plain")
+        message.add("data", b"\x00\xff\x10")
+        restored = Message.from_bytes(message.to_bytes())
+        assert restored.get_text("text", namespace="ns") == "héllo"
+        assert restored.get_bytes("data") == b"\x00\xff\x10"
+        assert len(restored) == 2
+        assert restored.elements()[0].mime_type == "text/plain"
+
+    def test_round_trip_preserves_order(self):
+        message = Message()
+        for index in range(10):
+            message.add(f"e{index}", str(index))
+        restored = Message.from_bytes(message.to_bytes())
+        assert [e.name for e in restored.elements()] == [f"e{i}" for i in range(10)]
+
+    def test_pad_to_reaches_target_size(self):
+        message = Message()
+        message.add("small", "x")
+        message.pad_to(1910)
+        assert message.size >= 1910
+        # Padding an already large message is a no-op.
+        before = message.size
+        message.pad_to(100)
+        assert message.size == before
+
+    def test_message_numbers_are_unique(self):
+        assert Message().message_number != Message().message_number
+
+
+# ----------------------------------------------------------------- property
+
+_names = st.from_regex(r"[A-Za-z][A-Za-z0-9._-]{0,12}", fullmatch=True)
+_payload = st.one_of(st.text(max_size=40), st.binary(max_size=40))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    elements=st.lists(st.tuples(_names, _payload, st.sampled_from(["", "ns", "jxta"])), max_size=8)
+)
+def test_property_message_round_trip(elements):
+    """Serialising and deserialising a message preserves all elements in order."""
+    message = Message()
+    for name, content, namespace in elements:
+        message.add(name, content, namespace=namespace)
+    restored = Message.from_bytes(message.to_bytes())
+    assert len(restored) == len(message)
+    for original, copy in zip(message.elements(), restored.elements()):
+        assert copy.name == original.name
+        assert copy.namespace == original.namespace
+        assert copy.as_bytes == original.as_bytes

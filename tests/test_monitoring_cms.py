@@ -1,0 +1,116 @@
+"""Tests for the monitoring service and the content (cms-like) service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jxta.cms import ContentSummary
+from repro.jxta.monitoring import MonitoringReport
+
+
+class TestMonitoring:
+    def test_local_report_contains_counters(self, two_peers):
+        alpha, beta, builder = two_peers
+        alpha.endpoint.learn_address(beta.peer_id, beta.node.address)
+        from repro.jxta.message import Message
+
+        message = Message()
+        message.add("x", "y")
+        alpha.endpoint.send(beta.peer_id, message, "svc")
+        builder.settle(rounds=2)
+        report = alpha.world_group.monitoring.local_report()
+        assert report.peer_name == "alpha"
+        assert report.counters.get("packets_sent", 0) >= 1
+
+    def test_report_xml_round_trip(self, two_peers):
+        alpha, _beta, _builder = two_peers
+        alpha.metrics.counter("custom_counter").increment(5)
+        alpha.metrics.timer("custom_timer").observe(0.25)
+        report = alpha.world_group.monitoring.local_report()
+        restored = MonitoringReport.from_xml(report.to_xml())
+        assert restored.peer_id == alpha.peer_id
+        assert restored.counters["custom_counter"] == 5
+        assert restored.timer_means["custom_timer"] == pytest.approx(0.25)
+
+    def test_collect_remote_reports(self, lan):
+        builder = lan
+        collector = builder.peer_named("peer-0")
+        collector.world_group.monitoring.collect_remote()
+        builder.settle(rounds=3)
+        collected = collector.world_group.monitoring.collected
+        assert {report.peer_name for report in collected} == {"rdv-0", "peer-1", "peer-2"}
+
+    def test_collect_from_single_peer(self, two_peers):
+        alpha, beta, builder = two_peers
+        alpha.endpoint.learn_address(beta.peer_id, beta.node.address)
+        alpha.world_group.monitoring.collect_remote(beta.peer_id)
+        builder.settle(rounds=2)
+        assert [r.peer_name for r in alpha.world_group.monitoring.collected] == ["beta"]
+
+
+class TestContentService:
+    def test_share_and_list_local(self, two_peers):
+        alpha, _beta, _builder = two_peers
+        content = alpha.world_group.content
+        summary = content.share("report.txt", b"hello world", description="a report")
+        assert summary.size == 11
+        assert summary.owner == alpha.peer_id
+        assert content.list_local() == [summary]
+
+    def test_unshare(self, two_peers):
+        alpha, _beta, _builder = two_peers
+        content = alpha.world_group.content
+        summary = content.share("x", b"1")
+        assert content.unshare(summary.codat_id)
+        assert not content.unshare(summary.codat_id)
+        assert content.list_local() == []
+
+    def test_summary_xml_round_trip(self, two_peers):
+        alpha, _beta, _builder = two_peers
+        summary = alpha.world_group.content.share("doc", b"abc", description="desc")
+        restored = ContentSummary.from_xml_element(summary.to_xml_element())
+        assert restored.codat_id == summary.codat_id
+        assert restored.checksum == summary.checksum
+        assert restored.owner == alpha.peer_id
+
+    def test_search_remote_by_prefix(self, lan):
+        builder = lan
+        seeker = builder.peer_named("peer-0")
+        provider_1 = builder.peer_named("peer-1")
+        provider_2 = builder.peer_named("peer-2")
+        provider_1.world_group.content.share("holiday-photo-1.jpg", b"\x01" * 10)
+        provider_2.world_group.content.share("holiday-photo-2.jpg", b"\x02" * 20)
+        provider_2.world_group.content.share("unrelated.txt", b"zzz")
+        seeker.world_group.content.search_remote("holiday-*")
+        builder.settle(rounds=3)
+        names = {summary.name for summary in seeker.world_group.content.found}
+        assert names == {"holiday-photo-1.jpg", "holiday-photo-2.jpg"}
+
+    def test_fetch_content_from_owner(self, two_peers):
+        alpha, beta, builder = two_peers
+        payload = bytes(range(64))
+        beta.world_group.content.share("blob.bin", payload)
+        alpha.endpoint.learn_address(beta.peer_id, beta.node.address)
+        alpha.world_group.content.search_remote("blob.bin")
+        builder.settle(rounds=3)
+        (summary,) = alpha.world_group.content.found
+        alpha.world_group.content.fetch(summary)
+        builder.settle(rounds=3)
+        assert alpha.world_group.content.fetched[summary.codat_id.to_urn()] == payload
+
+    def test_search_exact_name(self, two_peers):
+        alpha, beta, builder = two_peers
+        beta.world_group.content.share("exact.txt", b"x")
+        beta.world_group.content.share("exact.txt.bak", b"y")
+        alpha.world_group.content.search_remote("exact.txt")
+        builder.settle(rounds=3)
+        assert [s.name for s in alpha.world_group.content.found] == ["exact.txt"]
+
+    def test_duplicate_search_results_not_duplicated(self, two_peers):
+        alpha, beta, builder = two_peers
+        beta.world_group.content.share("thing", b"x")
+        alpha.world_group.content.search_remote("thing")
+        builder.settle(rounds=3)
+        alpha.world_group.content.search_remote("thing")
+        builder.settle(rounds=3)
+        assert len(alpha.world_group.content.found) == 1

@@ -1,0 +1,217 @@
+"""Tests for the Peer Resolver Protocol and the Peer Discovery Protocol."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import pytest
+
+from repro.jxta.advertisement import PeerGroupAdvertisement, PipeAdvertisement
+from repro.jxta.cache import DiscoveryKind
+from repro.jxta.discovery import DiscoveryEvent
+from repro.jxta.errors import ResolverError
+from repro.jxta.resolver import ResolverQuery, ResolverResponse
+
+
+class EchoHandler:
+    """A resolver handler answering every query with an upper-cased echo."""
+
+    def __init__(self):
+        self.queries = []
+        self.responses = []
+
+    def process_query(self, query: ResolverQuery) -> Optional[str]:
+        self.queries.append(query)
+        return query.body.upper()
+
+    def process_response(self, response: ResolverResponse) -> None:
+        self.responses.append(response)
+
+
+class SilentHandler(EchoHandler):
+    """A handler that records queries but never responds."""
+
+    def process_query(self, query: ResolverQuery) -> Optional[str]:
+        self.queries.append(query)
+        return None
+
+
+class TestResolver:
+    def test_directed_query_and_response(self, two_peers):
+        alpha, beta, builder = two_peers
+        asker, answerer = EchoHandler(), EchoHandler()
+        alpha.world_group.resolver.register_handler("echo", asker)
+        beta.world_group.resolver.register_handler("echo", answerer)
+        alpha.endpoint.learn_address(beta.peer_id, beta.node.address)
+        query_id = alpha.world_group.resolver.send_query("echo", "hello", dest_peer=beta.peer_id)
+        builder.settle(rounds=2)
+        assert [q.body for q in answerer.queries] == ["hello"]
+        assert [r.body for r in asker.responses] == ["HELLO"]
+        assert asker.responses[0].query_id == query_id
+        assert asker.responses[0].src_peer == beta.peer_id
+
+    def test_propagated_query_collects_multiple_responses(self, lan):
+        builder = lan
+        source = builder.peer_named("peer-0")
+        handler = EchoHandler()
+        source.world_group.resolver.register_handler("echo", handler)
+        for name in ("peer-1", "peer-2", "rdv-0"):
+            builder.peer_named(name).world_group.resolver.register_handler("echo", EchoHandler())
+        source.world_group.resolver.send_query("echo", "ping")
+        builder.settle(rounds=3)
+        assert len(handler.responses) == 3
+        assert {r.body for r in handler.responses} == {"PING"}
+
+    def test_query_requires_registered_local_handler(self, two_peers):
+        alpha, _beta, _builder = two_peers
+        with pytest.raises(ResolverError):
+            alpha.world_group.resolver.send_query("unregistered", "x")
+
+    def test_unhandled_query_is_counted_not_crashed(self, two_peers):
+        alpha, beta, builder = two_peers
+        alpha.world_group.resolver.register_handler("only-here", EchoHandler())
+        alpha.endpoint.learn_address(beta.peer_id, beta.node.address)
+        alpha.world_group.resolver.send_query("only-here", "x", dest_peer=beta.peer_id)
+        builder.settle(rounds=2)
+        assert beta.metrics.counters().get("resolver_unhandled", 0) == 1
+
+    def test_no_response_when_handler_returns_none(self, two_peers):
+        alpha, beta, builder = two_peers
+        asker = EchoHandler()
+        alpha.world_group.resolver.register_handler("silent", asker)
+        beta.world_group.resolver.register_handler("silent", SilentHandler())
+        alpha.endpoint.learn_address(beta.peer_id, beta.node.address)
+        alpha.world_group.resolver.send_query("silent", "x", dest_peer=beta.peer_id)
+        builder.settle(rounds=2)
+        assert asker.responses == []
+
+    def test_unregister_handler(self, two_peers):
+        alpha, _beta, _builder = two_peers
+        resolver = alpha.world_group.resolver
+        resolver.register_handler("temp", EchoHandler())
+        assert "temp" in resolver.handler_names()
+        resolver.unregister_handler("temp")
+        assert "temp" not in resolver.handler_names()
+
+    def test_group_scoping_isolates_queries(self, two_peers):
+        alpha, beta, builder = two_peers
+        # beta registers the handler only in a child group alpha is not part of.
+        child_adv = PeerGroupAdvertisement(name="private-group")
+        child = beta.world_group.new_group(child_adv)
+        handler = EchoHandler()
+        child.resolver.register_handler("echo", handler)
+        alpha.world_group.resolver.register_handler("echo", EchoHandler())
+        alpha.world_group.resolver.send_query("echo", "ping")
+        builder.settle(rounds=3)
+        assert handler.queries == []  # world-group query never reaches the child group
+
+
+class TestDiscovery:
+    def test_local_publish_and_search(self, two_peers):
+        alpha, _beta, _builder = two_peers
+        discovery = alpha.world_group.discovery
+        advertisement = PeerGroupAdvertisement(name="PS$Widget")
+        discovery.publish(advertisement, DiscoveryKind.GROUP)
+        found = discovery.get_local_advertisements(DiscoveryKind.GROUP, "Name", "PS$*")
+        assert advertisement in found
+
+    def test_remote_query_finds_published_advertisement(self, two_peers):
+        alpha, beta, builder = two_peers
+        advertisement = PeerGroupAdvertisement(name="PS$Widget")
+        beta.world_group.discovery.publish(advertisement, DiscoveryKind.GROUP)
+        events: list[DiscoveryEvent] = []
+        alpha.world_group.discovery.add_discovery_listener(events.append)
+        alpha.world_group.discovery.get_remote_advertisements(
+            None, DiscoveryKind.GROUP, "Name", "PS$*"
+        )
+        builder.settle(rounds=3)
+        assert len(events) == 1
+        (event,) = events
+        assert event.kind == DiscoveryKind.GROUP
+        assert event.src_peer == beta.peer_id
+        assert event.advertisements[0].get_gid() == advertisement.get_gid()
+        # The response is also cached locally.
+        local = alpha.world_group.discovery.get_local_advertisements(
+            DiscoveryKind.GROUP, "Name", "PS$*"
+        )
+        assert local and local[0].get_gid() == advertisement.get_gid()
+
+    def test_remote_query_directed_to_one_peer(self, lan):
+        builder = lan
+        alpha = builder.peer_named("peer-0")
+        beta = builder.peer_named("peer-1")
+        gamma = builder.peer_named("peer-2")
+        beta.world_group.discovery.publish(
+            PeerGroupAdvertisement(name="PS$OnBeta"), DiscoveryKind.GROUP
+        )
+        gamma.world_group.discovery.publish(
+            PeerGroupAdvertisement(name="PS$OnGamma"), DiscoveryKind.GROUP
+        )
+        alpha.endpoint.learn_address(beta.peer_id, beta.node.address)
+        events = []
+        alpha.world_group.discovery.add_discovery_listener(events.append)
+        alpha.world_group.discovery.get_remote_advertisements(
+            beta.peer_id, DiscoveryKind.GROUP, "Name", "PS$*"
+        )
+        builder.settle(rounds=3)
+        names = {adv.name for event in events for adv in event.advertisements}
+        assert names == {"PS$OnBeta"}
+
+    def test_remote_publish_pushes_to_other_peers(self, two_peers):
+        alpha, beta, builder = two_peers
+        advertisement = PeerGroupAdvertisement(name="PS$Pushed")
+        alpha.world_group.discovery.publish(advertisement, DiscoveryKind.GROUP)
+        alpha.world_group.discovery.remote_publish(advertisement, DiscoveryKind.GROUP)
+        builder.settle(rounds=3)
+        found = beta.world_group.discovery.get_local_advertisements(
+            DiscoveryKind.GROUP, "Name", "PS$Pushed"
+        )
+        assert len(found) == 1
+
+    def test_threshold_limits_response_size(self, two_peers):
+        alpha, beta, builder = two_peers
+        for index in range(8):
+            beta.world_group.discovery.publish(
+                PeerGroupAdvertisement(name=f"PS$Many-{index}"), DiscoveryKind.GROUP
+            )
+        events = []
+        alpha.world_group.discovery.add_discovery_listener(events.append)
+        alpha.world_group.discovery.get_remote_advertisements(
+            None, DiscoveryKind.GROUP, "Name", "PS$Many-*", threshold=3
+        )
+        builder.settle(rounds=3)
+        assert sum(len(e.advertisements) for e in events) == 3
+
+    def test_flush_advertisements(self, two_peers):
+        alpha, _beta, _builder = two_peers
+        discovery = alpha.world_group.discovery
+        advertisement = PeerGroupAdvertisement(name="PS$Flushable")
+        discovery.publish(advertisement, DiscoveryKind.GROUP)
+        removed = discovery.flush_advertisements(advertisement.get_gid().to_urn(), DiscoveryKind.GROUP)
+        assert removed == 1
+        # Flushing everything of a kind.
+        discovery.publish(advertisement, DiscoveryKind.GROUP)
+        assert discovery.flush_advertisements(None, DiscoveryKind.GROUP) >= 1
+
+    def test_listener_remove(self, two_peers):
+        alpha, beta, builder = two_peers
+        events = []
+        discovery = alpha.world_group.discovery
+        discovery.add_discovery_listener(events.append)
+        discovery.remove_discovery_listener(events.append)
+        beta.world_group.discovery.publish(
+            PeerGroupAdvertisement(name="PS$X"), DiscoveryKind.GROUP
+        )
+        discovery.get_remote_advertisements(None, DiscoveryKind.GROUP, "Name", "PS$*")
+        builder.settle(rounds=3)
+        assert events == []
+
+    def test_peer_advertisements_published_at_boot(self, lan):
+        builder = lan
+        rendezvous = builder.peer_named("rdv-0")
+        # Peers push their peer advertisement at creation; the rendez-vous
+        # (present from the start) has learned about the later peers.
+        found = rendezvous.world_group.discovery.get_local_advertisements(
+            DiscoveryKind.PEER, "Name", "peer-*"
+        )
+        assert len(found) >= 1

@@ -1,0 +1,229 @@
+"""Tests for the ski-rental application in its three variants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.skirental import (
+    PremiumSkiRental,
+    RentalOffer,
+    SkiRental,
+    SkiRentalJxtaPublisher,
+    SkiRentalJxtaSubscriber,
+    SkiRentalTPSPublisher,
+    SkiRentalTPSSubscriber,
+    SnowboardRental,
+    WirePublisher,
+    WireSubscriber,
+    shared_wire_advertisement,
+)
+from repro.apps.skirental.jxta_app import WireServiceFinderException
+
+
+OFFERS = [
+    SkiRental("XTremShop", 100.0, "Salomon", 14.0),
+    SkiRental("AlpineHut", 80.0, "Rossignol", 7.0),
+    SkiRental("ValleyRentals", 55.0, "Head", 3.0),
+]
+
+
+class TestEventTypes:
+    def test_price_per_day(self):
+        offer = SkiRental("s", 70.0, "b", 7.0)
+        assert offer.price_per_day == pytest.approx(10.0)
+        assert RentalOffer("s", 50.0, 0.0).price_per_day == 50.0
+
+    def test_equality_and_hash(self):
+        a = SkiRental("s", 10.0, "b", 1.0)
+        b = SkiRental("s", 10.0, "b", 1.0)
+        c = SkiRental("s", 11.0, "b", 1.0)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        # Different concrete types never compare equal even with same fields.
+        assert RentalOffer("s", 10.0, 1.0) != SnowboardRental("s", 10.0, "b", 1.0)
+
+    def test_str_forms(self):
+        assert "Salomon" in str(SkiRental("s", 10.0, "Salomon", 1.0))
+        assert "boots" in str(PremiumSkiRental("s", 10.0, "b", 1.0, extras=("boots",)))
+        assert "no extras" in str(PremiumSkiRental("s", 10.0, "b", 1.0))
+        assert "goofy" in str(SnowboardRental("s", 10.0, "b", 1.0, stance="goofy"))
+
+    def test_hierarchy(self):
+        assert issubclass(PremiumSkiRental, SkiRental)
+        assert issubclass(SkiRental, RentalOffer)
+        assert not issubclass(SnowboardRental, SkiRental)
+
+
+def _publish_all(builder, publisher, offers=OFFERS):
+    for offer in offers:
+        receipt = publisher.publish_offer(offer)
+        builder.simulator.run_until(max(builder.simulator.now, receipt.completion_time))
+    builder.settle(rounds=8)
+
+
+class TestSRTPS:
+    def test_publisher_and_subscribers(self, lan):
+        builder = lan
+        shop = SkiRentalTPSPublisher(builder.peer_named("peer-0"))
+        builder.settle(rounds=8)
+        shoppers = [
+            SkiRentalTPSSubscriber(builder.peer_named(f"peer-{i}")) for i in (1, 2)
+        ]
+        builder.settle(rounds=12)
+        assert shop.ready and all(s.ready for s in shoppers)
+        _publish_all(builder, shop)
+        for shopper in shoppers:
+            assert shopper.received_count() == len(OFFERS)
+            assert shopper.received_offers() == OFFERS
+        assert shop.offers_sent() == OFFERS
+
+    def test_best_offer_and_console_lines(self, lan):
+        builder = lan
+        shop = SkiRentalTPSPublisher(builder.peer_named("peer-0"))
+        builder.settle(rounds=8)
+        shopper = SkiRentalTPSSubscriber(builder.peer_named("peer-1"))
+        builder.settle(rounds=12)
+        _publish_all(builder, shop)
+        best = shopper.best_offer()
+        assert best is not None
+        assert best.price_per_day == min(o.price_per_day for o in OFFERS)
+        # The console callback (the paper's MyCBInterface) rendered every offer.
+        assert len(shopper.console_lines) == len(OFFERS)
+        assert all("Skis that could be rented" in line for line in shopper.console_lines)
+        assert shopper.best_offer() is not None
+        assert not shopper.exception_handler.errors
+
+    def test_unsubscribe_stops_reception(self, lan):
+        builder = lan
+        shop = SkiRentalTPSPublisher(builder.peer_named("peer-0"))
+        builder.settle(rounds=8)
+        shopper = SkiRentalTPSSubscriber(builder.peer_named("peer-1"))
+        builder.settle(rounds=12)
+        shopper.unsubscribe()
+        _publish_all(builder, shop)
+        assert shopper.received_count() == 0
+
+    def test_empty_best_offer(self, lan):
+        builder = lan
+        shopper = SkiRentalTPSSubscriber(builder.peer_named("peer-1"))
+        assert shopper.best_offer() is None
+
+
+class TestSRJXTA:
+    def test_publisher_and_subscriber(self, lan):
+        builder = lan
+        shop = SkiRentalJxtaPublisher(builder.peer_named("peer-0"), search_timeout=2.0)
+        builder.settle(rounds=8)
+        shopper = SkiRentalJxtaSubscriber(
+            builder.peer_named("peer-1"), create_if_missing=False
+        )
+        builder.settle(rounds=12)
+        assert shop.ready and shopper.ready
+        assert shop.created_own and not shopper.created_own
+        _publish_all(builder, shop)
+        assert shopper.received_count() == len(OFFERS)
+        # The hand-decoded offers round-trip field by field.
+        assert shopper.received_offers() == OFFERS
+        assert shopper.parse_errors == []
+        assert shop.offers_sent == OFFERS
+
+    def test_publish_before_initialisation_raises(self, lan):
+        builder = lan
+        shop = SkiRentalJxtaPublisher(builder.peer_named("peer-0"))
+        with pytest.raises(WireServiceFinderException):
+            shop.publish_offer(OFFERS[0])
+
+    def test_duplicate_filtering_with_two_advertisements(self, lan):
+        builder = lan
+        shop_a = SkiRentalJxtaPublisher(builder.peer_named("peer-0"), search_timeout=2.0)
+        shop_b = SkiRentalJxtaPublisher(builder.peer_named("peer-1"), search_timeout=2.0)
+        shopper = SkiRentalJxtaSubscriber(builder.peer_named("peer-2"), create_if_missing=False)
+        builder.settle(rounds=20)
+        # Both shops raced and created an advertisement each; the shopper is
+        # attached to both, and each shop publishes on both pipes.
+        assert shop_a.created_own and shop_b.created_own
+        assert len(shopper.wire_finders) == 2
+        _publish_all(builder, shop_a, OFFERS[:2])
+        assert shopper.received_count() == 2
+        assert shopper.peer.metrics.counters().get("sr_jxta_duplicates", 0) >= 1
+
+    def test_close_stops_reception(self, lan):
+        builder = lan
+        shop = SkiRentalJxtaPublisher(builder.peer_named("peer-0"), search_timeout=2.0)
+        builder.settle(rounds=8)
+        shopper = SkiRentalJxtaSubscriber(builder.peer_named("peer-1"), create_if_missing=False)
+        builder.settle(rounds=12)
+        shopper.close()
+        _publish_all(builder, shop, OFFERS[:1])
+        assert shopper.received_count() == 0
+
+
+class TestWireOnly:
+    def test_publish_and_receive_raw_payloads(self, lan):
+        builder = lan
+        advertisement = shared_wire_advertisement("SkiRental")
+        subscriber = WireSubscriber(builder.peer_named("peer-1"), advertisement)
+        builder.settle(rounds=4)
+        publisher = WirePublisher(builder.peer_named("peer-0"), advertisement)
+        builder.settle(rounds=4)
+        receipt = publisher.publish_bytes(b"raw ski rental payload")
+        builder.settle(rounds=4)
+        assert receipt.targets == 1
+        assert subscriber.received_count() == 1
+        assert subscriber.received_offers() == [b"raw ski rental payload"]
+
+    def test_publish_offer_sends_string_form(self, lan):
+        builder = lan
+        advertisement = shared_wire_advertisement("SkiRental")
+        subscriber = WireSubscriber(builder.peer_named("peer-1"), advertisement)
+        builder.settle(rounds=4)
+        publisher = WirePublisher(builder.peer_named("peer-0"), advertisement)
+        builder.settle(rounds=4)
+        publisher.publish_offer(OFFERS[0])
+        builder.settle(rounds=4)
+        assert b"XTremShop" in subscriber.payloads[0]
+
+    def test_listener_callback(self, lan):
+        builder = lan
+        advertisement = shared_wire_advertisement("SkiRental")
+        seen = []
+        subscriber = WireSubscriber(
+            builder.peer_named("peer-1"), advertisement, listener=seen.append
+        )
+        builder.settle(rounds=4)
+        publisher = WirePublisher(builder.peer_named("peer-0"), advertisement)
+        builder.settle(rounds=4)
+        publisher.publish_bytes(b"x")
+        builder.settle(rounds=4)
+        assert seen == [b"x"]
+        subscriber.close()
+        publisher.publish_bytes(b"y")
+        builder.settle(rounds=4)
+        assert seen == [b"x"]
+
+
+class TestVariantEquivalence:
+    def test_all_three_variants_deliver_the_same_offers(self, builder):
+        """The functional behaviour is identical; only the abstraction level differs."""
+        builder.add_rendezvous("rdv-0")
+        peers = {name: builder.add_peer(name) for name in ("tps-p", "tps-s", "jxta-p", "jxta-s")}
+        builder.settle(rounds=4)
+
+        tps_shop = SkiRentalTPSPublisher(peers["tps-p"])
+        jxta_shop = SkiRentalJxtaPublisher(peers["jxta-p"], type_name="SkiRentalJxta", search_timeout=2.0)
+        builder.settle(rounds=8)
+        tps_shopper = SkiRentalTPSSubscriber(peers["tps-s"])
+        jxta_shopper = SkiRentalJxtaSubscriber(
+            peers["jxta-s"], type_name="SkiRentalJxta", create_if_missing=False
+        )
+        builder.settle(rounds=14)
+
+        for offer in OFFERS:
+            r1 = tps_shop.publish_offer(offer)
+            r2 = jxta_shop.publish_offer(offer)
+            builder.simulator.run_until(
+                max(builder.simulator.now, r1.completion_time, r2.completion_time)
+            )
+        builder.settle(rounds=10)
+        assert tps_shopper.received_offers() == OFFERS
+        assert jxta_shopper.received_offers() == OFFERS

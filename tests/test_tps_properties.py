@@ -1,0 +1,154 @@
+"""Property-based tests of the TPS layer's core invariants.
+
+Hypothesis drives three kinds of properties:
+
+* *binding equivalence*: the JXTA binding delivers exactly the multiset of
+  events the in-process (LOCAL) binding would deliver for the same publication
+  sequence and subscription types;
+* *delivery invariants*: no duplicates, order preservation per publisher and
+  type-safety of everything a callback ever sees;
+* *subtype matching*: delivery to a subscriber of type T happens exactly when
+  the published event is an instance of T (Figure 7 semantics).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps.skirental.types import (
+    PremiumSkiRental,
+    RentalOffer,
+    SkiRental,
+    SnowboardRental,
+)
+from repro.core import TPSConfig, TPSEngine
+from repro.core.local_engine import LocalBus, LocalTPSEngine
+from repro.jxta.platform import JxtaNetworkBuilder
+
+EVENT_TYPES = [RentalOffer, SkiRental, PremiumSkiRental, SnowboardRental]
+
+_prices = st.floats(min_value=0.0, max_value=10_000.0, allow_nan=False)
+
+
+def _make_event(kind: int, price: float):
+    cls = EVENT_TYPES[kind]
+    if cls is RentalOffer:
+        return RentalOffer("shop", price, 3)
+    if cls is SkiRental:
+        return SkiRental("shop", price, "Salomon", 3)
+    if cls is PremiumSkiRental:
+        return PremiumSkiRental("shop", price, "Atomic", 3, extras=("boots",))
+    return SnowboardRental("shop", price, "Burton", 3)
+
+
+_event_specs = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3), _prices), min_size=1, max_size=6
+)
+_subscriber_types = st.lists(
+    st.integers(min_value=0, max_value=3), min_size=1, max_size=3
+)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(events=_event_specs, subscriber_kinds=_subscriber_types)
+def test_property_local_binding_matches_isinstance_semantics(events, subscriber_kinds):
+    """LOCAL binding: a subscriber of type T receives exactly the events that are instances of T."""
+    bus = LocalBus()
+    publisher = LocalTPSEngine(RentalOffer, bus=bus)
+    subscribers = []
+    for kind in subscriber_kinds:
+        engine = LocalTPSEngine(EVENT_TYPES[kind], bus=bus)
+        inbox: List[object] = []
+        engine.subscribe(inbox.append)
+        subscribers.append((EVENT_TYPES[kind], inbox))
+    published = [_make_event(kind, price) for kind, price in events]
+    for event in published:
+        publisher.publish(event)
+    for subscribed_type, inbox in subscribers:
+        expected = [event for event in published if isinstance(event, subscribed_type)]
+        assert [type(e).__name__ for e in inbox] == [type(e).__name__ for e in expected]
+        assert [e.price for e in inbox] == [e.price for e in expected]
+        # Type safety: every delivered object is an instance of the subscribed type.
+        assert all(isinstance(e, subscribed_type) for e in inbox)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    events=st.lists(
+        st.tuples(st.integers(min_value=1, max_value=3), _prices), min_size=1, max_size=4
+    ),
+    subscriber_kind=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_jxta_binding_equivalent_to_local(events, subscriber_kind, seed):
+    """The JXTA binding delivers exactly what the LOCAL binding would.
+
+    Events are restricted to the SkiRental branch (kinds 1-3) published on a
+    SkiRental interface, matching how an application would use one engine per
+    hierarchy; the subscriber's interface type varies.
+    """
+    published = [
+        _make_event(kind, price) for kind, price in events if kind in (1, 2)
+    ] or [_make_event(1, 10.0)]
+    subscribed_type = EVENT_TYPES[subscriber_kind] if subscriber_kind != 3 else SkiRental
+
+    # --- reference: the in-process binding --------------------------------
+    bus = LocalBus()
+    local_publisher = LocalTPSEngine(SkiRental, bus=bus)
+    local_subscriber = LocalTPSEngine(subscribed_type, bus=bus)
+    local_inbox: List[object] = []
+    local_subscriber.subscribe(local_inbox.append)
+    for event in published:
+        local_publisher.publish(event)
+
+    # --- system under test: the JXTA binding ------------------------------
+    builder = JxtaNetworkBuilder(seed=seed)
+    builder.add_rendezvous("rdv-0")
+    pub_peer = builder.add_peer("prop-pub")
+    sub_peer = builder.add_peer("prop-sub")
+    publisher = TPSEngine(
+        SkiRental, peer=pub_peer, config=TPSConfig(search_timeout=2.0)
+    ).new_interface("JXTA")
+    builder.settle(rounds=8)
+    subscriber = TPSEngine(
+        subscribed_type,
+        peer=sub_peer,
+        config=TPSConfig(search_timeout=6.0, create_if_missing=False),
+    ).new_interface("JXTA")
+    jxta_inbox: List[object] = []
+    subscriber.subscribe(jxta_inbox.append)
+    builder.settle(rounds=12)
+    for event in published:
+        receipt = publisher.publish(event)
+        builder.simulator.run_until(max(builder.simulator.now, receipt.completion_time))
+    builder.settle(rounds=10)
+
+    assert [(type(e).__name__, e.price) for e in jxta_inbox] == [
+        (type(e).__name__, e.price) for e in local_inbox
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(events=_event_specs)
+def test_property_no_duplicates_and_history_consistency(events):
+    """objects_sent/objects_received agree with what callbacks observed; no duplicates."""
+    bus = LocalBus()
+    publisher = LocalTPSEngine(RentalOffer, bus=bus)
+    subscriber = LocalTPSEngine(RentalOffer, bus=bus)
+    inbox: List[object] = []
+    subscriber.subscribe(inbox.append)
+    published = [_make_event(kind, price) for kind, price in events]
+    for event in published:
+        publisher.publish(event)
+    assert len(publisher.objects_sent()) == len(published)
+    assert len(subscriber.objects_received()) == len(published)
+    assert subscriber.objects_received() == inbox
+    # Each delivered object is distinct (no duplicate delivery of one publish).
+    assert len(inbox) == len(published)

@@ -28,8 +28,9 @@ message id.
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Set
+from typing import Any, List, Optional
 
 from repro.core.advertisements import (
     PS_PREFIX,
@@ -82,6 +83,13 @@ class TPSConfig:
     duplicate_filtering:
         Whether to drop events whose application-level message id has been
         seen before (functionality (3) of the paper's Section 4.4 footnote).
+    duplicate_cache_size:
+        How many recently seen message ids the duplicate filter remembers.
+        Duplicates arise when one event reaches the engine through several
+        attached advertisements, i.e. within a short window, so a bounded
+        LRU window filters them all while keeping memory constant under
+        sustained traffic.  Zero or negative means unbounded (the seed's
+        behaviour).
     message_padding:
         When positive, pad published messages to this many bytes (the paper's
         measurements use 1910-byte messages).
@@ -92,7 +100,49 @@ class TPSConfig:
     create_if_missing: bool = True
     charge_layer_costs: bool = True
     duplicate_filtering: bool = True
+    duplicate_cache_size: int = 8192
     message_padding: int = 0
+
+
+class BoundedIdSet:
+    """An LRU-bounded set of message ids for duplicate filtering.
+
+    Membership and insertion are O(1); once ``capacity`` ids are held, adding
+    a new id evicts the least recently seen one, so the duplicate filter's
+    memory stays constant under sustained traffic.  A non-positive capacity
+    disables eviction entirely.
+    """
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity: int = 0) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, None]" = OrderedDict()
+
+    def __contains__(self, item: str) -> bool:
+        return item in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, item: str) -> None:
+        """Record ``item`` as seen, evicting the oldest id beyond capacity."""
+        self.seen(item)
+
+    def seen(self, item: str) -> bool:
+        """Record ``item``; True if it was already present (a duplicate).
+
+        A hit refreshes the id's recency, so ids that keep producing
+        duplicates stay protected from eviction (LRU, not FIFO).
+        """
+        entries = self._entries
+        if item in entries:
+            entries.move_to_end(item)
+            return True
+        entries[item] = None
+        if 0 < self.capacity < len(entries):
+            entries.popitem(last=False)
+        return False
 
 
 @dataclass
@@ -219,7 +269,7 @@ class JxtaTPSEngine(TPSInterface):
         self.subscriber_manager = TPSSubscriberManager()
         self._received: List[Any] = []
         self._sent: List[Any] = []
-        self._seen_message_ids: Set[str] = set()
+        self._seen_message_ids = BoundedIdSet(self.config.duplicate_cache_size)
         cost_model = peer.cost_model
         if self.config.charge_layer_costs:
             #: The SR application-layer work (duplicate ids, multi-advertisement
@@ -315,10 +365,11 @@ class JxtaTPSEngine(TPSInterface):
         """Handle one raw wire message: decode, filter, dispatch."""
         message_id = message.get_text(TPS_MSG_ID_ELEMENT)
         if self.config.duplicate_filtering and message_id:
-            if message_id in self._seen_message_ids:
+            # seen() refreshes recency on a hit, keeping actively-duplicated
+            # ids away from the LRU eviction boundary.
+            if self._seen_message_ids.seen(message_id):
                 self.peer.metrics.counter("tps_duplicates_filtered").increment()
                 return
-            self._seen_message_ids.add(message_id)
         payload = message.get_bytes(TPS_EVENT_ELEMENT)
         if not payload:
             self.peer.metrics.counter("tps_malformed").increment()
@@ -358,6 +409,7 @@ class JxtaTPSEngine(TPSInterface):
 
 
 __all__ = [
+    "BoundedIdSet",
     "JxtaTPSEngine",
     "TPSAdvertisementsManager",
     "TPSAttachment",

@@ -12,7 +12,7 @@ registered callbacks.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.interface import Subscription
 from repro.jxta.ids import PeerID
@@ -23,16 +23,35 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class TPSSubscriberManager:
-    """Stores the (callback, exception handler) pairs of one TPS interface."""
+    """Stores the (callback, exception handler) pairs of one TPS interface.
+
+    Dispatch iterates an immutable snapshot that is rebuilt only when a
+    subscription is added or removed, instead of copying the subscription
+    list on every single event (subscriptions change rarely; events are the
+    hot path).  The snapshot holds the *bound* ``handle`` methods of each
+    callback/handler pair, resolved once at (un)subscribe time, so dispatch
+    performs no attribute lookups per event.  A callback that mutates the
+    subscriptions mid-dispatch sees the change from the *next* event on --
+    the same isolation the seed's per-dispatch copy provided.
+    """
 
     def __init__(self) -> None:
         self._subscriptions: List[Subscription] = []
+        #: (callback.handle, exception_handler.handle) pairs, in order.
+        self._handlers: Tuple[Tuple[Callable[[Any], Any], Callable[[Any], Any]], ...] = ()
 
     # ------------------------------------------------------------ mutation
+
+    def _rebuild_handlers(self) -> None:
+        self._handlers = tuple(
+            (subscription.callback.handle, subscription.exception_handler.handle)
+            for subscription in self._subscriptions
+        )
 
     def add(self, subscription: Subscription) -> None:
         """Register one subscription."""
         self._subscriptions.append(subscription)
+        self._rebuild_handlers()
 
     def remove(self, callback: Optional[Any] = None, handler: Optional[Any] = None) -> int:
         """Remove matching subscriptions; with no arguments remove everything.
@@ -42,6 +61,7 @@ class TPSSubscriberManager:
         if callback is None:
             removed = len(self._subscriptions)
             self._subscriptions.clear()
+            self._handlers = ()
             return removed
         keep: List[Subscription] = []
         removed = 0
@@ -51,6 +71,7 @@ class TPSSubscriberManager:
             else:
                 keep.append(subscription)
         self._subscriptions = keep
+        self._rebuild_handlers()
         return removed
 
     # ------------------------------------------------------------- queries
@@ -76,13 +97,13 @@ class TPSSubscriberManager:
         raising.
         """
         delivered = 0
-        for subscription in list(self._subscriptions):
+        for handle, handle_error in self._handlers:
             try:
-                subscription.callback.handle(event)
+                handle(event)
                 delivered += 1
             except BaseException as error:  # noqa: BLE001 - routed to the handler
                 try:
-                    subscription.exception_handler.handle(error)
+                    handle_error(error)
                 except BaseException:  # noqa: BLE001 - a broken handler must not stop dispatch
                     pass
         return delivered

@@ -33,7 +33,7 @@ from typing import Any, Dict, List, Mapping, Optional, Type
 
 from repro.core.exceptions import PSException
 from repro.core.type_registry import type_name
-from repro.serialization.xml_codec import XmlElement, parse_xml, to_xml
+from repro.serialization.xml_codec import XmlElement, escape_text, parse_xml, to_xml
 
 #: Field kinds the XML representation distinguishes.
 _KINDS = ("str", "int", "float", "bool", "null")
@@ -198,10 +198,27 @@ class XmlEventCodec:
     ``decode`` reconstructs a real instance when the concrete class has been
     registered (or passed via ``known_types``), and a :class:`DynamicEvent`
     otherwise.
+
+    Because the embedded type description depends only on the event's class
+    and its field kinds -- not on the field *values* -- the codec caches the
+    pre-rendered ``<TypeDescription>`` fragment per ``(class, field-kinds)``
+    signature and splices it into each document, instead of re-introspecting
+    the class and re-rendering an element tree on every publish.  Pass
+    ``cache_descriptions=False`` to force the original tree-building path;
+    both produce byte-identical documents (enforced by the property tests in
+    ``tests/test_codec_fastpath_properties.py``).
     """
 
-    def __init__(self, known_types: Optional[Dict[str, Type[Any]]] = None) -> None:
+    def __init__(
+        self,
+        known_types: Optional[Dict[str, Type[Any]]] = None,
+        *,
+        cache_descriptions: bool = True,
+    ) -> None:
         self._known: Dict[str, Type[Any]] = dict(known_types or {})
+        self.cache_descriptions = cache_descriptions
+        #: (class, ((field, kind), ...)) -> pre-rendered TypeDescription XML.
+        self._description_fragments: Dict[Any, str] = {}
 
     # ------------------------------------------------------------- registry
 
@@ -218,6 +235,38 @@ class XmlEventCodec:
 
     def encode(self, event: Any) -> bytes:
         """Serialise an event (scalar fields only) to XML bytes."""
+        if not self.cache_descriptions:
+            return self._encode_tree(event)
+        cls = type(event)
+        state = vars(event)
+        # _kind_of also validates that every field is scalar, exactly like
+        # describe_type does first on the uncached path.
+        pairs = [(field_name, _kind_of(value)) for field_name, value in state.items()]
+        cache_key = (cls, tuple(pairs))
+        fragment = self._description_fragments.get(cache_key)
+        if fragment is None:
+            fragment = describe_type(cls, sample=event).to_xml_element().to_string()
+            self._description_fragments[cache_key] = fragment
+        parts = ["<XmlEvent>", fragment]
+        if pairs:
+            parts.append("<Values>")
+            for (field_name, kind), value in zip(pairs, state.values()):
+                text = "" if value is None else _render(value)
+                name_attr = escape_text(field_name)
+                if text:
+                    parts.append(
+                        f'<Value name="{name_attr}" kind="{kind}">{escape_text(text)}</Value>'
+                    )
+                else:
+                    parts.append(f'<Value name="{name_attr}" kind="{kind}"/>')
+            parts.append("</Values>")
+        else:
+            parts.append("<Values/>")
+        parts.append("</XmlEvent>")
+        return "".join(parts).encode("utf-8")
+
+    def _encode_tree(self, event: Any) -> bytes:
+        """The original, uncached encoder: introspect and build an element tree."""
         description = describe_type(type(event), sample=event)
         root = XmlElement("XmlEvent")
         root.add_child(description.to_xml_element())
@@ -241,15 +290,14 @@ class XmlEventCodec:
                 values[child.attributes["name"]] = _parse_value(
                     child.attributes.get("kind", "str"), child.text
                 )
-        for candidate in description.lineage():
-            cls = self._known.get(candidate)
-            if cls is None:
-                continue
-            if candidate == description.name:
-                instance = object.__new__(cls)
-                instance.__dict__.update(values)
-                return instance
-            break
+        # lineage() always starts with the concrete type name, so walking it
+        # reduces to one lookup: a known concrete class yields an instance,
+        # anything else (known ancestor or not) yields a DynamicEvent.
+        cls = self._known.get(description.name)
+        if cls is not None:
+            instance = object.__new__(cls)
+            instance.__dict__.update(values)
+            return instance
         return DynamicEvent(description, values)
 
 

@@ -1,0 +1,177 @@
+"""Smoke tests for the persistent perf harness (repro.bench.perf).
+
+Runs the whole suite at the tiny ``smoke`` profile and validates the
+``repro-bench/v1`` JSON schema, so the harness (and the CLI around it) cannot
+silently rot between perf-focused PRs.  Also covers the supporting hot-path
+structures: the bounded duplicate-filter set and the subscription dispatch
+snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.perf import (
+    COMPARISON_NAMES,
+    PROFILES,
+    SCENARIO_NAMES,
+    SCHEMA,
+    format_suite,
+    run_perf_suite,
+    validate_document,
+    write_suite,
+)
+from repro.core.interface import Subscription
+from repro.core.jxta_engine import BoundedIdSet, TPSConfig
+from repro.core.callbacks import as_callback, as_exception_handler
+from repro.core.subscriber import TPSSubscriberManager
+
+
+@pytest.fixture(scope="module")
+def smoke_document():
+    return run_perf_suite("smoke")
+
+
+class TestPerfSuite:
+    def test_document_passes_schema_validation(self, smoke_document):
+        assert validate_document(smoke_document) == []
+
+    def test_schema_and_profile_recorded(self, smoke_document):
+        assert smoke_document["schema"] == SCHEMA
+        assert smoke_document["profile"] == "smoke"
+        assert smoke_document["unix_time"] > 0
+
+    def test_every_comparison_present_with_positive_timings(self, smoke_document):
+        by_name = {entry["name"]: entry for entry in smoke_document["comparisons"]}
+        assert set(by_name) == set(COMPARISON_NAMES)
+        for entry in by_name.values():
+            assert entry["baseline_per_op_us"] > 0
+            assert entry["fast_per_op_us"] > 0
+            assert entry["speedup"] > 0
+
+    def test_every_scenario_present(self, smoke_document):
+        names = [entry["name"] for entry in smoke_document["scenarios"]]
+        assert names == list(SCENARIO_NAMES)
+
+    def test_document_is_json_serialisable(self, smoke_document):
+        round_tripped = json.loads(json.dumps(smoke_document))
+        assert validate_document(round_tripped) == []
+
+    def test_write_suite_round_trips(self, smoke_document, tmp_path):
+        path = tmp_path / "BENCH_smoke.json"
+        write_suite(str(path), smoke_document)
+        with open(path, encoding="utf-8") as handle:
+            assert validate_document(json.load(handle)) == []
+
+    def test_format_suite_mentions_every_comparison(self, smoke_document):
+        text = format_suite(smoke_document)
+        for name in COMPARISON_NAMES:
+            assert name in text
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            run_perf_suite("bogus")
+
+    def test_validate_document_reports_problems(self):
+        assert validate_document({}) != []
+        assert any("schema" in problem for problem in validate_document({}))
+
+    def test_profiles_are_complete(self):
+        keys = {
+            "repeats", "codec_iterations", "xml_iterations",
+            "fanout_iterations", "figure19_events",
+            "figure20_duration", "figure20_events",
+        }
+        for name, profile in PROFILES.items():
+            assert keys <= set(profile), f"profile {name} missing keys"
+
+
+class TestPerfCli:
+    def test_bench_subcommand_writes_json(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "BENCH_cli.json"
+        assert main(["bench", "--profile", "smoke", "--json", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "perf suite (smoke)" in output
+        with open(path, encoding="utf-8") as handle:
+            assert validate_document(json.load(handle)) == []
+
+
+class TestBoundedIdSet:
+    def test_acts_as_a_set(self):
+        seen = BoundedIdSet(capacity=10)
+        assert "a" not in seen
+        seen.add("a")
+        assert "a" in seen and len(seen) == 1
+        seen.add("a")
+        assert len(seen) == 1
+
+    def test_evicts_oldest_beyond_capacity(self):
+        seen = BoundedIdSet(capacity=3)
+        for item in ("a", "b", "c", "d"):
+            seen.add(item)
+        assert len(seen) == 3
+        assert "a" not in seen
+        assert all(item in seen for item in ("b", "c", "d"))
+
+    def test_refreshing_an_id_protects_it_from_eviction(self):
+        seen = BoundedIdSet(capacity=3)
+        for item in ("a", "b", "c"):
+            seen.add(item)
+        seen.add("a")  # most recently seen again
+        seen.add("d")  # evicts "b", not "a"
+        assert "a" in seen and "b" not in seen
+
+    def test_seen_reports_duplicates_and_refreshes_recency(self):
+        """The engine's duplicate check is one seen() call: it must both
+        report the hit and protect the id from eviction (LRU, not FIFO)."""
+        seen = BoundedIdSet(capacity=3)
+        assert seen.seen("a") is False
+        assert seen.seen("b") is False
+        assert seen.seen("c") is False
+        assert seen.seen("a") is True  # duplicate hit refreshes "a"
+        assert seen.seen("d") is False  # evicts "b", the oldest
+        assert seen.seen("a") is True
+        assert seen.seen("b") is False  # "b" was evicted, not "a"
+
+    def test_nonpositive_capacity_means_unbounded(self):
+        seen = BoundedIdSet(capacity=0)
+        for index in range(1000):
+            seen.add(f"id-{index}")
+        assert len(seen) == 1000
+
+    def test_config_cap_is_wired_into_the_engine_default(self):
+        assert TPSConfig().duplicate_cache_size > 0
+
+
+class TestDispatchSnapshot:
+    def _subscription(self, sink):
+        return Subscription(
+            callback=as_callback(sink.append),
+            exception_handler=as_exception_handler(lambda error: None),
+        )
+
+    def test_dispatch_uses_snapshot_rebuilt_on_change(self):
+        manager = TPSSubscriberManager()
+        received: list = []
+        manager.add(self._subscription(received))
+        assert manager.dispatch("e1") == 1
+        snapshot = manager._handlers
+        assert manager.dispatch("e2") == 1
+        assert manager._handlers is snapshot  # unchanged between events
+        manager.add(self._subscription(received))
+        assert manager._handlers is not snapshot  # rebuilt on mutation
+        assert manager.dispatch("e3") == 2
+        assert received == ["e1", "e2", "e3", "e3"]
+
+    def test_remove_updates_snapshot(self):
+        manager = TPSSubscriberManager()
+        received: list = []
+        subscription = self._subscription(received)
+        manager.add(subscription)
+        assert manager.remove(subscription.callback) == 1
+        assert manager.dispatch("event") == 0
+        assert manager.empty and received == []

@@ -13,8 +13,13 @@ replica of the pre-optimisation (seed) hot path running in the same process:
 * ``codec_encode`` / ``codec_decode`` -- the compiled per-type codec plans of
   :class:`~repro.serialization.object_codec.ObjectCodec` versus the generic
   recursive codec (``compiled=False``), on a representative event;
+* ``xml_parse`` -- the scanning XML parser (``parse_xml``) versus the legacy
+  character-at-a-time parser (``parse_xml(..., fast=False)``), over a corpus
+  of representative wire documents (an encoded event, a peer advertisement,
+  a discovery response with embedded advertisements);
 * ``xml_roundtrip`` -- :class:`~repro.core.xml_types.XmlEventCodec` with
-  cached type-description fragments versus the tree-building encoder;
+  cached type-description fragments and the cached-document decode fast path
+  versus the tree-building encoder + tree-parsing decoder;
 * ``fanout_1`` / ``fanout_10`` / ``fanout_100`` -- a full local-bus publish
   to N subscribers through the type-indexed routing table versus the seed's
   per-publish list copy + per-engine ``isinstance`` + per-dispatch
@@ -45,8 +50,22 @@ from repro.serialization.object_codec import ObjectCodec
 #: Identifier of the JSON document layout written by :func:`run_perf_suite`.
 SCHEMA = "repro-bench/v1"
 
-#: Comparison names every suite run must produce (schema contract).
+#: Comparison names every suite run must produce (schema contract).  The set
+#: grows as PRs add sections; older committed BENCH_*.json files are held to
+#: the baseline set they were generated under (see BASELINE_COMPARISON_NAMES).
 COMPARISON_NAMES = (
+    "codec_encode",
+    "codec_decode",
+    "xml_parse",
+    "xml_roundtrip",
+    "fanout_1",
+    "fanout_10",
+    "fanout_100",
+)
+
+#: The PR-1 comparison set: the minimum every historical repro-bench/v1
+#: document contains.
+BASELINE_COMPARISON_NAMES = (
     "codec_encode",
     "codec_decode",
     "xml_roundtrip",
@@ -187,12 +206,59 @@ def _bench_codec(profile: Dict[str, Any]) -> List[Comparison]:
     ]
 
 
+def _parse_corpus() -> List[str]:
+    """Representative wire documents for the parser benchmark.
+
+    One encoded XML event (the TPS hot path), one peer advertisement
+    (discovery/publish traffic) and one discovery response embedding three
+    advertisement documents as text (the largest documents the stack
+    routinely parses).
+    """
+    from repro.jxta.advertisement import PeerAdvertisement
+    from repro.serialization.xml_codec import XmlElement, to_xml
+
+    event_doc = XmlEventCodec().encode(_sample_event()).decode("utf-8")
+    advertisement = PeerAdvertisement(
+        name="bench-peer",
+        endpoints=["tcp://host-0", "http://host-0"],
+        is_rendezvous=True,
+    )
+    adv_doc = advertisement.to_document()
+    response = XmlElement("DiscoveryResponse")
+    response.add("Kind", "2")
+    response.add("QueryId", "bench/q1")
+    for _ in range(3):
+        response.add("Adv", adv_doc)
+    return [event_doc, adv_doc, to_xml(response, declaration=False)]
+
+
+def _bench_xml_parse(profile: Dict[str, Any]) -> Comparison:
+    from repro.serialization.xml_codec import parse_xml
+
+    iterations = profile["xml_iterations"]
+    repeats = profile["repeats"]
+    corpus = _parse_corpus()
+    for document in corpus:  # tree-equality sanity before timing
+        assert parse_xml(document) == parse_xml(document, fast=False)
+
+    def run_fast() -> None:
+        for document in corpus:
+            parse_xml(document)
+
+    def run_legacy() -> None:
+        for document in corpus:
+            parse_xml(document, fast=False)
+
+    baseline_us, fast_us = _time_pair(run_legacy, run_fast, iterations, repeats)
+    return Comparison("xml_parse", baseline_us, fast_us, iterations, repeats)
+
+
 def _bench_xml(profile: Dict[str, Any]) -> Comparison:
     iterations = profile["xml_iterations"]
     repeats = profile["repeats"]
     event = _sample_event()
     cached = XmlEventCodec()
-    uncached = XmlEventCodec(cache_descriptions=False)
+    uncached = XmlEventCodec(cache_descriptions=False, cache_documents=False)
     for codec in (cached, uncached):
         codec.register(SkiRental)
     assert cached.encode(event) == uncached.encode(event)
@@ -341,6 +407,7 @@ def run_perf_suite(profile: str = "full") -> Dict[str, Any]:
         raise ValueError(f"unknown profile {profile!r}; expected one of {sorted(PROFILES)}")
     settings = PROFILES[profile]
     comparisons = _bench_codec(settings)
+    comparisons.append(_bench_xml_parse(settings))
     comparisons.append(_bench_xml(settings))
     comparisons.extend(_bench_fanout(settings))
     return {
@@ -353,8 +420,17 @@ def run_perf_suite(profile: str = "full") -> Dict[str, Any]:
     }
 
 
-def validate_document(document: Dict[str, Any]) -> List[str]:
-    """Return every schema violation in a suite document (empty = valid)."""
+def validate_document(
+    document: Dict[str, Any],
+    *,
+    required_comparisons: "tuple[str, ...]" = COMPARISON_NAMES,
+) -> List[str]:
+    """Return every schema violation in a suite document (empty = valid).
+
+    ``required_comparisons`` defaults to the full current set; pass
+    :data:`BASELINE_COMPARISON_NAMES` when validating a historical
+    ``BENCH_*.json`` generated before newer sections existed.
+    """
     problems: List[str] = []
     if document.get("schema") != SCHEMA:
         problems.append(f"schema is {document.get('schema')!r}, expected {SCHEMA!r}")
@@ -362,7 +438,7 @@ def validate_document(document: Dict[str, Any]) -> List[str]:
         if key not in document:
             problems.append(f"missing top-level key {key!r}")
     names = [entry.get("name") for entry in document.get("comparisons", [])]
-    for expected in COMPARISON_NAMES:
+    for expected in required_comparisons:
         if expected not in names:
             problems.append(f"missing comparison {expected!r}")
     for entry in document.get("comparisons", []):
@@ -408,6 +484,7 @@ def write_suite(path: str, document: Optional[Dict[str, Any]] = None, *, profile
 
 
 __all__ = [
+    "BASELINE_COMPARISON_NAMES",
     "COMPARISON_NAMES",
     "Comparison",
     "PROFILES",

@@ -28,12 +28,20 @@ trade-off the paper discusses.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Type
 
 from repro.core.exceptions import PSException
 from repro.core.type_registry import type_name
-from repro.serialization.xml_codec import XmlElement, escape_text, parse_xml, to_xml
+from repro.serialization.xml_codec import (
+    XmlElement,
+    escape_element_text,
+    escape_text,
+    parse_xml,
+    to_xml,
+    unescape_text,
+)
 
 #: Field kinds the XML representation distinguishes.
 _KINDS = ("str", "int", "float", "bool", "null")
@@ -192,6 +200,32 @@ class DynamicEvent(Mapping[str, Any]):
         return f"DynamicEvent<{short}>({self._values!r})"
 
 
+#: Shape-match for the canonical documents :meth:`XmlEventCodec.encode`
+#: produces: the ``<TypeDescription>`` fragment, then a flat run of ``Value``
+#: elements.  Anything else (foreign writers, declarations, pretty-printing,
+#: reordered attributes) falls back to the full tree decode.
+_CANONICAL_DOC = re.compile(
+    r"\A<XmlEvent>"
+    r"(<TypeDescription>.*?</TypeDescription>)"
+    r'(?:<Values/>|<Values>((?:<Value name="[^"]*" kind="[^"]*"(?:/>|>[^<]*</Value>))*)</Values>)'
+    r"</XmlEvent>\Z",
+    re.DOTALL,
+).match
+#: One ``Value`` element out of a canonical document's ``Values`` run.
+_CANONICAL_VALUE = re.compile(
+    r'<Value name="([^"]*)" kind="([^"]*)"(?:/>|>([^<]*)</Value>)'
+).finditer
+
+#: Upper bounds on cached decode plans.  Plans are keyed on the raw
+#: ``<TypeDescription>`` fragment of *received* documents, so without a cap a
+#: remote producer churning type descriptions could grow the cache without
+#: limit (the same concern ``BoundedIdSet`` addresses for duplicate ids).
+#: Oversized fragments are decoded but never cached, so the cache is bounded
+#: in bytes as well as entries.
+_DECODE_PLAN_CAPACITY = 256
+_DECODE_PLAN_MAX_FRAGMENT_BYTES = 16 * 1024
+
+
 class XmlEventCodec:
     """Serialises events as self-describing XML documents.
 
@@ -207,6 +241,15 @@ class XmlEventCodec:
     ``cache_descriptions=False`` to force the original tree-building path;
     both produce byte-identical documents (enforced by the property tests in
     ``tests/test_codec_fastpath_properties.py``).
+
+    ``decode`` has the mirror-image fast path: documents matching the
+    canonical shape the encoder emits are decoded with one regex match plus a
+    per-``<TypeDescription>``-fragment plan cache, so repeated events of one
+    type skip full tree construction entirely.  Pass ``cache_documents=False``
+    to force the original parse-tree path; both decode every document
+    identically (same property suite).  Cached
+    :class:`XmlTypeDescription` objects are shared across decoded events and
+    must be treated as immutable.
     """
 
     def __init__(
@@ -214,11 +257,15 @@ class XmlEventCodec:
         known_types: Optional[Dict[str, Type[Any]]] = None,
         *,
         cache_descriptions: bool = True,
+        cache_documents: bool = True,
     ) -> None:
         self._known: Dict[str, Type[Any]] = dict(known_types or {})
         self.cache_descriptions = cache_descriptions
+        self.cache_documents = cache_documents
         #: (class, ((field, kind), ...)) -> pre-rendered TypeDescription XML.
         self._description_fragments: Dict[Any, str] = {}
+        #: Raw TypeDescription fragment -> parsed description (decode plans).
+        self._decode_plans: Dict[str, XmlTypeDescription] = {}
 
     # ------------------------------------------------------------- registry
 
@@ -255,7 +302,8 @@ class XmlEventCodec:
                 name_attr = escape_text(field_name)
                 if text:
                     parts.append(
-                        f'<Value name="{name_attr}" kind="{kind}">{escape_text(text)}</Value>'
+                        f'<Value name="{name_attr}" kind="{kind}">'
+                        f"{escape_element_text(text)}</Value>"
                     )
                 else:
                     parts.append(f'<Value name="{name_attr}" kind="{kind}"/>')
@@ -278,7 +326,47 @@ class XmlEventCodec:
 
     def decode(self, payload: bytes) -> Any:
         """Rebuild a typed instance (if the class is known) or a :class:`DynamicEvent`."""
-        root = parse_xml(payload.decode("utf-8"))
+        document = payload.decode("utf-8")
+        if self.cache_documents:
+            match = _CANONICAL_DOC(document)
+            if match is not None:
+                return self._decode_canonical(match)
+        return self._decode_tree(document)
+
+    def _decode_canonical(self, match: "re.Match[str]") -> Any:
+        """Decode a shape-matched canonical document without building a tree.
+
+        The parsed ``<TypeDescription>`` is cached per raw fragment (one per
+        event type in steady state); the per-event work is one regex sweep
+        over the ``Value`` run.  Field semantics replicate the tree path
+        exactly: attribute values are unescaped, value text is stripped of
+        raw boundary whitespace before unescaping.
+        """
+        fragment = match.group(1)
+        description = self._decode_plans.get(fragment)
+        if description is None:
+            description = XmlTypeDescription.from_xml_element(parse_xml(fragment))
+            if len(fragment) <= _DECODE_PLAN_MAX_FRAGMENT_BYTES:
+                if len(self._decode_plans) >= _DECODE_PLAN_CAPACITY:
+                    # FIFO eviction: steady state is a handful of event
+                    # types, so reaching the cap at all means fragment
+                    # churn, not reuse.
+                    del self._decode_plans[next(iter(self._decode_plans))]
+                self._decode_plans[fragment] = description
+        values: Dict[str, Any] = {}
+        body = match.group(2)
+        if body:
+            for value_match in _CANONICAL_VALUE(body):
+                raw = value_match.group(3)
+                values[unescape_text(value_match.group(1))] = _parse_value(
+                    unescape_text(value_match.group(2)),
+                    unescape_text(raw.strip()) if raw else "",
+                )
+        return self._build_event(description, values)
+
+    def _decode_tree(self, document: str) -> Any:
+        """The original decoder: parse the full document into an element tree."""
+        root = parse_xml(document)
         description_el = root.find("TypeDescription")
         if description_el is None:
             raise PSException("not an XML event: missing TypeDescription")
@@ -290,6 +378,9 @@ class XmlEventCodec:
                 values[child.attributes["name"]] = _parse_value(
                     child.attributes.get("kind", "str"), child.text
                 )
+        return self._build_event(description, values)
+
+    def _build_event(self, description: XmlTypeDescription, values: Dict[str, Any]) -> Any:
         # lineage() always starts with the concrete type name, so walking it
         # reduces to one lookup: a known concrete class yields an instance,
         # anything else (known ancestor or not) yields a DynamicEvent.

@@ -22,7 +22,7 @@ from typing import Any, Callable, ClassVar, Dict, List, Optional, Type
 
 from repro.jxta.errors import AdvertisementError
 from repro.jxta.ids import JxtaID, ModuleID, PeerGroupID, PeerID, PipeID
-from repro.serialization.xml_codec import XmlElement, parse_xml, to_xml
+from repro.serialization.xml_codec import XmlElement, XmlParseError, parse_xml, to_xml
 
 #: Default advertisement lifetime (seconds of virtual time) in the local cache.
 DEFAULT_LIFETIME = 7 * 24 * 3600.0
@@ -548,8 +548,16 @@ class AdvertisementFactory:
 
     @classmethod
     def from_document(cls, document: str) -> Advertisement:
-        """Parse an XML document into the corresponding advertisement object."""
-        element = parse_xml(document)
+        """Parse an XML document into the corresponding advertisement object.
+
+        Raises :class:`AdvertisementError` for malformed XML as well as for
+        unknown types, so callers on the receive path have a single error
+        contract for untrusted documents.
+        """
+        try:
+            element = parse_xml(document)
+        except XmlParseError as error:
+            raise AdvertisementError(f"malformed advertisement document: {error}") from error
         type_name = element.attributes.get("type", "")
         target = cls._registry.get(type_name)
         if target is None:

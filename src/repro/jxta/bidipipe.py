@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.jxta.advertisement import AdvertisementFactory, PipeAdvertisement
-from repro.jxta.errors import PipeError
+from repro.jxta.errors import AdvertisementError, PipeError
 from repro.jxta.ids import PeerID, PipeID
 from repro.jxta.message import Message
 from repro.jxta.peergroup import PeerGroup
@@ -166,7 +166,12 @@ class BidirectionalPipeListener:
         if not session_id or session_id in self.sessions:
             return
         return_document = message.get_text(_RETURN_ADV)
-        return_advertisement = AdvertisementFactory.from_document(return_document)
+        try:
+            return_advertisement = AdvertisementFactory.from_document(return_document)
+        except AdvertisementError:
+            # A remote peer's garbage connect message must not crash dispatch.
+            self.group.peer.metrics.counter("bidi_malformed_connect").increment()
+            return
         if not isinstance(return_advertisement, PipeAdvertisement):
             self.group.peer.metrics.counter("bidi_malformed_connect").increment()
             return

@@ -15,9 +15,10 @@ import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, TYPE_CHECKING
 
+from repro.jxta.errors import AdvertisementError
 from repro.jxta.ids import CodatID, PeerID
 from repro.jxta.resolver import ResolverQuery, ResolverResponse
-from repro.serialization.xml_codec import XmlElement, parse_xml, to_xml
+from repro.serialization.xml_codec import XmlElement, XmlParseError, parse_xml, to_xml
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.jxta.peergroup import PeerGroup
@@ -127,8 +128,16 @@ class ContentService:
     # ----------------------------------------------------- resolver handler
 
     def process_query(self, query: ResolverQuery) -> Optional[str]:
-        """Answer content searches and fetch requests from the local store."""
-        element = parse_xml(query.body)
+        """Answer content searches and fetch requests from the local store.
+
+        Malformed bodies are counted and dropped, not raised into the
+        resolver dispatch loop.
+        """
+        try:
+            element = parse_xml(query.body)
+        except XmlParseError:
+            self.peer.metrics.counter("cms_malformed").increment()
+            return None
         if element.name == "ContentSearch":
             pattern = element.child_text("Name")
             matches = [
@@ -156,17 +165,37 @@ class ContentService:
         return None
 
     def process_response(self, response: ResolverResponse) -> None:
-        """Record search results and fetched content."""
-        element = parse_xml(response.body)
+        """Record search results and fetched content.
+
+        Malformed remote input -- unparseable XML, bad URNs, non-hex
+        payloads -- is counted and dropped, not raised into the resolver
+        dispatch loop.  Search responses are guarded per ``<Content>`` entry
+        (like discovery's per-``Adv`` guard), so one bad summary never
+        discards its valid siblings.
+        """
+        try:
+            element = parse_xml(response.body)
+        except XmlParseError:
+            self.peer.metrics.counter("cms_malformed").increment()
+            return
         if element.name == "ContentSearchResponse":
+            seen = {s.codat_id.to_urn() for s in self.found}
             for child in element.find_all("Content"):
-                summary = ContentSummary.from_xml_element(child)
-                if summary.codat_id.to_urn() not in {
-                    s.codat_id.to_urn() for s in self.found
-                }:
+                try:
+                    summary = ContentSummary.from_xml_element(child)
+                except (ValueError, AdvertisementError):
+                    self.peer.metrics.counter("cms_malformed").increment()
+                    continue
+                urn = summary.codat_id.to_urn()
+                if urn not in seen:
+                    seen.add(urn)
                     self.found.append(summary)
         elif element.name == "ContentFetchResponse":
-            data = bytes.fromhex(element.child_text("Data"))
+            try:
+                data = bytes.fromhex(element.child_text("Data"))
+            except ValueError:
+                self.peer.metrics.counter("cms_malformed").increment()
+                return
             checksum = element.child_text("Checksum")
             if hashlib.sha256(data).hexdigest() == checksum:
                 self.fetched[element.child_text("Id")] = data

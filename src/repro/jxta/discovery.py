@@ -32,7 +32,7 @@ from repro.jxta.advertisement import (
 from repro.jxta.cache import CacheManager, DiscoveryKind
 from repro.jxta.ids import PeerID
 from repro.jxta.resolver import ResolverQuery, ResolverResponse
-from repro.serialization.xml_codec import XmlElement, parse_xml, to_xml
+from repro.serialization.xml_codec import XmlElement, XmlParseError, parse_xml, to_xml
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.jxta.peergroup import PeerGroup
@@ -187,17 +187,29 @@ class DiscoveryService:
     # ----------------------------------------------------- resolver handler
 
     def process_query(self, query: ResolverQuery) -> Optional[str]:
-        """Answer a discovery query (or absorb a pushed advertisement)."""
-        element = parse_xml(query.body)
+        """Answer a discovery query (or absorb a pushed advertisement).
+
+        Malformed bodies (a remote peer's bug, or hostile input) are counted
+        and dropped instead of crashing the resolver dispatch loop.
+        """
+        try:
+            element = parse_xml(query.body)
+        except XmlParseError:
+            self.peer.metrics.counter("discovery_malformed").increment()
+            return None
         if element.name == "DiscoveryResponse":
             # remote_publish pushes advertisements as unsolicited "queries"
             # carrying a response payload; absorb them without replying.
             self._absorb_response(element, src_peer=query.src_peer, query_id=query.query_id)
             return None
-        kind = int(element.child_text("Kind", str(self.ADV)))
+        try:
+            kind = int(element.child_text("Kind", str(self.ADV)))
+            threshold = int(element.child_text("Threshold", str(self.DEFAULT_THRESHOLD)))
+        except ValueError:
+            self.peer.metrics.counter("discovery_malformed").increment()
+            return None
         attribute = element.child_text("Attribute") or None
         value = element.child_text("Value") or None
-        threshold = int(element.child_text("Threshold", str(self.DEFAULT_THRESHOLD)))
         matches = self.cache.search(kind, attribute, value, limit=threshold)
         self.peer.metrics.counter("discovery_queries_served").increment()
         if not matches:
@@ -206,7 +218,11 @@ class DiscoveryService:
 
     def process_response(self, response: ResolverResponse) -> None:
         """Handle a discovery response: cache the advertisements, notify listeners."""
-        element = parse_xml(response.body)
+        try:
+            element = parse_xml(response.body)
+        except XmlParseError:
+            self.peer.metrics.counter("discovery_malformed").increment()
+            return
         self._absorb_response(element, src_peer=response.src_peer, query_id=response.query_id)
 
     def _absorb_response(
@@ -214,7 +230,11 @@ class DiscoveryService:
     ) -> None:
         if src_peer == self.peer.peer_id:
             return
-        kind = int(element.child_text("Kind", str(self.ADV)))
+        try:
+            kind = int(element.child_text("Kind", str(self.ADV)))
+        except ValueError:
+            self.peer.metrics.counter("discovery_malformed").increment()
+            return
         advertisements: List[Advertisement] = []
         for child in element.find_all("Adv"):
             try:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TYPE_CHECKING
 
+from repro.jxta.errors import AdvertisementError
 from repro.jxta.ids import PeerID
 from repro.jxta.resolver import ResolverQuery, ResolverResponse
 from repro.serialization.xml_codec import XmlElement, parse_xml, to_xml
@@ -100,8 +101,19 @@ class MonitoringService:
         return self.local_report().to_xml()
 
     def process_response(self, response: ResolverResponse) -> None:
-        """Record a remote report."""
-        self.collected.append(MonitoringReport.from_xml(response.body))
+        """Record a remote report.
+
+        Malformed bodies -- unparseable XML, bad URNs, non-numeric counters
+        -- are counted and dropped, not raised into the resolver dispatch
+        loop.
+        """
+        try:
+            report = MonitoringReport.from_xml(response.body)
+        except (ValueError, AdvertisementError):
+            # ValueError covers XmlParseError and the int()/float() fields.
+            self.peer.metrics.counter("monitoring_malformed").increment()
+            return
+        self.collected.append(report)
 
 
 __all__ = ["MonitoringReport", "MonitoringService"]

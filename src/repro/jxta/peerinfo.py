@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, TYPE_CHECKING, Union
 
+from repro.jxta.errors import AdvertisementError
 from repro.jxta.ids import PeerID
 from repro.jxta.resolver import ResolverQuery, ResolverResponse
 from repro.serialization.xml_codec import XmlElement, parse_xml, to_xml
@@ -132,8 +133,17 @@ class PeerInfoService:
         return self.local_peer_info().to_xml()
 
     def process_response(self, response: ResolverResponse) -> None:
-        """Record the remote snapshot and notify listeners."""
-        info = PeerInfo.from_xml(response.body)
+        """Record the remote snapshot and notify listeners.
+
+        Malformed bodies -- unparseable XML, bad URNs, non-numeric fields --
+        are counted and dropped, not raised into the resolver dispatch loop.
+        """
+        try:
+            info = PeerInfo.from_xml(response.body)
+        except (ValueError, AdvertisementError):
+            # ValueError covers XmlParseError and the int()/float() fields.
+            self.peer.metrics.counter("peerinfo_malformed").increment()
+            return
         self.received.append(info)
         self.peer.metrics.counter("peerinfo_responses_received").increment()
         for listener in list(self._listeners):

@@ -30,7 +30,7 @@ from repro.jxta.ids import PeerID, PipeID
 from repro.jxta.message import Message
 from repro.jxta.pipes import InputPipe, OutputPipe, PipeMessageListener
 from repro.jxta.resolver import ResolverQuery, ResolverResponse
-from repro.serialization.xml_codec import XmlElement, parse_xml, to_xml
+from repro.serialization.xml_codec import XmlElement, XmlParseError, parse_xml, to_xml
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.jxta.peergroup import PeerGroup
@@ -146,8 +146,16 @@ class PipeBindingService:
     # ------------------------------------------------------ resolver handler
 
     def process_query(self, query: ResolverQuery) -> Optional[str]:
-        """Handle binding announcements and resolution queries."""
-        element = parse_xml(query.body)
+        """Handle binding announcements and resolution queries.
+
+        Malformed bodies are counted and dropped, not raised into the
+        resolver dispatch loop.
+        """
+        try:
+            element = parse_xml(query.body)
+        except XmlParseError:
+            self.peer.metrics.counter("pbp_malformed").increment()
+            return None
         if element.name == "PipeBind":
             self._record_remote(
                 element.child_text("Pipe"),
@@ -173,7 +181,11 @@ class PipeBindingService:
 
     def process_response(self, response: ResolverResponse) -> None:
         """Record a ``PipeBound`` response to one of our resolution queries."""
-        element = parse_xml(response.body)
+        try:
+            element = parse_xml(response.body)
+        except XmlParseError:
+            self.peer.metrics.counter("pbp_malformed").increment()
+            return
         if element.name == "PipeBound":
             self._record_remote(
                 element.child_text("Pipe"),

@@ -4,8 +4,10 @@ Two codecs are provided, mirroring the two representations in the paper's
 system:
 
 * :mod:`repro.serialization.xml_codec` -- a small XML document model with a
-  writer and a recursive-descent parser.  JXTA advertisements are XML
-  documents, and JXTA messages carry XML elements.
+  writer and a scanning recursive-descent parser (regex tokenizer and bulk
+  span jumps; the legacy character-at-a-time parser stays reachable via
+  ``parse_xml(..., fast=False)``).  JXTA advertisements are XML documents,
+  and JXTA messages carry XML elements.
 * :mod:`repro.serialization.object_codec` -- a compact, deterministic binary
   codec for application-defined event objects, standing in for the Java
   object serialisation the paper relies on (``SkiRental implements
@@ -21,7 +23,15 @@ from repro.serialization.object_codec import (
     SerializationError,
     UnregisteredTypeError,
 )
-from repro.serialization.xml_codec import XmlElement, XmlParseError, parse_xml, to_xml
+from repro.serialization.xml_codec import (
+    XmlElement,
+    XmlParseError,
+    escape_element_text,
+    escape_text,
+    parse_xml,
+    to_xml,
+    unescape_text,
+)
 
 __all__ = [
     "ObjectCodec",
@@ -29,6 +39,9 @@ __all__ = [
     "UnregisteredTypeError",
     "XmlElement",
     "XmlParseError",
+    "escape_element_text",
+    "escape_text",
     "parse_xml",
     "to_xml",
+    "unescape_text",
 ]

@@ -135,3 +135,22 @@ class TestClosing:
         BidirectionalPipeListener(alpha.world_group, advertisement)
         builder.settle(rounds=6)
         assert pending.established()
+
+
+class TestMalformedConnect:
+    def test_garbage_return_advertisement_is_dropped(self, two_peers):
+        """A connect message whose return advertisement does not parse must
+        be counted and dropped, not crash message dispatch."""
+        from repro.jxta import bidipipe
+
+        alpha, beta, builder = two_peers
+        listener = BidirectionalPipeListener(alpha.world_group, _server_advertisement())
+        builder.settle(rounds=2)
+        for bad_document in ("<not xml", "", '<?xml version="1.0"?><X type="jxta:Nope"/>'):
+            message = Message()
+            message.add(bidipipe._KIND, bidipipe._CONNECT)
+            message.add(bidipipe._SESSION, f"sess-{bad_document!r}")
+            message.add(bidipipe._RETURN_ADV, bad_document)
+            listener._on_message(message, beta.peer_id)
+        assert listener.sessions == {}
+        assert alpha.metrics.counters().get("bidi_malformed_connect", 0) >= 3

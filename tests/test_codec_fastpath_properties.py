@@ -11,6 +11,9 @@ that equivalence down:
   each must decode the other's output;
 * ``XmlEventCodec(cache_descriptions=True)`` must produce byte-identical
   documents to the tree-building encoder and round-trip identically;
+* ``XmlEventCodec(cache_documents=True)`` (the decode-side mirror) must
+  decode every document -- canonical or foreign -- exactly like the
+  tree-parsing decoder;
 * the escape/unescape fast paths must stay inverses on arbitrary text.
 """
 
@@ -197,19 +200,17 @@ class TestXmlCodecCacheEquivalence:
     )
     def test_cached_round_trip_matches_uncached(self, shop, price):
         cached = XmlEventCodec()
-        uncached = XmlEventCodec(cache_descriptions=False)
+        uncached = XmlEventCodec(cache_descriptions=False, cache_documents=False)
         for codec in (cached, uncached):
             codec.register(SkiRental)
         event = SkiRental(shop, price, "Atomic", 5)
         from_cached = cached.decode(cached.encode(event))
         from_uncached = uncached.decode(uncached.encode(event))
         assert type(from_cached) is type(from_uncached) is SkiRental
-        # Cached and uncached must agree exactly.  (Comparing against the
-        # original event would also test the *parser's* whitespace
-        # stripping, which is seed behaviour out of scope here.)
-        assert vars(from_cached) == vars(from_uncached)
-        if shop == shop.strip():
-            assert vars(from_cached) == vars(event)
+        # All three must agree exactly -- including boundary whitespace in
+        # ``shop``, which the writer now entity-encodes so the parser's strip
+        # of pretty-printing whitespace cannot eat it.
+        assert vars(from_cached) == vars(from_uncached) == vars(event)
 
     def test_scalar_kind_variants_get_distinct_cache_rows(self):
         cached = XmlEventCodec()
@@ -224,6 +225,111 @@ class TestXmlCodecCacheEquivalence:
         ]
         for event in variants:
             assert cached.encode(event) == uncached.encode(event)
+
+
+class TestXmlDecodeDocumentCache:
+    """The decode-side mirror: cached-document decode == tree decode."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(event=st.builds(
+        SkiRental,
+        shop=st.text(max_size=20),
+        price=st.floats(allow_nan=False, allow_infinity=False),
+        brand=st.text(max_size=20),
+        number_of_days=st.floats(allow_nan=False, allow_infinity=False),
+    ))
+    def test_cached_decode_matches_tree_decode_for_known_types(self, event):
+        fast = XmlEventCodec()
+        tree = XmlEventCodec(cache_documents=False)
+        for codec in (fast, tree):
+            codec.register(SkiRental)
+        payload = fast.encode(event)
+        from_fast = fast.decode(payload)
+        from_tree = tree.decode(payload)
+        assert type(from_fast) is type(from_tree) is SkiRental
+        assert vars(from_fast) == vars(from_tree) == vars(event)
+
+    @settings(max_examples=60, deadline=None)
+    @given(fields=st.dictionaries(
+        st.text(min_size=1, max_size=8),
+        st.one_of(
+            st.none(), st.booleans(), st.integers(-10**9, 10**9),
+            st.floats(allow_nan=False, allow_infinity=False), st.text(max_size=20),
+        ),
+        max_size=5,
+    ))
+    def test_unknown_types_decode_to_identical_dynamic_events(self, fields):
+        fast = XmlEventCodec()
+        tree = XmlEventCodec(cache_documents=False)
+        event = Holder(**{f"f_{i}": v for i, v in enumerate(fields.values())})
+        payload = fast.encode(event)
+        from_fast = fast.decode(payload)
+        from_tree = tree.decode(payload)
+        assert dict(from_fast) == dict(from_tree)
+        assert from_fast.type_name == from_tree.type_name
+        assert from_fast.description.lineage() == from_tree.description.lineage()
+
+    def test_repeated_decodes_share_one_plan(self):
+        codec = XmlEventCodec()
+        codec.register(SkiRental)
+        payload = codec.encode(SkiRental("s", 1.0, "b", 2))
+        codec.decode(payload)
+        codec.decode(codec.encode(SkiRental("other", 9.0, "c", 4)))
+        assert len(codec._decode_plans) == 1  # one shape -> one cached plan
+
+    def test_plan_cache_is_bounded_against_fragment_churn(self):
+        """A remote producer churning type descriptions must not grow the
+        plan cache without limit."""
+        from repro.core.xml_types import _DECODE_PLAN_CAPACITY
+
+        codec = XmlEventCodec()
+        producer = XmlEventCodec()
+        for index in range(_DECODE_PLAN_CAPACITY + 50):
+            churned = type(f"Churn{index}", (), {})
+            event = churned()
+            event.x = index
+            codec.decode(producer.encode(event))
+        assert len(codec._decode_plans) <= _DECODE_PLAN_CAPACITY
+
+    def test_register_after_caching_is_picked_up(self):
+        """The plan caches the description, not the class: registering a
+        type after documents of its shape were decoded must take effect."""
+        codec = XmlEventCodec()
+        producer = XmlEventCodec()
+        payload = producer.encode(SkiRental("s", 1.0, "b", 2))
+        first = codec.decode(payload)
+        assert type(first).__name__ == "DynamicEvent"
+        codec.register(SkiRental)
+        second = codec.decode(payload)
+        assert type(second) is SkiRental
+
+    def test_foreign_documents_fall_back_to_tree_decode(self):
+        """Declarations, pretty-printing and reordered attributes do not
+        match the canonical shape; both paths must still agree."""
+        from repro.serialization.xml_codec import XmlElement, parse_xml, to_xml
+
+        producer = XmlEventCodec()
+        canonical = producer.encode(SkiRental("shop", 2.5, "brand", 3)).decode("utf-8")
+        root = parse_xml(canonical)
+        foreign_docs = [
+            '<?xml version="1.0" encoding="UTF-8"?>' + canonical,
+            root.to_string(indent=2),
+            canonical.replace('name="shop" kind="str"', 'kind="str" name="shop"'),
+        ]
+        fast = XmlEventCodec()
+        tree = XmlEventCodec(cache_documents=False)
+        for codec in (fast, tree):
+            codec.register(SkiRental)
+        for document in foreign_docs:
+            payload = document.encode("utf-8")
+            assert vars(fast.decode(payload)) == vars(tree.decode(payload))
+
+    def test_entity_heavy_field_values_decode_identically(self):
+        event = Holder(tricky='a&b<c>"d"\'e\'', padded="  ws  ", empty="")
+        fast = XmlEventCodec()
+        tree = XmlEventCodec(cache_documents=False)
+        payload = fast.encode(event)
+        assert dict(fast.decode(payload)) == dict(tree.decode(payload)) == vars(event)
 
 
 class TestEscapeFastPaths:

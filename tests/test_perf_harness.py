@@ -87,6 +87,44 @@ class TestPerfSuite:
         for name, profile in PROFILES.items():
             assert keys <= set(profile), f"profile {name} missing keys"
 
+    def test_schema_covers_the_parse_sections(self):
+        """The PR-2 sections are part of the repro-bench/v1 contract: a
+        document missing them must fail validation."""
+        assert "xml_parse" in COMPARISON_NAMES
+        assert "xml_roundtrip" in COMPARISON_NAMES
+        document = {
+            "schema": SCHEMA, "version": "x", "unix_time": 1.0,
+            "profile": "full", "comparisons": [], "scenarios": [],
+        }
+        problems = validate_document(document)
+        assert any("xml_parse" in problem for problem in problems)
+        assert any("xml_roundtrip" in problem for problem in problems)
+
+    def test_committed_trajectory_files_validate(self):
+        """Every committed BENCH_*.json must validate: historical points
+        against the baseline comparison set they were generated under, the
+        newest point against the full current schema."""
+        import glob
+        import os
+
+        from repro.bench.perf import BASELINE_COMPARISON_NAMES
+
+        root = os.path.join(os.path.dirname(__file__), os.pardir)
+        paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+        assert paths, "no committed BENCH_*.json trajectory files found"
+        newest = max(paths, key=lambda p: int(p.rsplit("_", 1)[1].split(".")[0]))
+        for path in paths:
+            with open(path, encoding="utf-8") as handle:
+                document = json.load(handle)
+            required = COMPARISON_NAMES if path == newest else BASELINE_COMPARISON_NAMES
+            assert validate_document(document, required_comparisons=required) == [], path
+        with open(newest, encoding="utf-8") as handle:
+            document = json.load(handle)
+        by_name = {entry["name"]: entry for entry in document["comparisons"]}
+        # Acceptance pin for this PR: the scanning parser is >= 2x the
+        # legacy parser on the recorded corpus run.
+        assert by_name["xml_parse"]["speedup"] >= 2.0
+
 
 class TestPerfCli:
     def test_bench_subcommand_writes_json(self, tmp_path, capsys):

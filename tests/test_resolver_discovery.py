@@ -215,3 +215,83 @@ class TestDiscovery:
             DiscoveryKind.PEER, "Name", "peer-*"
         )
         assert len(found) >= 1
+
+
+class TestMalformedRemoteBodies:
+    """A remote peer's malformed XML must never crash the dispatch loop.
+
+    Every resolver handler on the receive path guards its ``parse_xml`` call:
+    the body is counted in a ``*_malformed`` metric and dropped.  (Before the
+    parse-path fixes, these raised XmlParseError straight through
+    ``ResolverService._on_envelope``.)
+    """
+
+    BAD_BODIES = ["<not xml", "", "plain text", "<a>&#xZZ;</a>", "<a></b>"]
+
+    @staticmethod
+    def _query(body):
+        from repro.jxta.ids import PeerID
+
+        return ResolverQuery(handler_name="h", query_id="q1", body=body, src_peer=PeerID())
+
+    @staticmethod
+    def _response(body):
+        from repro.jxta.ids import PeerID
+
+        return ResolverResponse(handler_name="h", query_id="q1", body=body, src_peer=PeerID())
+
+    def test_discovery_drops_malformed_bodies(self, two_peers):
+        alpha, _, _ = two_peers
+        discovery = alpha.world_group.discovery
+        for body in self.BAD_BODIES:
+            assert discovery.process_query(self._query(body)) is None
+            discovery.process_response(self._response(body))
+        # Numeric fields that do not parse are dropped too.
+        assert discovery.process_query(self._query("<DiscoveryQuery><Kind>NaN</Kind></DiscoveryQuery>")) is None
+        assert alpha.metrics.counters().get("discovery_malformed", 0) >= len(self.BAD_BODIES) * 2 + 1
+
+    def test_cms_drops_malformed_bodies(self, two_peers):
+        alpha, _, _ = two_peers
+        content = alpha.world_group.content
+        for body in self.BAD_BODIES:
+            assert content.process_query(self._query(body)) is None
+            content.process_response(self._response(body))
+        # Non-hex fetch payloads are dropped, not raised from bytes.fromhex.
+        content.process_response(self._response(
+            "<ContentFetchResponse><Id>x</Id><Data>zz</Data><Checksum>c</Checksum>"
+            "</ContentFetchResponse>"
+        ))
+        assert alpha.metrics.counters().get("cms_malformed", 0) >= len(self.BAD_BODIES) * 2 + 1
+
+    def test_pipe_binding_drops_malformed_bodies(self, two_peers):
+        alpha, _, _ = two_peers
+        service = alpha.world_group.pipe_service
+        for body in self.BAD_BODIES:
+            assert service.process_query(self._query(body)) is None
+            service.process_response(self._response(body))
+        assert alpha.metrics.counters().get("pbp_malformed", 0) >= len(self.BAD_BODIES) * 2
+
+    def test_peerinfo_drops_malformed_bodies(self, two_peers):
+        alpha, _, _ = two_peers
+        service = alpha.world_group.peerinfo
+        for body in self.BAD_BODIES + ["<PeerInfoResponse><PID>bogus</PID></PeerInfoResponse>"]:
+            service.process_response(self._response(body))
+        assert service.received == []
+        assert alpha.metrics.counters().get("peerinfo_malformed", 0) >= len(self.BAD_BODIES) + 1
+
+    def test_monitoring_drops_malformed_bodies(self, two_peers):
+        alpha, _, _ = two_peers
+        service = alpha.world_group.monitoring
+        for body in self.BAD_BODIES + [
+            "<MonitoringReport><PID>bogus</PID></MonitoringReport>"
+        ]:
+            service.process_response(self._response(body))
+        assert service.collected == []
+        assert alpha.metrics.counters().get("monitoring_malformed", 0) >= len(self.BAD_BODIES) + 1
+
+    def test_advertisement_factory_wraps_parse_errors(self):
+        from repro.jxta.advertisement import AdvertisementFactory
+        from repro.jxta.errors import AdvertisementError
+
+        with pytest.raises(AdvertisementError):
+            AdvertisementFactory.from_document("<not xml")

@@ -1,0 +1,209 @@
+"""Property and regression tests for the scanning XML parser overhaul.
+
+The scanning parser (``parse_xml``, the default) is only safe because it
+accepts exactly the documents the legacy character-at-a-time parser
+(``parse_xml(..., fast=False)``) accepts, and produces identical trees.
+These tests pin that equivalence on generated documents with hostile text,
+attribute values and entity forms -- and cover the two confirmed
+reproduction bugs this PR fixes:
+
+* malformed numeric character references used to escape as raw
+  ``ValueError`` from ``int()``/``chr()`` instead of :class:`XmlParseError`;
+* significant boundary whitespace in element text was lost on round-trip
+  (written raw, stripped on parse) while entity-encoded spaces survived.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serialization.xml_codec import (
+    XmlElement,
+    XmlParseError,
+    escape_element_text,
+    escape_text,
+    parse_xml,
+    to_xml,
+    unescape_text,
+)
+
+# Hostile content: raw specials, entity look-alikes, boundary/interior
+# whitespace, embedded markup -- everything the writer must make survive.
+_hostile_text = st.one_of(
+    st.text(max_size=40),
+    st.sampled_from(
+        [
+            " leading and trailing ",
+            "\t tabbed \n",
+            "   ",
+            "&amp;",
+            "&#65;",
+            "&bogus;",
+            "a & b < c > d",
+            '<fake attr="1"/>',
+            "</close>",
+            "x&#32;y",
+            " nbsp ",
+        ]
+    ),
+)
+_names = st.from_regex(r"[A-Za-z_][A-Za-z0-9._:-]{0,10}", fullmatch=True)
+
+
+@st.composite
+def element_trees(draw, depth=2):
+    element = XmlElement(draw(_names))
+    element.text = draw(_hostile_text)
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        element.attributes[draw(_names)] = draw(_hostile_text)
+    if depth > 0:
+        for _ in range(draw(st.integers(min_value=0, max_value=2))):
+            element.children.append(draw(element_trees(depth=depth - 1)))
+    return element
+
+
+class TestParserEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(element=element_trees())
+    def test_fast_legacy_and_original_agree_compact(self, element):
+        """fast-parse == legacy-parse == original tree, on compact documents."""
+        document = to_xml(element)
+        fast = parse_xml(document)
+        legacy = parse_xml(document, fast=False)
+        assert fast == legacy == element
+
+    @settings(max_examples=80, deadline=None)
+    @given(element=element_trees(), indent=st.sampled_from([1, 2, 4]))
+    def test_fast_legacy_and_original_agree_pretty(self, element, indent):
+        """Pretty-printing whitespace is the writer's, never the document's:
+        both parsers strip exactly it and recover the original tree."""
+        document = element.to_string(indent=indent)
+        fast = parse_xml(document)
+        legacy = parse_xml(document, fast=False)
+        assert fast == legacy == element
+
+    @settings(max_examples=100, deadline=None)
+    @given(document=st.text(max_size=60))
+    def test_parsers_reject_the_same_garbage(self, document):
+        """On arbitrary input the two parsers agree: same tree or both raise."""
+        try:
+            fast = parse_xml(document)
+        except XmlParseError:
+            with pytest.raises(XmlParseError):
+                parse_xml(document, fast=False)
+        else:
+            assert parse_xml(document, fast=False) == fast
+
+    @pytest.mark.parametrize(
+        "document",
+        [
+            '<?xml version="1.0"?><!-- pre --><Root a="1" b=\'2\'><!-- in -->'
+            "<Child kind='x'>text</Child> tail <Empty/></Root><!-- post -->",
+            "<a>one<b/>two<c/>three</a>",
+            "<a x=\"a&lt;b&amp;c\">&#x41;&#66;</a>",
+            "<long.name-with:colons _a='1'/>",
+            "<a  spaced = '1'  ></a >",
+        ],
+    )
+    def test_handwritten_documents_agree(self, document):
+        assert parse_xml(document) == parse_xml(document, fast=False)
+
+
+class TestNumericReferenceRegressions:
+    """Bug 1: malformed character references must raise XmlParseError."""
+
+    @pytest.mark.parametrize(
+        "document",
+        [
+            "<a>&#xZZ;</a>",       # invalid hex digits -> used to be raw ValueError
+            "<a>&#1114112;</a>",   # beyond chr() range -> used to be raw ValueError
+            "<a>&#x110000;</a>",   # beyond chr() range, hex spelling
+            "<a>&#-5;</a>",        # negative code point
+            "<a>&#x;</a>",         # empty digits
+            "<a>&#99999999999999999999;</a>",  # overflows C long inside chr()
+            "<a attr='&#xQQ;'/>",  # same, in an attribute value
+            "<a>&#2_0;</a>",       # int() underscore leniency must not leak in
+            "<a>&# 65;</a>",       # nor surrounding whitespace
+            "<a>&#+65;</a>",       # nor an explicit sign
+            "<a>&#x+41;</a>",
+            "<a>&#xD800;</a>",     # surrogate: not an XML char; would crash
+            "<a>&#57343;</a>",     # the next UTF-8 encode if accepted
+        ],
+    )
+    def test_malformed_references_raise_parse_errors(self, document):
+        for fast in (True, False):
+            with pytest.raises(XmlParseError):
+                parse_xml(document, fast=fast)
+
+    def test_error_carries_entity_offset(self):
+        with pytest.raises(XmlParseError) as info:
+            unescape_text("ab&#xZZ;")
+        assert info.value.position == 2
+
+    def test_valid_references_still_decode(self):
+        assert unescape_text("&#65;&#x42;&#X43;") == "ABC"
+        # Maximum valid code point stays accepted.
+        assert unescape_text("&#1114111;") == chr(0x10FFFF)
+
+
+class TestWhitespaceRoundTrip:
+    """Bug 2: significant boundary whitespace must survive the round-trip."""
+
+    def test_boundary_whitespace_is_entity_encoded_on_write(self):
+        element = XmlElement("a", text=" x ")
+        assert to_xml(element, declaration=False) == "<a>&#32;x&#32;</a>"
+
+    @pytest.mark.parametrize(
+        "text", [" x ", "x ", " x", "\tx\n", "  ", " ", "a b", "a\nb", " "]
+    )
+    def test_text_round_trips_exactly(self, text):
+        element = XmlElement("a", text=text)
+        document = to_xml(element, declaration=False)
+        for fast in (True, False):
+            assert parse_xml(document, fast=fast).text == text
+
+    def test_text_with_children_round_trips(self):
+        element = XmlElement("r", text=" padded ")
+        element.add("c", "  inner  ")
+        for indent in (None, 2):
+            document = element.to_string(indent=indent)
+            assert parse_xml(document) == element
+
+    def test_interior_whitespace_was_never_at_risk(self):
+        assert escape_element_text("a  b") == "a  b"
+
+    def test_wire_documents_without_boundary_whitespace_are_unchanged(self):
+        """The Fig 18-20 documents have no boundary whitespace in text: the
+        fix must not alter their bytes."""
+        element = XmlElement("Adv", attributes={"type": "jxta:PA"})
+        element.add("Name", "peer-0")
+        assert (
+            to_xml(element, declaration=False)
+            == "<Adv type=\"jxta:PA\"><Name>peer-0</Name></Adv>"
+        )
+
+    @settings(max_examples=150, deadline=None)
+    @given(text=st.text(max_size=50))
+    def test_escape_element_text_round_trips_any_string(self, text):
+        document = f"<a>{escape_element_text(text)}</a>"
+        assert parse_xml(document).text == text
+        assert parse_xml(document, fast=False).text == text
+
+
+class TestUnescapeBulkPath:
+    """The chained-replace bulk path must match the entity loop exactly."""
+
+    def test_embedded_document_unescapes(self):
+        inner = to_xml(XmlElement("Inner", attributes={"q": 'a"b'}))
+        assert unescape_text(escape_text(inner)) == inner
+
+    def test_amp_entities_are_not_reinterpreted(self):
+        # "&amp;lt;" is an escaped "&lt;", not a "<".
+        assert unescape_text("&amp;lt;") == "&lt;"
+        assert unescape_text("&amp;amp;") == "&amp;"
+
+    @settings(max_examples=150, deadline=None)
+    @given(text=st.text(alphabet='&<>"\'; ax#3', max_size=30))
+    def test_escape_then_unescape_is_identity_on_entity_heavy_text(self, text):
+        assert unescape_text(escape_text(text)) == text

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Filtered subscriptions and streaming consumption over the SHARDED binding.
+
+The v2 TPS API in one sitting:
+
+1. *Binding registry* -- ``new_interface("SHARDED")`` resolves through the
+   pluggable registry (``repro.core.bindings``), landing on an N-shard
+   in-process bus partitioned by type-hierarchy root.
+2. *Fluent subscriptions* -- ``tps.subscription(cb).where(pred).start()``
+   registers a filtered callback whose predicate is pushed down into the
+   dispatch rows, and returns a cancellable handle.
+3. *Streaming consumption* -- ``tps.stream(maxsize=..., policy=...)`` turns
+   the interface into a pull-style event source with explicit backpressure.
+4. *Lifecycle* -- engines and interfaces are context managers; ``close()``
+   is idempotent and uniform across bindings.
+
+Run it with::
+
+    python examples/filtered_stream.py
+"""
+
+from __future__ import annotations
+
+from repro.core import ShardedLocalBus, TPSEngine, registered_bindings
+
+
+class Trade:
+    """The event type: one executed trade."""
+
+    def __init__(self, symbol: str, price: float, size: int) -> None:
+        self.symbol = symbol
+        self.price = price
+        self.size = size
+
+    def __str__(self) -> str:
+        return f"{self.symbol} {self.size}@{self.price:.2f}"
+
+
+def main() -> None:
+    print(f"registered bindings: {', '.join(registered_bindings())}")
+
+    # One sharded bus shared by both peers' engines; every engine of the
+    # Trade hierarchy lands on the same shard, so delivery semantics are
+    # exactly those of the LOCAL binding.
+    bus = ShardedLocalBus(shards=4)
+    with TPSEngine(Trade, local_bus=bus) as feed_engine, TPSEngine(
+        Trade, local_bus=bus
+    ) as desk_engine:
+        feed = feed_engine.new_interface("SHARDED")
+        desk = desk_engine.new_interface("SHARDED")
+        shard = bus.shard_index("__main__.Trade")
+        print(f"Trade hierarchy lives on shard {shard} of {len(bus.shards)}")
+
+        # ---------------------------------------------- fluent subscription
+        # A block-trade alert: the predicate travels with the subscription
+        # into the dispatch rows, so small trades never reach the callback.
+        alerts: list[Trade] = []
+        alert_handle = (
+            desk.subscription(alerts.append)
+            .where(lambda trade: trade.size >= 500)
+            .on_error(lambda error: print(f"alert handler error: {error}"))
+            .start()
+        )
+
+        # ------------------------------------------------ streaming consumer
+        # A bounded ticker tape: keep only the 5 freshest trades, count what
+        # backpressure had to discard.
+        with desk.subscription().where(lambda trade: trade.symbol == "SKI").stream(
+            maxsize=5, policy="drop_oldest"
+        ) as tape:
+            for index in range(8):
+                feed.publish(Trade("SKI", 100.0 + index, 100))
+            feed.publish(Trade("SNOW", 50.0, 800))   # block trade, wrong symbol
+            feed.publish(Trade("SKI", 120.0, 1000))  # block trade, on the tape
+
+            trades = tape.drain()
+            print(f"tape drained {len(trades)} trades ({tape.dropped} dropped)")
+            for trade in trades:
+                print(f"  tape: {trade}")
+
+        print(f"block-trade alerts: {len(alerts)}")
+        for trade in alerts:
+            print(f"  alert: {trade}")
+
+        # ------------------------------------------------------ cancellation
+        alert_handle.cancel()
+        feed.publish(Trade("SKI", 130.0, 2000))
+        print(f"alerts after cancel: {len(alerts)}")
+        print(f"desk received {len(desk.objects_received())} trades in total")
+
+    print(f"engines closed: {feed_engine.closed and desk_engine.closed}")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,7 +23,18 @@ replica of the pre-optimisation (seed) hot path running in the same process:
 * ``fanout_1`` / ``fanout_10`` / ``fanout_100`` -- a full local-bus publish
   to N subscribers through the type-indexed routing table versus the seed's
   per-publish list copy + per-engine ``isinstance`` + per-dispatch
-  subscription-list copy (replicated in :func:`_seed_publish`).
+  subscription-list copy (replicated in :func:`_seed_publish`);
+* ``subscribe_churn`` -- one subscribe/cancel cycle against an interface
+  with resident subscriptions: the v2 ``SubscriptionHandle.cancel()``
+  (identity discard) versus the Figure 8 ``unsubscribe(callback)``
+  matching scan;
+* ``filtered_fanout`` -- a publish fanned out to subscribers that filter
+  most events away: v2 predicate push-down (the predicate lives in the
+  dispatch rows, rejected events never open a callback frame) versus
+  post-dispatch filtering (the pre-v2 idiom: a plain subscribed callable
+  that applies the predicate in its body, adapted through
+  ``FunctionCallback`` -- ``FilteringCallback`` is the named class form of
+  the same pattern).
 
 Two *scenario* entries record the real wall-clock cost of running the
 simulated Figure 19/20 experiments (SR-TPS variant), so regressions in the
@@ -61,6 +72,8 @@ COMPARISON_NAMES = (
     "fanout_1",
     "fanout_10",
     "fanout_100",
+    "subscribe_churn",
+    "filtered_fanout",
 )
 
 #: The PR-1 comparison set: the minimum every historical repro-bench/v1
@@ -86,6 +99,10 @@ PROFILES: Dict[str, Dict[str, Any]] = {
         "codec_iterations": 20_000,
         "xml_iterations": 2_000,
         "fanout_iterations": {1: 5_000, 10: 1_000, 100: 400},
+        "churn_iterations": 4_000,
+        "churn_resident": 50,
+        "filtered_iterations": 1_000,
+        "filtered_subscribers": 200,
         "figure19_events": 100,
         "figure20_duration": 10.0,
         "figure20_events": 2_000,
@@ -95,6 +112,10 @@ PROFILES: Dict[str, Dict[str, Any]] = {
         "codec_iterations": 4_000,
         "xml_iterations": 400,
         "fanout_iterations": {1: 800, 10: 200, 100: 30},
+        "churn_iterations": 800,
+        "churn_resident": 50,
+        "filtered_iterations": 200,
+        "filtered_subscribers": 100,
         "figure19_events": 40,
         "figure20_duration": 4.0,
         "figure20_events": 400,
@@ -104,6 +125,10 @@ PROFILES: Dict[str, Dict[str, Any]] = {
         "codec_iterations": 30,
         "xml_iterations": 10,
         "fanout_iterations": {1: 10, 10: 4, 100: 2},
+        "churn_iterations": 10,
+        "churn_resident": 5,
+        "filtered_iterations": 10,
+        "filtered_subscribers": 4,
         "figure19_events": 10,
         "figure20_duration": 1.0,
         "figure20_events": 10,
@@ -356,6 +381,101 @@ def _bench_fanout(profile: Dict[str, Any]) -> List[Comparison]:
     return comparisons
 
 
+# --------------------------------------------------- v2 subscription paths
+
+
+def _bench_subscribe_churn(profile: Dict[str, Any]) -> Comparison:
+    """One subscribe + cancel cycle against an interface with resident load.
+
+    The fast path is the v2 handle: ``subscribe()`` returns a
+    ``SubscriptionHandle`` whose ``cancel()`` discards the exact subscription
+    objects by identity.  The baseline is the Figure 8 cycle the seed API
+    forced: ``subscribe(cb)`` then ``unsubscribe(cb)``, a matching scan that
+    calls ``Subscription.matches`` on every resident subscription.
+    """
+    iterations = profile["churn_iterations"]
+    repeats = profile["repeats"]
+    resident = profile["churn_resident"]
+    engine = LocalTPSEngine(SkiRental, bus=LocalBus())
+    for _ in range(resident):
+        engine.subscribe(lambda event: None)
+
+    def churn_fast() -> None:
+        engine.subscribe(_sink).cancel()
+
+    def churn_seed() -> None:
+        engine.subscribe(_sink)
+        engine.unsubscribe(_sink)
+
+    baseline_us, fast_us = _time_pair(churn_seed, churn_fast, iterations, repeats)
+    return Comparison("subscribe_churn", baseline_us, fast_us, iterations, repeats)
+
+
+def _sink(event: Any) -> None:
+    """Shared no-op callback (a named function so churn matching is fair)."""
+
+
+def _cheap(offer: Any) -> bool:
+    """The filtered-fanout predicate; rejects 15 of the 16 corpus events."""
+    return offer.price < 50.0
+
+
+def _build_filtered(subscribers: int, *, pushdown: bool) -> LocalTPSEngine:
+    """A publisher plus N subscribers that each filter with ``_cheap``.
+
+    The post-dispatch side subscribes the pre-v2 idiom: a plain callable
+    that applies the predicate inside the callback body (adapted through
+    ``FunctionCallback``, exactly as application code wrote it before
+    ``where`` existed).
+    """
+    bus = LocalBus()
+    publisher = LocalTPSEngine(SkiRental, bus=bus)
+    for _ in range(subscribers):
+        engine = LocalTPSEngine(SkiRental, bus=bus)
+        if pushdown:
+            engine.subscription(_sink).where(_cheap).start()
+        else:
+            engine.subscribe(lambda event: _sink(event) if _cheap(event) else None)
+    return publisher
+
+
+def _bench_filtered_fanout(profile: Dict[str, Any]) -> Comparison:
+    """Publish with per-subscription filtering: push-down vs post-dispatch.
+
+    Both sides publish the identical 16-event corpus (1 accepted, 15
+    rejected by ``_cheap``) to the same number of subscribers.  The fast side
+    carries the predicate in the dispatch rows (v2 ``where`` push-down), so a
+    rejected event costs one predicate call; the baseline filters inside the
+    subscribed callable, so every rejected event still pays the dispatch
+    try/except frame plus the adapter and wrapper calls before the predicate
+    even runs.
+    """
+    import itertools
+
+    iterations = profile["filtered_iterations"]
+    repeats = profile["repeats"]
+    subscribers = profile["filtered_subscribers"]
+    corpus = [_sample_event(index) for index in range(16)]
+    corpus[0] = SkiRental("shop-cheap", 10.0, "Salomon", 7)  # the one match
+    fast_publisher = _build_filtered(subscribers, pushdown=True)
+    seed_publisher = _build_filtered(subscribers, pushdown=False)
+    fast_events = itertools.cycle(corpus)
+    seed_events = itertools.cycle(corpus)
+
+    def run_fast() -> None:
+        fast_publisher.publish(next(fast_events))
+
+    def run_seed() -> None:
+        seed_publisher.publish(next(seed_events))
+
+    baseline_us, fast_us = _time_pair(run_seed, run_fast, iterations, repeats)
+    for publisher in (fast_publisher, seed_publisher):
+        for engine in publisher.bus.engines_for(publisher.registry.root):
+            engine._received.clear()
+            engine._sent.clear()
+    return Comparison("filtered_fanout", baseline_us, fast_us, iterations, repeats)
+
+
 # ---------------------------------------------------------------- scenarios
 
 
@@ -410,6 +530,8 @@ def run_perf_suite(profile: str = "full") -> Dict[str, Any]:
     comparisons.append(_bench_xml_parse(settings))
     comparisons.append(_bench_xml(settings))
     comparisons.extend(_bench_fanout(settings))
+    comparisons.append(_bench_subscribe_churn(settings))
+    comparisons.append(_bench_filtered_fanout(settings))
     return {
         "schema": SCHEMA,
         "version": __version__,

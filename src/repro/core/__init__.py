@@ -14,8 +14,20 @@ The public API mirrors the paper's Section 3:
 * :class:`Criteria` -- advertisement and content filtering.
 * :class:`PSException` / :class:`CallBackException` -- the API's exceptions.
 
-Two bindings are provided: ``"JXTA"`` (over the simulated JXTA substrate,
-:class:`JxtaTPSEngine`) and ``"LOCAL"`` (in-process, :class:`LocalTPSEngine`).
+Three bindings self-register with the binding registry
+(:mod:`repro.core.bindings`): ``"JXTA"`` (over the simulated JXTA substrate,
+:class:`JxtaTPSEngine`), ``"LOCAL"`` (in-process, :class:`LocalTPSEngine`)
+and ``"SHARDED"`` (in-process over an N-shard bus, :class:`ShardedLocalBus`).
+Applications add their own with :func:`register_binding`.
+
+The v2 surface on top of the paper's Figure 8 (all back-compatible):
+:meth:`~repro.core.interface.TPSInterface.subscribe` returns a
+:class:`SubscriptionHandle`; the fluent
+:meth:`~repro.core.interface.TPSInterface.subscription` builder pushes
+``where`` predicates down into dispatch; and
+:meth:`~repro.core.interface.TPSInterface.stream` returns an
+:class:`EventStream` for pull-style consumption.  Interfaces and engines are
+context managers with idempotent ``close()``.
 """
 
 from __future__ import annotations
@@ -25,9 +37,20 @@ from repro.core.advertisements import (
     TPSAdvertisementsCreator,
     TPSAdvertisementsFinder,
 )
+from repro.core.bindings import (
+    BindingRequest,
+    BindingSpec,
+    TPSBinding,
+    binding_capabilities,
+    get_binding,
+    register_binding,
+    registered_bindings,
+    unregister_binding,
+)
 from repro.core.callbacks import (
     CollectingCallback,
     CollectingExceptionHandler,
+    FilteringCallback,
     FunctionCallback,
     FunctionExceptionHandler,
     PrintingExceptionHandler,
@@ -45,7 +68,13 @@ from repro.core.interface import PublishReceipt, Subscription, TPSInterface
 from repro.core.jxta_engine import JxtaTPSEngine, TPSAttachment, TPSConfig
 from repro.core.local_engine import LocalBus, LocalTPSEngine
 from repro.core.reply import Reply, ReplyEndpoint, Replyable, reply
+from repro.core.sharded_engine import DEFAULT_SHARD_COUNT, ShardedLocalBus
 from repro.core.subscriber import TPSPipeReader, TPSSubscriberManager
+from repro.core.subscriptions import (
+    EventStream,
+    SubscriptionBuilder,
+    SubscriptionHandle,
+)
 from repro.core.type_registry import (
     Criteria,
     TypeRegistry,
@@ -67,7 +96,12 @@ from repro.core.xml_types import (
 )
 
 __all__ = [
+    "BindingRequest",
+    "BindingSpec",
+    "DEFAULT_SHARD_COUNT",
     "DynamicEvent",
+    "EventStream",
+    "FilteringCallback",
     "Reply",
     "ReplyEndpoint",
     "Replyable",
@@ -89,10 +123,14 @@ __all__ = [
     "PS_PREFIX",
     "PrintingExceptionHandler",
     "PublishReceipt",
+    "ShardedLocalBus",
     "Subscription",
+    "SubscriptionBuilder",
+    "SubscriptionHandle",
     "TPSAdvertisementsCreator",
     "TPSAdvertisementsFinder",
     "TPSAttachment",
+    "TPSBinding",
     "TPSCallBackInterface",
     "TPSConfig",
     "TPSEngine",
@@ -106,6 +144,11 @@ __all__ = [
     "TypeMismatchError",
     "TypeRegistry",
     "all_subtypes",
+    "binding_capabilities",
+    "get_binding",
     "hierarchy_root",
+    "register_binding",
+    "registered_bindings",
     "type_name",
+    "unregister_binding",
 ]

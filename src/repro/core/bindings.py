@@ -1,0 +1,184 @@
+"""The TPS binding registry: how infrastructures plug into ``newInterface``.
+
+The paper's ``TPSEngine.newInterface(String name, ...)`` selects the
+underlying infrastructure by *name* ("JXTA" in every listing of the paper).
+The layering argument of Section 4 -- TPS is a thin typed layer that can sit
+on top of any substrate offering propagation and discovery -- applies to the
+reproduction's own code too: a new substrate should plug in by registering a
+binding, not by editing ``TPSEngine``.
+
+This module is that plug point:
+
+* :class:`TPSBinding` -- the structural protocol a binding's interfaces must
+  satisfy (the seven Figure 8 operations plus the v2 ``close`` lifecycle);
+* :class:`BindingRequest` -- everything ``new_interface`` knows when it asks
+  a binding for an interface (event type, criteria, peer, codec, config,
+  local bus, the paper's ``instance``/``argv`` arguments);
+* :func:`register_binding` / :func:`get_binding` /
+  :func:`registered_bindings` -- the process-wide name -> factory registry.
+
+The built-in bindings self-register when their modules are imported:
+``"LOCAL"`` (:mod:`repro.core.local_engine`), ``"JXTA"``
+(:mod:`repro.core.jxta_engine`) and ``"SHARDED"``
+(:mod:`repro.core.sharded_engine`).  ``TPSEngine.new_interface`` resolves
+purely through :func:`get_binding`, so third-party bindings registered by
+application code are first-class citizens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Type,
+    runtime_checkable,
+)
+
+from repro.core.exceptions import PSException
+
+
+@runtime_checkable
+class TPSBinding(Protocol):
+    """What a binding-produced interface must offer (structural typing).
+
+    The seven operations of the paper's Figure 8 -- ``publish``,
+    ``subscribe`` (single or list form), ``unsubscribe`` (one or all),
+    ``objects_received``/``objects_sent`` -- plus the v2 ``close`` lifecycle.
+    :class:`~repro.core.interface.TPSInterface` implements all of these, so
+    subclassing it is the easiest way to satisfy the protocol; any
+    structurally conforming object is accepted just the same.
+    """
+
+    def publish(self, event: Any) -> Any: ...
+
+    def subscribe(self, callback: Any, exception_handler: Any = None) -> Any: ...
+
+    def unsubscribe(self, callback: Any = None, exception_handler: Any = None) -> int: ...
+
+    def objects_received(self) -> List[Any]: ...
+
+    def objects_sent(self) -> List[Any]: ...
+
+    def close(self) -> None: ...
+
+
+@dataclass(frozen=True)
+class BindingRequest:
+    """One ``new_interface`` call, as seen by a binding factory.
+
+    Mirrors the paper's ``newInterface(String name, Criteria c, Type t,
+    String[] arg)`` plus the engine-level construction arguments the Python
+    rendering adds (``peer``, ``codec``, ``config``, ``local_bus``).  A
+    factory picks what it needs and must raise :class:`PSException` when a
+    required argument is missing (e.g. the JXTA binding without a peer).
+    """
+
+    event_type: Type[Any]
+    criteria: Optional[Any] = None
+    instance: Optional[Any] = None
+    argv: Optional[Tuple[str, ...]] = None
+    peer: Optional[Any] = None
+    codec: Optional[Any] = None
+    config: Optional[Any] = None
+    local_bus: Optional[Any] = None
+
+
+#: A binding factory: takes one :class:`BindingRequest`, returns an interface.
+BindingFactory = Callable[[BindingRequest], Any]
+
+
+@dataclass(frozen=True)
+class BindingSpec:
+    """One registered binding: its name, factory and capability tags."""
+
+    name: str
+    factory: BindingFactory
+    #: Free-form capability tags ("in-process", "distributed", "sharded", ...)
+    #: for applications that pick a binding by feature rather than by name.
+    capabilities: frozenset = field(default_factory=frozenset)
+
+    def create(self, request: BindingRequest) -> Any:
+        """Build an interface for ``request`` through this binding's factory."""
+        return self.factory(request)
+
+
+_REGISTRY: Dict[str, BindingSpec] = {}
+
+
+def _normalize(name: str) -> str:
+    if not isinstance(name, str) or not name.strip():
+        raise PSException(f"binding name must be a non-empty string, got {name!r}")
+    return name.strip().upper()
+
+
+def register_binding(
+    name: str,
+    factory: BindingFactory,
+    *,
+    capabilities: Sequence[str] = (),
+    replace: bool = False,
+) -> BindingSpec:
+    """Register a binding factory under ``name`` (case-insensitive).
+
+    Returns the stored :class:`BindingSpec`.  Re-registering an existing name
+    raises :class:`PSException` unless ``replace=True`` (the built-in
+    bindings register with ``replace=True`` so module reloads stay safe).
+    """
+    key = _normalize(name)
+    if not callable(factory):
+        raise PSException(f"binding factory for {key!r} must be callable, got {factory!r}")
+    if key in _REGISTRY and not replace:
+        raise PSException(
+            f"a TPS binding named {key!r} is already registered; "
+            "pass replace=True to override it"
+        )
+    spec = BindingSpec(name=key, factory=factory, capabilities=frozenset(capabilities))
+    _REGISTRY[key] = spec
+    return spec
+
+
+def unregister_binding(name: str) -> bool:
+    """Remove a binding from the registry; True if it was registered."""
+    return _REGISTRY.pop(_normalize(name), None) is not None
+
+
+def get_binding(name: str) -> BindingSpec:
+    """Look up a registered binding, or raise listing what *is* registered."""
+    key = _normalize(name)
+    spec = _REGISTRY.get(key)
+    if spec is None:
+        registered = ", ".join(repr(known) for known in registered_bindings())
+        raise PSException(
+            f"unknown TPS binding {name!r}; registered bindings: {registered or '(none)'}"
+        )
+    return spec
+
+
+def registered_bindings() -> Tuple[str, ...]:
+    """The names of every registered binding, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def binding_capabilities(name: str) -> frozenset:
+    """The capability tags of a registered binding."""
+    return get_binding(name).capabilities
+
+
+__all__ = [
+    "BindingFactory",
+    "BindingRequest",
+    "BindingSpec",
+    "TPSBinding",
+    "binding_capabilities",
+    "get_binding",
+    "register_binding",
+    "registered_bindings",
+    "unregister_binding",
+]

@@ -70,6 +70,39 @@ class FunctionExceptionHandler(TPSExceptionHandler[Any]):
         return f"FunctionExceptionHandler({self._function!r})"
 
 
+class FilteringCallback(TPSCallBackInterface[EventT]):
+    """Post-dispatch filtering: a callback that drops events failing a predicate.
+
+    This is the pre-v2 idiom for per-subscription filtering -- the event is
+    fully dispatched (history, try/except frame, this wrapper's ``handle``)
+    before the predicate rejects it.  New code should push the predicate down
+    with ``tps.subscription(cb).where(pred).start()`` instead, which skips
+    rejected events in the dispatch rows themselves; this class remains as
+    the explicit, named form of the post-dispatch pattern (the
+    ``filtered_fanout`` benchmark baselines the equivalent plain-callable
+    idiom).
+    """
+
+    def __init__(
+        self,
+        predicate: Callable[[EventT], bool],
+        callback: Callable[[EventT], None],
+    ) -> None:
+        if not callable(predicate) or not callable(callback):
+            raise TypeError(
+                f"FilteringCallback needs two callables, got {predicate!r}, {callback!r}"
+            )
+        self._predicate = predicate
+        self._callback = callback
+
+    def handle(self, event: EventT) -> None:
+        if self._predicate(event):
+            self._callback(event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FilteringCallback({self._predicate!r}, {self._callback!r})"
+
+
 class CollectingCallback(TPSCallBackInterface[EventT]):
     """A callback that simply accumulates events (handy in tests and examples)."""
 
@@ -136,6 +169,7 @@ __all__ = [
     "CollectingCallback",
     "CollectingExceptionHandler",
     "ExceptionHandlerLike",
+    "FilteringCallback",
     "FunctionCallback",
     "FunctionExceptionHandler",
     "PrintingExceptionHandler",

@@ -21,12 +21,26 @@ Differences, and why:
   from a configuration file).
 * ``new_interface("LOCAL")`` returns an in-process binding with identical
   semantics, useful for tests and prototypes.
+
+The v2 API keeps the two-line initialisation and the Figure 8 surface
+byte-for-byte (pinned by ``tests/test_api_surface.py``) while opening both
+ends of the factory:
+
+* the binding *name* resolves through the pluggable registry of
+  :mod:`repro.core.bindings` -- ``"JXTA"``, ``"LOCAL"`` and ``"SHARDED"``
+  (an N-shard in-process bus, :mod:`repro.core.sharded_engine`) self-register
+  there, and applications may :func:`~repro.core.bindings.register_binding`
+  their own without touching this module;
+* the engine has a lifecycle: :meth:`TPSEngine.close` closes every interface
+  it created (idempotently), the engine is a context manager, and
+  ``new_interface`` after close raises :class:`PSException`.
 """
 
 from __future__ import annotations
 
 from typing import Any, Generic, Optional, Sequence, Type, TypeVar
 
+from repro.core.bindings import BindingRequest, get_binding
 from repro.core.exceptions import PSException
 from repro.core.interface import TPSInterface
 from repro.core.jxta_engine import JxtaTPSEngine, TPSConfig
@@ -47,7 +61,7 @@ class TPSEngine(Generic[EventT]):
     for each type of interest must be created."  (paper, Section 4.2)
     """
 
-    #: Binding names accepted by :meth:`new_interface`.
+    #: Names of the built-in bindings (any registered name is accepted).
     JXTA = "JXTA"
     LOCAL = "LOCAL"
 
@@ -67,6 +81,7 @@ class TPSEngine(Generic[EventT]):
         self.config = config
         self.local_bus = local_bus
         self.interfaces: list[TPSInterface[EventT]] = []
+        self._closed = False
 
     def new_interface(
         self,
@@ -78,38 +93,32 @@ class TPSEngine(Generic[EventT]):
         """Create a TPS interface bound to the named infrastructure.
 
         Parameters mirror the paper's ``newInterface(String name, Criteria c,
-        Type t, String[] arg)``: the binding name (``"JXTA"`` or ``"LOCAL"``),
-        optional advertisement/content filtering criteria, an optional
-        instance of the event type (checked, then ignored -- Python does not
-        need it) and the application's command-line arguments (ignored).
+        Type t, String[] arg)``: the binding name (resolved through the
+        registry of :mod:`repro.core.bindings` -- ``"JXTA"``, ``"LOCAL"``,
+        ``"SHARDED"`` or anything the application registered), optional
+        advertisement/content filtering criteria, an optional instance of the
+        event type (checked, then ignored -- Python does not need it) and the
+        application's command-line arguments (passed through to the binding
+        factory).
         """
+        self._check_open()
         if instance is not None and not isinstance(instance, self.event_type):
             raise PSException(
                 f"the instance passed to new_interface is a "
                 f"{type_name(type(instance))}, not a {type_name(self.event_type)}"
             )
-        binding = name.upper()
-        if binding == self.JXTA:
-            if self.peer is None:
-                raise PSException(
-                    "the JXTA binding needs a peer: construct the engine with "
-                    "TPSEngine(EventType, peer=some_peer)"
-                )
-            interface: TPSInterface[EventT] = JxtaTPSEngine(
-                self.event_type,
-                self.peer,
-                criteria=criteria,
-                codec=self.codec,
-                config=self.config,
-            )
-        elif binding == self.LOCAL:
-            interface = LocalTPSEngine(
-                self.event_type, bus=self.local_bus, criteria=criteria
-            )
-        else:
-            raise PSException(
-                f"unknown TPS binding {name!r}; expected {self.JXTA!r} or {self.LOCAL!r}"
-            )
+        spec = get_binding(name)
+        request = BindingRequest(
+            event_type=self.event_type,
+            criteria=criteria,
+            instance=instance,
+            argv=tuple(argv) if argv is not None else None,
+            peer=self.peer,
+            codec=self.codec,
+            config=self.config,
+            local_bus=self.local_bus,
+        )
+        interface: TPSInterface[EventT] = spec.create(request)
         self.interfaces.append(interface)
         return interface
 
@@ -123,6 +132,50 @@ class TPSEngine(Generic[EventT]):
     ) -> TPSInterface[EventT]:
         """Alias of :meth:`new_interface` matching the paper's listing."""
         return self.new_interface(name, criteria, instance, argv)
+
+    # -------------------------------------------------------------- lifecycle
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def close(self) -> None:
+        """Close every interface this engine created (idempotent).
+
+        Afterwards :meth:`new_interface` raises :class:`PSException`; the
+        already-closed interfaces keep answering their history queries.
+        Every interface is attempted even when one fails to close; in that
+        case the first error is re-raised and the engine reverts to open so
+        a retry re-attempts the stragglers (closing an interface twice is a
+        no-op).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        first_error: Optional[BaseException] = None
+        for interface in self.interfaces:
+            try:
+                interface.close()
+            except BaseException as error:  # noqa: BLE001 - re-raised after the loop
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            self._closed = False
+            raise first_error
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise PSException(
+                f"the TPS engine for {type_name(self.event_type)} is closed; "
+                "new_interface is no longer available"
+            )
+
+    def __enter__(self) -> "TPSEngine[EventT]":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"TPSEngine({type_name(self.event_type)}, interfaces={len(self.interfaces)})"

@@ -20,13 +20,29 @@ collapse into one ``subscribe`` that accepts either a single callback or a
 sequence of callbacks; methods (4) and (5) collapse into ``unsubscribe`` with
 optional arguments.  CamelCase aliases (``objectsReceived``/``objectsSent``)
 are provided for readers following the paper's listings.
+
+On top of the paper's surface, the v2 API adds (without changing any of the
+seven signatures above -- ``tests/test_api_surface.py`` pins them):
+
+* ``subscribe`` returns a
+  :class:`~repro.core.subscriptions.SubscriptionHandle` -- cancel exactly
+  the subscriptions one call created, or scope them with ``with``;
+* :meth:`TPSInterface.subscription` opens the fluent builder
+  (``tps.subscription(cb).where(pred).on_error(h).start()``) whose
+  predicates are pushed down into the binding's dispatch rows;
+* :meth:`TPSInterface.stream` returns an
+  :class:`~repro.core.subscriptions.EventStream` for pull-style
+  consumption with explicit backpressure;
+* :meth:`TPSInterface.close` (idempotent; every interface is a context
+  manager) ends the interface's life: ``publish``/``subscribe`` afterwards
+  raise :class:`PSException` uniformly across all bindings.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any, Generic, List, Optional, Sequence, TypeVar, Union
+from typing import Any, Callable, Generic, List, Optional, Sequence, TypeVar, Union
 
 from repro.core.callbacks import (
     CallbackLike,
@@ -37,6 +53,11 @@ from repro.core.callbacks import (
     as_exception_handler,
 )
 from repro.core.exceptions import PSException
+from repro.core.subscriptions import (
+    EventStream,
+    SubscriptionBuilder,
+    SubscriptionHandle,
+)
 
 EventT = TypeVar("EventT")
 
@@ -51,6 +72,9 @@ class Subscription:
     #: can match on them even when they were adapted from plain callables.
     original_callback: Any = None
     original_handler: Any = None
+    #: Pushed-down event filter: when set, events it rejects are skipped in
+    #: the dispatch rows themselves and never reach the callback.
+    predicate: Optional[Callable[[Any], bool]] = None
 
     def matches(self, callback: Any, handler: Any = None) -> bool:
         """Whether this subscription was registered with the given objects."""
@@ -76,7 +100,85 @@ class PublishReceipt:
 
 
 class TPSInterface(abc.ABC, Generic[EventT]):
-    """Abstract TPS interface; concrete bindings implement the transport."""
+    """Abstract TPS interface; concrete bindings implement the transport.
+
+    Subclasses implement the abstract transport hooks (``publish``,
+    ``_add_subscription``, ``_remove_subscriptions``, the history queries)
+    and may override :meth:`_do_close` for binding-specific teardown; the
+    shared subscription surface, the v2 builder/stream entry points and the
+    idempotent close template live here so every binding behaves the same.
+    """
+
+    #: Lifecycle flag; a class attribute so bindings need no __init__ hook.
+    _tps_closed = False
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._tps_closed
+
+    def close(self) -> None:
+        """End this interface's life (idempotent, same across all bindings).
+
+        Detaches from the underlying infrastructure, drops every
+        subscription via the binding's :meth:`_do_close` and closes every
+        open :class:`EventStream` (waking their blocked consumers and
+        producers).  Afterwards ``publish`` and ``subscribe`` raise
+        :class:`PSException`; ``unsubscribe`` and the history queries keep
+        working.  Should teardown itself fail, the interface reverts to open
+        so ``close()`` can be retried.
+        """
+        if self._tps_closed:
+            return
+        self._tps_closed = True
+        try:
+            self._do_close()
+        except BaseException:
+            self._tps_closed = False
+            raise
+        self._close_streams()
+
+    def _do_close(self) -> None:
+        """Binding-specific teardown; runs at most once, from :meth:`close`."""
+
+    # -- open-stream tracking: a stream whose subscription disappears under
+    # it (interface close, blanket unsubscribe) must be closed too, or its
+    # blocked consumers/producers would wait forever.
+
+    def _register_stream(self, stream: EventStream) -> None:
+        streams = getattr(self, "_open_streams", None)
+        if streams is None:
+            streams = []
+            self._open_streams = streams
+        streams.append(stream)
+
+    def _unregister_stream(self, stream: EventStream) -> None:
+        streams = getattr(self, "_open_streams", None)
+        if streams is not None and stream in streams:
+            streams.remove(stream)
+
+    def _close_streams(self) -> None:
+        streams = getattr(self, "_open_streams", None)
+        for stream in list(streams or ()):
+            stream.close()
+
+    def _check_open(self) -> None:
+        """Raise the uniform post-close error when the interface is closed."""
+        if self._tps_closed:
+            registry = getattr(self, "registry", None)
+            name = f" for {registry.interface_name}" if registry is not None else ""
+            raise PSException(
+                f"the TPS interface{name} is closed; "
+                "publish/subscribe are no longer available"
+            )
+
+    def __enter__(self) -> "TPSInterface[EventT]":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------ publishing
 
@@ -106,7 +208,7 @@ class TPSInterface(abc.ABC, Generic[EventT]):
         exception_handler: Union[
             ExceptionHandlerLike, Sequence[ExceptionHandlerLike], None
         ] = None,
-    ) -> None:
+    ) -> SubscriptionHandle:
         """(2)/(3) Subscribe one callback -- or several at once -- to the type.
 
         The list form mirrors the paper's second ``subscribe`` overload, used
@@ -115,6 +217,10 @@ class TPSInterface(abc.ABC, Generic[EventT]):
         events).  When a list of callbacks is given, ``exception_handler``
         may be a matching list, a single handler shared by all callbacks, or
         None.
+
+        Returns a :class:`SubscriptionHandle` covering every subscription
+        this call created (the paper's ``void`` return stays compatible:
+        callers that ignore it lose nothing).
         """
         if isinstance(callback, (list, tuple)):
             callbacks = list(callback)
@@ -129,21 +235,60 @@ class TPSInterface(abc.ABC, Generic[EventT]):
                 handlers = [exception_handler] * len(callbacks)
             if not callbacks:
                 raise PSException("subscribe: empty callback list")
-            for cb, eh in zip(callbacks, handlers):
-                self._subscribe_one(cb, eh)
+            subscriptions = [self._subscribe_one(cb, eh) for cb, eh in zip(callbacks, handlers)]
         else:
-            self._subscribe_one(callback, exception_handler)  # type: ignore[arg-type]
+            subscriptions = [self._subscribe_one(callback, exception_handler)]  # type: ignore[arg-type]
+        return SubscriptionHandle(self, subscriptions)
 
     def _subscribe_one(
-        self, callback: CallbackLike, exception_handler: Optional[ExceptionHandlerLike]
-    ) -> None:
+        self,
+        callback: CallbackLike,
+        exception_handler: Optional[ExceptionHandlerLike],
+        predicate: Optional[Callable[[Any], bool]] = None,
+    ) -> Subscription:
+        self._check_open()
         subscription = Subscription(
             callback=as_callback(callback),
             exception_handler=as_exception_handler(exception_handler),
             original_callback=callback,
             original_handler=exception_handler,
+            predicate=predicate,
         )
         self._add_subscription(subscription)
+        return subscription
+
+    def _discard_subscription(self, subscription: Subscription) -> int:
+        """Remove one exact subscription object (handle cancellation).
+
+        The default falls back to callback/handler matching; bindings backed
+        by a :class:`~repro.core.subscriber.TPSSubscriberManager` override it
+        with identity-based removal.
+        """
+        return self._remove_subscriptions(
+            subscription.callback, subscription.exception_handler
+        )
+
+    def subscription(self, callback: Optional[CallbackLike] = None) -> SubscriptionBuilder:
+        """Open the fluent subscription builder (v2).
+
+        ``tps.subscription(cb).where(pred).on_error(h).start()`` registers a
+        filtered subscription whose predicate is pushed down into the
+        binding's dispatch rows; ``.stream(...)`` instead of ``.start()``
+        consumes it pull-style.
+        """
+        self._check_open()
+        return SubscriptionBuilder(self, callback)
+
+    def stream(self, maxsize: int = 0, policy: str = "block") -> EventStream:
+        """Consume this interface's events pull-style (v2).
+
+        Returns an :class:`EventStream` (a context manager): iterate it,
+        ``get(timeout=...)`` single events, or ``drain()`` the buffer.  A
+        positive ``maxsize`` bounds the buffer; ``policy`` picks what happens
+        when it is full (``"block"`` the publisher, or ``"drop_oldest"``).
+        """
+        self._check_open()
+        return EventStream(self, maxsize=maxsize, policy=policy)
 
     def unsubscribe(
         self,
@@ -154,10 +299,15 @@ class TPSInterface(abc.ABC, Generic[EventT]):
 
         With a ``callback`` (and optionally its handler) only the matching
         subscription is removed; with no arguments all call-back objects are
-        removed and "no event is received anymore".  Returns the number of
-        subscriptions removed.
+        removed and "no event is received anymore" -- which includes closing
+        every open :class:`EventStream`, so their blocked consumers wake up
+        instead of waiting on a subscription that no longer exists.  Returns
+        the number of subscriptions removed.
         """
-        return self._remove_subscriptions(callback, exception_handler)
+        removed = self._remove_subscriptions(callback, exception_handler)
+        if callback is None:
+            self._close_streams()
+        return removed
 
     # --------------------------------------------------------------- history
 
@@ -179,4 +329,11 @@ class TPSInterface(abc.ABC, Generic[EventT]):
         return self.objects_sent()
 
 
-__all__ = ["PublishReceipt", "Subscription", "TPSInterface"]
+__all__ = [
+    "EventStream",
+    "PublishReceipt",
+    "Subscription",
+    "SubscriptionBuilder",
+    "SubscriptionHandle",
+    "TPSInterface",
+]

@@ -37,6 +37,7 @@ from repro.core.advertisements import (
     TPSAdvertisementsCreator,
     TPSAdvertisementsFinder,
 )
+from repro.core.bindings import BindingRequest, register_binding
 from repro.core.exceptions import NotInitializedError, PSException
 from repro.core.interface import PublishReceipt, Subscription, TPSInterface
 from repro.core.subscriber import TPSPipeReader, TPSSubscriberManager
@@ -305,6 +306,7 @@ class JxtaTPSEngine(TPSInterface):
 
     def publish(self, event: Any) -> PublishReceipt:
         """Publish a typed event to every subscriber of the type (Figure 8, (1))."""
+        self._check_open()
         self.registry.check_publishable(event)
         attachments = [a for a in self.manager.attachments if a.output_pipe is not None]
         if not attachments:
@@ -348,6 +350,12 @@ class JxtaTPSEngine(TPSInterface):
         removed = self.subscriber_manager.remove(callback, handler)
         if self.subscriber_manager.empty:
             # "After this call, no event is received anymore."
+            self.manager.close_readers()
+        return removed
+
+    def _discard_subscription(self, subscription: Subscription) -> int:
+        removed = self.subscriber_manager.discard(subscription)
+        if self.subscriber_manager.empty:
             self.manager.close_readers()
         return removed
 
@@ -396,7 +404,7 @@ class JxtaTPSEngine(TPSInterface):
 
     # ----------------------------------------------------------------- close
 
-    def close(self) -> None:
+    def _do_close(self) -> None:
         """Stop the finder, close all pipes and drop subscriptions."""
         self.manager.stop()
         self.subscriber_manager.remove()
@@ -406,6 +414,30 @@ class JxtaTPSEngine(TPSInterface):
             f"JxtaTPSEngine(type={self.registry.interface_name}, peer={self.peer.name!r}, "
             f"attachments={self.attachment_count})"
         )
+
+
+def _jxta_binding(request: BindingRequest) -> JxtaTPSEngine:
+    """The ``"JXTA"`` binding factory: an interface over the P2P substrate."""
+    if request.peer is None:
+        raise PSException(
+            "the JXTA binding needs a peer: construct the engine with "
+            "TPSEngine(EventType, peer=some_peer)"
+        )
+    return JxtaTPSEngine(
+        request.event_type,
+        request.peer,
+        criteria=request.criteria,
+        codec=request.codec,
+        config=request.config,
+    )
+
+
+register_binding(
+    "JXTA",
+    _jxta_binding,
+    capabilities=("distributed", "simulated-network"),
+    replace=True,
+)
 
 
 __all__ = [

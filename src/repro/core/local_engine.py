@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Tuple, Type
 
+from repro.core.bindings import BindingRequest, register_binding
 from repro.core.exceptions import PSException
 from repro.core.interface import PublishReceipt, Subscription, TPSInterface
 from repro.core.type_registry import Criteria, TypeRegistry, hierarchy_root, type_name
@@ -110,8 +111,16 @@ class LocalBus:
             if criteria is not None and not criteria.matches_event(event):
                 continue
             record(event)
-            for handle, handle_error in handlers:
+            for handle, handle_error, predicate in handlers:
+                # The pushed-down predicate runs inside the dispatch guard:
+                # a rejected event skips the callback entirely, and a
+                # *raising* predicate is routed to the paired exception
+                # handler exactly like a raising callback (so push-down
+                # keeps FilteringCallback's error semantics and a broken
+                # predicate cannot crash the publisher).
                 try:
+                    if predicate is not None and not predicate(event):
+                        continue
                     handle(event)
                 except BaseException as error:  # noqa: BLE001 - routed to the handler
                     try:
@@ -149,6 +158,7 @@ class LocalTPSEngine(TPSInterface):
 
     def publish(self, event: Any) -> PublishReceipt:
         """Publish an event to every conforming local subscriber."""
+        self._check_open()
         self.registry.check_publishable(event)
         # Round-trip through the codec so local and JXTA bindings agree on
         # what is serialisable (and so subscribers get an isolated copy).
@@ -169,6 +179,9 @@ class LocalTPSEngine(TPSInterface):
     ) -> int:
         return self.subscriber_manager.remove(callback, handler)
 
+    def _discard_subscription(self, subscription: Subscription) -> int:
+        return self.subscriber_manager.discard(subscription)
+
     # --------------------------------------------------------------- history
 
     def objects_received(self) -> list[Any]:
@@ -177,10 +190,25 @@ class LocalTPSEngine(TPSInterface):
     def objects_sent(self) -> list[Any]:
         return list(self._sent)
 
-    def close(self) -> None:
+    def _do_close(self) -> None:
         """Detach from the bus and drop every subscription."""
         self.bus.detach(self)
         self.subscriber_manager.remove()
+
+
+def _local_binding(request: BindingRequest) -> LocalTPSEngine:
+    """The ``"LOCAL"`` binding factory: an in-process interface."""
+    return LocalTPSEngine(
+        request.event_type,
+        bus=request.local_bus,
+        criteria=request.criteria,
+        codec=request.codec,
+    )
+
+
+register_binding(
+    "LOCAL", _local_binding, capabilities=("in-process", "synchronous"), replace=True
+)
 
 
 __all__ = ["DEFAULT_BUS", "LocalBus", "LocalTPSEngine"]

@@ -1,0 +1,121 @@
+"""The ``"SHARDED"`` binding: an N-shard in-process bus.
+
+The ROADMAP's sharding direction, taken through the public binding registry
+(no special case anywhere in :mod:`repro.core.engine`): a
+:class:`ShardedLocalBus` partitions engines across N independent
+:class:`~repro.core.local_engine.LocalBus` shards by a stable hash of the
+engine's *hierarchy root* name.  TPS routing is entirely intra-hierarchy --
+an event published on one hierarchy can only ever reach engines of the same
+hierarchy (paper, Section 4.2) -- so every engine of a hierarchy lands on
+the same shard and delivery semantics are identical to a single bus, while
+unrelated hierarchies stop sharing routing tables (and, once a concurrent
+bus lands, will stop sharing a lock: each shard keeps the immutable
+route-row design that makes atomic swaps possible).
+
+:class:`~repro.core.local_engine.LocalTPSEngine` runs over the sharded bus
+unchanged -- the bus is a drop-in facade with the same
+``attach``/``detach``/``publish``/``engines_for`` surface -- which is the
+point of the exercise: a third binding built purely from public pieces.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Tuple, Type
+
+from repro.core.bindings import BindingRequest, register_binding
+from repro.core.exceptions import PSException
+from repro.core.local_engine import LocalBus, LocalTPSEngine
+from repro.core.type_registry import type_name
+
+#: Shard count of the process-wide default sharded bus.
+DEFAULT_SHARD_COUNT = 8
+
+
+class ShardedLocalBus:
+    """N independent :class:`LocalBus` shards, partitioned by hierarchy root.
+
+    Presents the exact ``LocalBus`` surface
+    (``attach``/``detach``/``publish``/``engines_for``), delegating each call
+    to the shard owning the engine's hierarchy.  The partition key is the
+    advertised (root type) name hashed with CRC-32, so placement is stable
+    across processes and runs -- Python's randomised ``hash()`` would not be.
+    """
+
+    def __init__(self, shards: int = DEFAULT_SHARD_COUNT) -> None:
+        if shards < 1:
+            raise PSException(f"a sharded bus needs at least 1 shard, got {shards}")
+        self.shards: Tuple[LocalBus, ...] = tuple(LocalBus() for _ in range(shards))
+
+    def shard_index(self, root_name: str) -> int:
+        """The shard owning the hierarchy advertised as ``root_name``."""
+        return zlib.crc32(root_name.encode("utf-8")) % len(self.shards)
+
+    def shard_for(self, root_name: str) -> LocalBus:
+        """The :class:`LocalBus` shard owning ``root_name``'s hierarchy."""
+        return self.shards[self.shard_index(root_name)]
+
+    # ------------------------------------------------- LocalBus facade
+
+    def attach(self, engine: "LocalTPSEngine") -> None:
+        """Attach an engine to its hierarchy's shard."""
+        self.shard_for(engine.registry.advertised_name).attach(engine)
+
+    def detach(self, engine: "LocalTPSEngine") -> None:
+        """Detach an engine from its hierarchy's shard."""
+        self.shard_for(engine.registry.advertised_name).detach(engine)
+
+    def engines_for(self, root: Type[Any]) -> Tuple["LocalTPSEngine", ...]:
+        """Every engine attached to the hierarchy rooted at ``root``."""
+        return self.shard_for(type_name(root)).engines_for(root)
+
+    def publish(self, publisher: "LocalTPSEngine", event: Any) -> int:
+        """Deliver through the publisher's shard (same semantics as LocalBus)."""
+        return self.shard_for(publisher.registry.advertised_name).publish(
+            publisher, event
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        attached = sum(len(engines) for shard in self.shards for engines in shard._engines.values())
+        return f"ShardedLocalBus(shards={len(self.shards)}, engines={attached})"
+
+
+#: Default process-wide sharded bus, used when the engine supplies no bus.
+DEFAULT_SHARDED_BUS = ShardedLocalBus()
+
+
+def _sharded_binding(request: BindingRequest) -> LocalTPSEngine:
+    """The ``"SHARDED"`` binding factory.
+
+    Uses the engine's ``local_bus`` when it already is a
+    :class:`ShardedLocalBus`, falls back to the process-wide default when no
+    bus was given, and rejects a plain ``LocalBus`` (silently unsharding
+    would betray the binding's name).
+    """
+    bus = request.local_bus
+    if bus is None:
+        bus = DEFAULT_SHARDED_BUS
+    elif not isinstance(bus, ShardedLocalBus):
+        raise PSException(
+            "the SHARDED binding needs a ShardedLocalBus (or no bus at all); "
+            f"got {type(bus).__name__}: construct the engine with "
+            "TPSEngine(EventType, local_bus=ShardedLocalBus(shards=N))"
+        )
+    return LocalTPSEngine(
+        request.event_type,
+        bus=bus,
+        criteria=request.criteria,
+        codec=request.codec,
+    )
+
+
+register_binding(
+    "SHARDED", _sharded_binding, capabilities=("in-process", "sharded"), replace=True
+)
+
+
+__all__ = [
+    "DEFAULT_SHARDED_BUS",
+    "DEFAULT_SHARD_COUNT",
+    "ShardedLocalBus",
+]

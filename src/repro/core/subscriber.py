@@ -37,14 +37,23 @@ class TPSSubscriberManager:
 
     def __init__(self) -> None:
         self._subscriptions: List[Subscription] = []
-        #: (callback.handle, exception_handler.handle) pairs, in order.
-        self._handlers: Tuple[Tuple[Callable[[Any], Any], Callable[[Any], Any]], ...] = ()
+        #: (callback.handle, exception_handler.handle, predicate) rows, in
+        #: order.  The predicate slot carries each subscription's pushed-down
+        #: event filter (None for unfiltered subscriptions), so dispatch can
+        #: skip filtered-out events before the callback frame is ever opened.
+        self._handlers: Tuple[
+            Tuple[Callable[[Any], Any], Callable[[Any], Any], Any], ...
+        ] = ()
 
     # ------------------------------------------------------------ mutation
 
     def _rebuild_handlers(self) -> None:
         self._handlers = tuple(
-            (subscription.callback.handle, subscription.exception_handler.handle)
+            (
+                subscription.callback.handle,
+                subscription.exception_handler.handle,
+                subscription.predicate,
+            )
             for subscription in self._subscriptions
         )
 
@@ -52,6 +61,21 @@ class TPSSubscriberManager:
         """Register one subscription."""
         self._subscriptions.append(subscription)
         self._rebuild_handlers()
+
+    def discard(self, subscription: Subscription) -> int:
+        """Remove one exact subscription object (identity, not matching).
+
+        This is the handle-cancellation path: O(n) identity scan, no
+        ``Subscription.matches`` calls.  Returns 0 or 1.
+        """
+        before = len(self._subscriptions)
+        self._subscriptions = [
+            existing for existing in self._subscriptions if existing is not subscription
+        ]
+        removed = before - len(self._subscriptions)
+        if removed:
+            self._rebuild_handlers()
+        return removed
 
     def remove(self, callback: Optional[Any] = None, handler: Optional[Any] = None) -> int:
         """Remove matching subscriptions; with no arguments remove everything.
@@ -97,8 +121,12 @@ class TPSSubscriberManager:
         raising.
         """
         delivered = 0
-        for handle, handle_error in self._handlers:
+        for handle, handle_error, predicate in self._handlers:
+            # Predicate errors are routed to the paired handler like callback
+            # errors: a broken pushed-down filter must not stop dispatch.
             try:
+                if predicate is not None and not predicate(event):
+                    continue
                 handle(event)
                 delivered += 1
             except BaseException as error:  # noqa: BLE001 - routed to the handler

@@ -1,0 +1,373 @@
+"""v2 subscription ergonomics: handles, the fluent builder, event streams.
+
+The paper's Figure 8 ``subscribe`` returns ``void``: cancelling requires the
+application to re-present the very callback/handler objects it registered.
+The v2 API keeps that surface working (and byte-for-byte pinned by
+``tests/test_api_surface.py``) while layering three consumption styles on
+top of any :class:`~repro.core.interface.TPSInterface` binding:
+
+* :class:`SubscriptionHandle` -- returned by ``subscribe()`` and
+  ``builder.start()``; ``cancel()`` removes exactly the subscriptions the
+  call created (object identity, not callback matching) and the handle is a
+  context manager for scoped subscriptions.
+* :class:`SubscriptionBuilder` -- the fluent form
+  ``tps.subscription(cb).where(pred).on_error(h).start()``.  Every
+  ``where`` predicate is ANDed and *pushed down* into the binding's
+  dispatch rows (:class:`~repro.core.subscriber.TPSSubscriberManager`
+  handler snapshots, and through them the
+  :class:`~repro.core.local_engine.LocalBus` delivery loop), so events a
+  subscription filters out never reach its callback dispatch -- no wrapper
+  callable, no swallowed exception frame.
+* :class:`EventStream` -- pull-style consumption:
+  ``tps.stream(maxsize=..., policy=...)`` subscribes an internal enqueue
+  callback and hands the application an iterator/queue hybrid with explicit
+  backpressure: policy ``"block"`` makes the *publisher* wait for a slow
+  consumer (threaded pipelines), ``"drop_oldest"`` bounds memory by
+  discarding the stalest events (monitoring dashboards); ``dropped`` counts
+  the discards.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Iterator, List, Optional, Tuple
+
+from repro.core.exceptions import PSException
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.interface import Subscription, TPSInterface
+
+
+def combine_predicates(
+    predicates: "Tuple[Callable[[Any], bool], ...]",
+) -> Optional[Callable[[Any], bool]]:
+    """AND-combine event predicates; None when there is nothing to check.
+
+    A single predicate is returned as-is so the pushed-down row pays exactly
+    one call per event in the common case.
+    """
+    if not predicates:
+        return None
+    if len(predicates) == 1:
+        return predicates[0]
+
+    def combined(event: Any) -> bool:
+        for predicate in predicates:
+            if not predicate(event):
+                return False
+        return True
+
+    return combined
+
+
+class SubscriptionHandle:
+    """The result of a ``subscribe()`` call: cancellable, scoped, inspectable.
+
+    Holds the exact :class:`~repro.core.interface.Subscription` objects the
+    call created.  ``cancel()`` removes those objects (and only those) from
+    the binding, so two subscriptions sharing one callback no longer have to
+    be torn down together.  Using the handle as a context manager cancels on
+    exit; cancelling twice is a no-op.
+    """
+
+    __slots__ = ("_interface", "_subscriptions", "_active")
+
+    def __init__(
+        self, interface: "TPSInterface[Any]", subscriptions: List["Subscription"]
+    ) -> None:
+        self._interface = interface
+        self._subscriptions = tuple(subscriptions)
+        self._active = True
+
+    @property
+    def interface(self) -> "TPSInterface[Any]":
+        """The interface the subscriptions are registered with."""
+        return self._interface
+
+    @property
+    def subscriptions(self) -> Tuple["Subscription", ...]:
+        """The subscription objects this handle controls."""
+        return self._subscriptions
+
+    @property
+    def active(self) -> bool:
+        """False once :meth:`cancel` has run (regardless of what it removed)."""
+        return self._active
+
+    def cancel(self) -> int:
+        """Remove this handle's subscriptions; returns how many were removed.
+
+        Subscriptions already gone (e.g. after a blanket ``unsubscribe()`` or
+        ``close()``) simply do not count, so cancel is always safe to call.
+        """
+        if not self._active:
+            return 0
+        self._active = False
+        return sum(
+            self._interface._discard_subscription(subscription)
+            for subscription in self._subscriptions
+        )
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    def __enter__(self) -> "SubscriptionHandle":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "active" if self._active else "cancelled"
+        return f"SubscriptionHandle({len(self._subscriptions)} subscription(s), {state})"
+
+
+class SubscriptionBuilder:
+    """Fluent construction of one filtered subscription.
+
+    ``tps.subscription(cb).where(pred).on_error(handler).start()`` -- or
+    ``.stream(...)`` instead of ``.start()`` for pull-style consumption.
+    Builders are single-use: ``start``/``stream`` consume the builder.
+    """
+
+    def __init__(
+        self,
+        interface: "TPSInterface[Any]",
+        callback: Optional[Any] = None,
+    ) -> None:
+        self._interface = interface
+        self._callback = callback
+        self._handler: Optional[Any] = None
+        self._predicates: Tuple[Callable[[Any], bool], ...] = ()
+        self._started = False
+
+    def callback(self, callback: Any) -> "SubscriptionBuilder":
+        """Set (or replace) the callback the subscription dispatches to."""
+        self._callback = callback
+        return self
+
+    def where(self, predicate: Callable[[Any], bool]) -> "SubscriptionBuilder":
+        """Add an event predicate; several ``where`` calls are ANDed.
+
+        The combined predicate is pushed down into the binding's dispatch
+        rows: events it rejects never reach the callback (and never pay the
+        dispatch try/except), unlike filtering inside the callback itself.
+        """
+        if not callable(predicate):
+            raise PSException(f"where() needs a callable predicate, got {predicate!r}")
+        self._predicates = self._predicates + (predicate,)
+        return self
+
+    def on_error(self, handler: Any) -> "SubscriptionBuilder":
+        """Set the exception handler paired with the callback."""
+        self._handler = handler
+        return self
+
+    def _consume(self) -> None:
+        if self._started:
+            raise PSException("this subscription builder was already started")
+        self._started = True
+
+    def start(self) -> SubscriptionHandle:
+        """Register the subscription; returns its :class:`SubscriptionHandle`."""
+        self._consume()
+        if self._callback is None:
+            raise PSException(
+                "subscription builder has no callback: pass one to subscription() "
+                "or call .callback(cb) before .start()"
+            )
+        subscription = self._interface._subscribe_one(
+            self._callback, self._handler, predicate=combine_predicates(self._predicates)
+        )
+        return SubscriptionHandle(self._interface, [subscription])
+
+    def stream(self, maxsize: int = 0, policy: str = "block") -> "EventStream":
+        """Consume the (filtered) subscription as an :class:`EventStream`.
+
+        The builder must have no callback -- a stream *is* the consumer.
+        """
+        self._consume()
+        if self._callback is not None:
+            raise PSException(
+                "a stream is the subscription's consumer; build it without a callback"
+            )
+        return EventStream(
+            self._interface,
+            maxsize=maxsize,
+            policy=policy,
+            predicate=combine_predicates(self._predicates),
+            exception_handler=self._handler,
+        )
+
+
+#: Backpressure policies accepted by :class:`EventStream`.
+STREAM_POLICIES = ("block", "drop_oldest")
+
+
+class EventStream:
+    """Pull-style consumption of one interface's events, with backpressure.
+
+    The stream subscribes an internal enqueue callback (honouring any
+    pushed-down predicate) and buffers events in arrival order:
+
+    * iterate (``for event in stream``) or call :meth:`get` to consume,
+      blocking until an event arrives or the stream is closed;
+    * :meth:`drain` grabs everything currently buffered without blocking --
+      the natural form inside the single-threaded simulator, where publish
+      delivers synchronously;
+    * a bounded stream (``maxsize > 0``) applies ``policy`` when full:
+      ``"block"`` suspends the *publisher's* delivery until the consumer
+      catches up (only meaningful with a consumer on another thread),
+      ``"drop_oldest"`` discards the stalest buffered event and counts it in
+      :attr:`dropped`.
+
+    Closing (or leaving the ``with`` block) cancels the subscription and
+    wakes every blocked producer and consumer.
+    """
+
+    def __init__(
+        self,
+        interface: "TPSInterface[Any]",
+        *,
+        maxsize: int = 0,
+        policy: str = "block",
+        predicate: Optional[Callable[[Any], bool]] = None,
+        exception_handler: Optional[Any] = None,
+    ) -> None:
+        if policy not in STREAM_POLICIES:
+            raise PSException(
+                f"unknown stream policy {policy!r}; expected one of {STREAM_POLICIES}"
+            )
+        if maxsize < 0:
+            raise PSException(f"stream maxsize must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self.policy = policy
+        self._buffer: "deque[Any]" = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+        self._dropped = 0
+        subscription = interface._subscribe_one(
+            self._on_event, exception_handler, predicate=predicate
+        )
+        self._handle = SubscriptionHandle(interface, [subscription])
+        self._interface = interface
+        interface._register_stream(self)
+
+    # ------------------------------------------------------------- producer
+
+    def _on_event(self, event: Any) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            if self.maxsize:
+                if self.policy == "block":
+                    while len(self._buffer) >= self.maxsize and not self._closed:
+                        self._not_full.wait()
+                    if self._closed:
+                        return
+                elif len(self._buffer) >= self.maxsize:
+                    self._buffer.popleft()
+                    self._dropped += 1
+            self._buffer.append(event)
+            self._not_empty.notify()
+
+    # ------------------------------------------------------------- consumer
+
+    def get(self, timeout: Optional[float] = None) -> Any:
+        """Remove and return the next event, waiting for one if necessary.
+
+        Raises :class:`PSException` when the stream is closed and empty, or
+        when ``timeout`` (seconds) elapses without an event.
+        """
+        with self._not_empty:
+            if not self._buffer and not self._closed:
+                self._not_empty.wait_for(
+                    lambda: self._buffer or self._closed, timeout=timeout
+                )
+            if self._buffer:
+                event = self._buffer.popleft()
+                self._not_full.notify()
+                return event
+            if self._closed:
+                raise PSException("the event stream is closed and empty")
+            raise PSException(f"no event arrived within {timeout} seconds")
+
+    def drain(self) -> List[Any]:
+        """Remove and return everything currently buffered (never blocks)."""
+        with self._lock:
+            events = list(self._buffer)
+            self._buffer.clear()
+            self._not_full.notify_all()
+            return events
+
+    def __iter__(self) -> Iterator[Any]:
+        """Yield events until the stream is closed and drained."""
+        while True:
+            try:
+                yield self.get()
+            except PSException:
+                return
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def pending(self) -> int:
+        """How many events are buffered right now."""
+        with self._lock:
+            return len(self._buffer)
+
+    @property
+    def dropped(self) -> int:
+        """How many events the ``drop_oldest`` policy has discarded."""
+        with self._lock:
+            return self._dropped
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Cancel the subscription and wake all blocked producers/consumers.
+
+        Buffered events stay readable through :meth:`get`/:meth:`drain`;
+        iteration ends once they are consumed.  Idempotent.  The interface
+        itself calls this for every open stream when it closes (or on a
+        blanket ``unsubscribe()``), so consumers never block on a
+        subscription that no longer exists.
+        """
+        self._handle.cancel()
+        self._interface._unregister_stream(self)
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def __enter__(self) -> "EventStream":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"EventStream({state}, pending={len(self._buffer)}, "
+            f"maxsize={self.maxsize}, policy={self.policy!r})"
+        )
+
+
+__all__ = [
+    "EventStream",
+    "STREAM_POLICIES",
+    "SubscriptionBuilder",
+    "SubscriptionHandle",
+    "combine_predicates",
+]

@@ -200,6 +200,13 @@ class Criteria:
     event_predicate:
         Arbitrary predicate over decoded events; events failing it are
         silently dropped before reaching callbacks.
+
+    Criteria filter at the *interface* level: an event they reject is not
+    recorded in ``objects_received`` and reaches none of the interface's
+    callbacks.  The v2 fluent builder
+    (``tps.subscription(cb).where(pred).start()``) adds *per-subscription*
+    predicates, pushed down into the dispatch rows: the event still counts as
+    received by the interface, but filtered subscriptions never see it.
     """
 
     def __init__(

@@ -1,0 +1,129 @@
+"""Golden test pinning the paper's public API surface (Figure 8 + Section 4.3.2).
+
+The v2 core (binding registry, subscription handles, streams, lifecycle) is
+free to evolve, but the paper-facing facade may not drift: the seven Figure 8
+operations, the camelCase aliases used in the paper's listings
+(``newInterface``, ``objectsReceived``, ``objectsSent``) and their parameter
+lists are pinned here by name and by ``inspect.signature``.  A failure in
+this file means the reproduction no longer matches the paper's listing.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro.apps.skirental.types import SkiRental
+from repro.core import LocalBus, TPSEngine
+from repro.core.interface import TPSInterface
+from repro.core.jxta_engine import JxtaTPSEngine
+from repro.core.local_engine import LocalTPSEngine
+
+
+def _parameters(callable_obj) -> list:
+    """Parameter names of a callable, without ``self``."""
+    names = list(inspect.signature(callable_obj).parameters)
+    return [name for name in names if name != "self"]
+
+
+class TestFigure8Surface:
+    """The seven operations of Figure 8, as the Python rendering maps them."""
+
+    #: Figure 8 operation -> the facade method that renders it.  (2)/(3)
+    #: collapse into one ``subscribe`` (single callback or a list), (4)/(5)
+    #: into ``unsubscribe`` (one subscription or all of them).
+    FIGURE8 = {
+        1: "publish",
+        2: "subscribe",
+        3: "subscribe",
+        4: "unsubscribe",
+        5: "unsubscribe",
+        6: "objects_received",
+        7: "objects_sent",
+    }
+
+    def test_all_seven_operations_exist_on_the_interface(self):
+        for operation, method in self.FIGURE8.items():
+            assert hasattr(TPSInterface, method), f"Figure 8 ({operation}) missing"
+
+    @pytest.mark.parametrize("binding", [LocalTPSEngine, JxtaTPSEngine])
+    def test_bindings_expose_the_same_seven_operations(self, binding):
+        for method in set(self.FIGURE8.values()):
+            assert callable(getattr(binding, method))
+
+    def test_publish_signature(self):
+        assert _parameters(TPSInterface.publish) == ["event"]
+
+    def test_subscribe_signature(self):
+        # One method covers both Figure 8 overloads: a single callback or a
+        # sequence of callbacks, each with optional exception handler(s).
+        assert _parameters(TPSInterface.subscribe) == ["callback", "exception_handler"]
+        signature = inspect.signature(TPSInterface.subscribe)
+        assert signature.parameters["exception_handler"].default is None
+
+    def test_unsubscribe_signature(self):
+        # Both Figure 8 forms: with a callback (one subscription) and with no
+        # arguments at all ("no event is received anymore").
+        assert _parameters(TPSInterface.unsubscribe) == ["callback", "exception_handler"]
+        signature = inspect.signature(TPSInterface.unsubscribe)
+        assert signature.parameters["callback"].default is None
+        assert signature.parameters["exception_handler"].default is None
+
+    def test_history_queries_take_no_arguments(self):
+        assert _parameters(TPSInterface.objects_received) == []
+        assert _parameters(TPSInterface.objects_sent) == []
+
+
+class TestCamelCaseAliases:
+    """The paper's listings use camelCase; the aliases must stay and delegate."""
+
+    def test_objects_received_alias(self):
+        assert _parameters(TPSInterface.objectsReceived) == []
+
+    def test_objects_sent_alias(self):
+        assert _parameters(TPSInterface.objectsSent) == []
+
+    def test_new_interface_alias(self):
+        assert _parameters(TPSEngine.newInterface) == _parameters(TPSEngine.new_interface)
+
+    def test_aliases_delegate(self):
+        engine = TPSEngine(SkiRental, local_bus=LocalBus())
+        interface = engine.newInterface("LOCAL")
+        assert isinstance(interface, LocalTPSEngine)
+        assert interface.objectsReceived() == interface.objects_received() == []
+        assert interface.objectsSent() == interface.objects_sent() == []
+
+
+class TestInitialisationSurface:
+    """Section 4.3.2: ``newInterface(String name, Criteria c, Type t, String[] arg)``."""
+
+    def test_new_interface_signature_matches_the_paper(self):
+        assert _parameters(TPSEngine.new_interface) == [
+            "name",
+            "criteria",
+            "instance",
+            "argv",
+        ]
+
+    def test_new_interface_defaults(self):
+        signature = inspect.signature(TPSEngine.new_interface)
+        assert signature.parameters["name"].default == "JXTA"
+        assert signature.parameters["criteria"].default is None
+        assert signature.parameters["instance"].default is None
+        assert signature.parameters["argv"].default is None
+
+    def test_two_line_initialisation_still_works(self):
+        # The paper's two initialisation lines, rendered in Python.
+        tpse = TPSEngine(SkiRental, local_bus=LocalBus())
+        tps_int = tpse.new_interface("LOCAL", None, SkiRental("s", 1.0, "b", 1), [])
+        assert isinstance(tps_int, TPSInterface)
+
+    def test_subscribe_return_is_backward_compatible(self):
+        # The paper's subscribe returns void; v2 returns a handle.  Callers
+        # that ignore the return value must observe the paper's semantics:
+        # unsubscribing by re-presenting the callback still works.
+        engine = LocalTPSEngine(SkiRental, bus=LocalBus())
+        collected: list = []
+        engine.subscribe(collected.append)
+        assert engine.unsubscribe(collected.append) == 1

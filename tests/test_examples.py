@@ -65,6 +65,15 @@ def test_loose_coupling_example(capsys):
     assert "counter-offer 70.00" in output
 
 
+def test_filtered_stream_example(capsys):
+    output = _run_example("filtered_stream.py", capsys)
+    assert "registered bindings: JXTA, LOCAL, SHARDED" in output
+    assert "tape drained 5 trades (4 dropped)" in output
+    assert "block-trade alerts: 2" in output
+    assert "alerts after cancel: 2" in output
+    assert "engines closed: True" in output
+
+
 def test_reproduce_figures_single_figure(capsys):
     output = _run_example("reproduce_figures.py", capsys, argv=["--figure", "code-size"])
     assert "programming effort" in output

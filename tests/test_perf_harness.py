@@ -81,8 +81,9 @@ class TestPerfSuite:
     def test_profiles_are_complete(self):
         keys = {
             "repeats", "codec_iterations", "xml_iterations",
-            "fanout_iterations", "figure19_events",
-            "figure20_duration", "figure20_events",
+            "fanout_iterations", "churn_iterations", "churn_resident",
+            "filtered_iterations", "filtered_subscribers",
+            "figure19_events", "figure20_duration", "figure20_events",
         }
         for name, profile in PROFILES.items():
             assert keys <= set(profile), f"profile {name} missing keys"
@@ -99,6 +100,19 @@ class TestPerfSuite:
         problems = validate_document(document)
         assert any("xml_parse" in problem for problem in problems)
         assert any("xml_roundtrip" in problem for problem in problems)
+
+    def test_schema_covers_the_subscription_sections(self):
+        """The PR-3 sections (v2 subscription API) are part of the contract:
+        a document missing them must fail validation."""
+        assert "subscribe_churn" in COMPARISON_NAMES
+        assert "filtered_fanout" in COMPARISON_NAMES
+        document = {
+            "schema": SCHEMA, "version": "x", "unix_time": 1.0,
+            "profile": "full", "comparisons": [], "scenarios": [],
+        }
+        problems = validate_document(document)
+        assert any("subscribe_churn" in problem for problem in problems)
+        assert any("filtered_fanout" in problem for problem in problems)
 
     def test_committed_trajectory_files_validate(self):
         """Every committed BENCH_*.json must validate: historical points
@@ -121,9 +135,12 @@ class TestPerfSuite:
         with open(newest, encoding="utf-8") as handle:
             document = json.load(handle)
         by_name = {entry["name"]: entry for entry in document["comparisons"]}
-        # Acceptance pin for this PR: the scanning parser is >= 2x the
-        # legacy parser on the recorded corpus run.
+        # Trajectory pins: the scanning parser stays >= 2x the legacy parser
+        # (PR 2), and filtered fan-out with v2 predicate push-down beats
+        # post-dispatch filtering (PR 3).
         assert by_name["xml_parse"]["speedup"] >= 2.0
+        assert by_name["filtered_fanout"]["speedup"] > 1.0
+        assert by_name["subscribe_churn"]["speedup"] > 1.0
 
 
 class TestPerfCli:

@@ -34,7 +34,17 @@ replica of the pre-optimisation (seed) hot path running in the same process:
   post-dispatch filtering (the pre-v2 idiom: a plain subscribed callable
   that applies the predicate in its body, adapted through
   ``FunctionCallback`` -- ``FilteringCallback`` is the named class form of
-  the same pattern).
+  the same pattern);
+* ``mt_fanout`` -- concurrent fan-out over N independent hierarchies whose
+  subscribers do per-event GIL-releasing work (a short wait standing in
+  for the socket writes and disk appends real subscribers perform): the
+  executor-backed ``publish_all`` cross-shard batch path of
+  :class:`~repro.core.sharded_engine.ShardedLocalBus` (one shard per
+  hierarchy, lock-free snapshot publish, N pool workers as the publisher
+  threads) versus the naive thread-safe alternative, N publisher threads
+  over a single ``LocalBus`` whose delivery runs under one big lock
+  (:class:`_LockedLocalBus`), which serialises every hierarchy's
+  subscriber waits behind one another.
 
 Two *scenario* entries record the real wall-clock cost of running the
 simulated Figure 19/20 experiments (SR-TPS variant), so regressions in the
@@ -47,7 +57,9 @@ perf trajectory of the repository.
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
@@ -55,6 +67,8 @@ from typing import Any, Callable, Dict, List, Optional
 from repro._version import __version__
 from repro.apps.skirental.types import SkiRental
 from repro.core.local_engine import LocalBus, LocalTPSEngine
+from repro.core.sharded_engine import ShardedLocalBus
+from repro.core.type_registry import type_name
 from repro.core.xml_types import XmlEventCodec
 from repro.serialization.object_codec import ObjectCodec
 
@@ -74,6 +88,7 @@ COMPARISON_NAMES = (
     "fanout_100",
     "subscribe_churn",
     "filtered_fanout",
+    "mt_fanout",
 )
 
 #: The PR-1 comparison set: the minimum every historical repro-bench/v1
@@ -103,6 +118,10 @@ PROFILES: Dict[str, Dict[str, Any]] = {
         "churn_resident": 50,
         "filtered_iterations": 1_000,
         "filtered_subscribers": 200,
+        "mt_publishers": 4,
+        "mt_events": 75,
+        "mt_subscribers": 2,
+        "mt_io_s": 50e-6,
         "figure19_events": 100,
         "figure20_duration": 10.0,
         "figure20_events": 2_000,
@@ -116,6 +135,10 @@ PROFILES: Dict[str, Dict[str, Any]] = {
         "churn_resident": 50,
         "filtered_iterations": 200,
         "filtered_subscribers": 100,
+        "mt_publishers": 4,
+        "mt_events": 30,
+        "mt_subscribers": 2,
+        "mt_io_s": 50e-6,
         "figure19_events": 40,
         "figure20_duration": 4.0,
         "figure20_events": 400,
@@ -129,6 +152,10 @@ PROFILES: Dict[str, Dict[str, Any]] = {
         "churn_resident": 5,
         "filtered_iterations": 10,
         "filtered_subscribers": 4,
+        "mt_publishers": 2,
+        "mt_events": 3,
+        "mt_subscribers": 1,
+        "mt_io_s": 100e-6,
         "figure19_events": 10,
         "figure20_duration": 1.0,
         "figure20_events": 10,
@@ -476,6 +503,155 @@ def _bench_filtered_fanout(profile: Dict[str, Any]) -> Comparison:
     return Comparison("filtered_fanout", baseline_us, fast_us, iterations, repeats)
 
 
+# ------------------------------------------------------- concurrent fan-out
+
+
+class _LockedLocalBus(LocalBus):
+    """The naive thread-safe bus: one lock held across the whole delivery.
+
+    This is the alternative the concurrent-bus design rejects -- guard
+    ``publish`` with a single mutex instead of reading immutable snapshots.
+    It is correct, but every hierarchy's delivery (including whatever the
+    subscribers do per event) serialises behind one lock, so it is the
+    recorded ``mt_fanout`` baseline.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._publish_lock = threading.Lock()
+
+    def publish(self, publisher: LocalTPSEngine, event: Any) -> int:
+        with self._publish_lock:
+            return super().publish(publisher, event)
+
+
+#: Candidate event types for the multi-threaded benchmark, one hierarchy
+#: each.  More candidates than publisher threads so the greedy selection in
+#: :func:`_mt_types` can cover every shard of the benchmark bus (CRC-32
+#: placement is stable but arbitrary).
+_MT_EVENT_TYPES = tuple(
+    dataclasses.make_dataclass(f"_MtEvent{index}", [("price", float, 0.0)])
+    for index in range(12)
+)
+
+
+def _mt_types(publishers: int) -> List[type]:
+    """``publishers`` event types whose hierarchies land on distinct shards.
+
+    Greedy, deterministic pick from the candidate pool; if the pool cannot
+    cover every shard (it can, for the committed profiles) the remainder is
+    filled with unused candidates and the benchmark merely loses some
+    parallelism -- it never breaks.
+    """
+    probe = ShardedLocalBus(shards=publishers)
+    chosen: List[type] = []
+    used: "set[int]" = set()
+    for cls in _MT_EVENT_TYPES:
+        index = probe.shard_index(type_name(cls))
+        if index not in used:
+            used.add(index)
+            chosen.append(cls)
+            if len(chosen) == publishers:
+                return chosen
+    for cls in _MT_EVENT_TYPES:
+        if len(chosen) == publishers:
+            break
+        if cls not in chosen:
+            chosen.append(cls)
+    return chosen
+
+
+def _bench_mt_fanout(profile: Dict[str, Any]) -> Comparison:
+    """N-hierarchy concurrent fan-out: sharded ``publish_all`` vs locked bus.
+
+    Each subscriber callback performs a short GIL-releasing wait
+    (``mt_io_s``), standing in for the per-event I/O real subscribers do
+    (socket writes, disk appends, handing off to a blocking
+    ``EventStream``).  Both sides deliver the identical pre-built event
+    batches at the bus level (no codec work on either side), so the
+    recorded speedup isolates the bus architecture:
+
+    * baseline -- N publisher threads over one :class:`_LockedLocalBus`,
+      the naive thread-safe design, where every hierarchy's subscriber
+      waits serialise behind the single delivery lock;
+    * fast -- one ``publish_all`` batch over a
+      :class:`~repro.core.sharded_engine.ShardedLocalBus` with one shard
+      per hierarchy: the executor's N workers are the publisher threads,
+      each shard's lock-free delivery runs independently, and the waits
+      overlap.  (The same cross-shard path backs ``tps.publish_many``;
+      there it degenerates to the inline single-shard case because one
+      interface is one hierarchy.)
+    """
+    publishers = profile["mt_publishers"]
+    events = profile["mt_events"]
+    subscribers = profile["mt_subscribers"]
+    io_wait = profile["mt_io_s"]
+    repeats = profile["repeats"]
+    types = _mt_types(publishers)
+    batches = {cls: [cls(float(index)) for index in range(events)] for cls in types}
+
+    def build(bus: Any) -> List[LocalTPSEngine]:
+        built = []
+        for cls in types:
+            publisher = LocalTPSEngine(cls, bus=bus)
+            for _ in range(subscribers):
+                engine = LocalTPSEngine(cls, bus=bus)
+                engine.subscribe(lambda event: time.sleep(io_wait))
+            built.append(publisher)
+        return built
+
+    locked_bus = _LockedLocalBus()
+    locked_engines = build(locked_bus)
+    sharded_bus = ShardedLocalBus(shards=publishers)
+    sharded_engines = build(sharded_bus)
+
+    def run_locked() -> float:
+        def work(publisher: LocalTPSEngine, cls: type) -> None:
+            publish = locked_bus.publish
+            for event in batches[cls]:
+                publish(publisher, event)
+
+        threads = [
+            threading.Thread(target=work, args=(publisher, cls), daemon=True)
+            for publisher, cls in zip(locked_engines, types)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return time.perf_counter() - start
+
+    def run_sharded() -> float:
+        jobs = [
+            (publisher, batches[cls][index])
+            for index in range(events)
+            for publisher, cls in zip(sharded_engines, types)
+        ]
+        start = time.perf_counter()
+        sharded_bus.publish_all(jobs)
+        return time.perf_counter() - start
+
+    total_events = publishers * events
+    best_locked = float("inf")
+    best_sharded = float("inf")
+    for _ in range(repeats):
+        best_locked = min(best_locked, run_locked())
+        best_sharded = min(best_sharded, run_sharded())
+        for engines in (locked_engines, sharded_engines):
+            for publisher in engines:
+                for engine in publisher.bus.engines_for(publisher.registry.root):
+                    engine._received.clear()
+    sharded_bus.shutdown()
+    return Comparison(
+        "mt_fanout",
+        best_locked / total_events * 1e6,
+        best_sharded / total_events * 1e6,
+        total_events,
+        repeats,
+    )
+
+
 # ---------------------------------------------------------------- scenarios
 
 
@@ -532,6 +708,7 @@ def run_perf_suite(profile: str = "full") -> Dict[str, Any]:
     comparisons.extend(_bench_fanout(settings))
     comparisons.append(_bench_subscribe_churn(settings))
     comparisons.append(_bench_filtered_fanout(settings))
+    comparisons.append(_bench_mt_fanout(settings))
     return {
         "schema": SCHEMA,
         "version": __version__,

@@ -34,10 +34,18 @@ ends of the factory:
 * the engine has a lifecycle: :meth:`TPSEngine.close` closes every interface
   it created (idempotently), the engine is a context manager, and
   ``new_interface`` after close raises :class:`PSException`.
+
+Locking model: ``new_interface`` and ``close`` serialise their flag checks
+and ``interfaces`` bookkeeping on a per-engine lock, so a close racing an
+interface creation either sees the new interface (and closes it) or makes
+the creation fail with the uniform post-close error -- never a leaked open
+interface.  The lock is not held while binding factories or interface
+teardown run.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Generic, Optional, Sequence, Type, TypeVar
 
 from repro.core.bindings import BindingRequest, get_binding
@@ -82,6 +90,7 @@ class TPSEngine(Generic[EventT]):
         self.local_bus = local_bus
         self.interfaces: list[TPSInterface[EventT]] = []
         self._closed = False
+        self._lock = threading.Lock()
 
     def new_interface(
         self,
@@ -119,8 +128,23 @@ class TPSEngine(Generic[EventT]):
             local_bus=self.local_bus,
         )
         interface: TPSInterface[EventT] = spec.create(request)
-        self.interfaces.append(interface)
-        return interface
+        with self._lock:
+            if not self._closed:
+                self.interfaces.append(interface)
+                return interface
+        # The engine closed while the factory ran: don't leak an open
+        # interface past close() -- tear it down (best-effort: a teardown
+        # error must not mask the uniform engine-closed report) and raise
+        # directly, not via _check_open, because a failing concurrent
+        # close() may already have reverted the flag.
+        try:
+            interface.close()
+        except BaseException:  # noqa: BLE001 - best-effort cleanup
+            pass
+        raise PSException(
+            f"the TPS engine for {type_name(self.event_type)} is closed; "
+            "new_interface is no longer available"
+        )
 
     # Paper-compatible camelCase alias.
     def newInterface(  # noqa: N802 - paper-compatible alias
@@ -148,20 +172,26 @@ class TPSEngine(Generic[EventT]):
         Every interface is attempted even when one fails to close; in that
         case the first error is re-raised and the engine reverts to open so
         a retry re-attempts the stragglers (closing an interface twice is a
-        no-op).
+        no-op).  As with :meth:`TPSInterface.close`, exactly one concurrent
+        caller runs the teardown, and a teardown failure (plus the revert)
+        is visible only to that caller -- racing losers have already
+        returned, so the winner owns the retry.
         """
-        if self._closed:
-            return
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            interfaces = list(self.interfaces)
         first_error: Optional[BaseException] = None
-        for interface in self.interfaces:
+        for interface in interfaces:
             try:
                 interface.close()
             except BaseException as error:  # noqa: BLE001 - re-raised after the loop
                 if first_error is None:
                     first_error = error
         if first_error is not None:
-            self._closed = False
+            with self._lock:
+                self._closed = False
             raise first_error
 
     def _check_open(self) -> None:

@@ -35,12 +35,25 @@ seven signatures above -- ``tests/test_api_surface.py`` pins them):
   consumption with explicit backpressure;
 * :meth:`TPSInterface.close` (idempotent; every interface is a context
   manager) ends the interface's life: ``publish``/``subscribe`` afterwards
-  raise :class:`PSException` uniformly across all bindings.
+  raise :class:`PSException` uniformly across all bindings;
+* :meth:`TPSInterface.publish_many` publishes a batch of events in one call
+  (bindings may override it with a genuine batch path -- the local binding
+  routes it through the sharded bus's parallel cross-shard fan-out).
+
+Locking model: lifecycle transitions (the close flag flip, open-stream
+registration) serialise on a module-level lock -- they are rare, so sharing
+one lock across interfaces costs nothing and avoids per-instance lazy-lock
+races in an ABC without an ``__init__``.  The lock is never held while
+calling out into binding teardown, stream close or application code, so no
+lock-ordering cycle can form; hot-path reads (``_tps_closed`` in
+``_check_open`` and in the local bus delivery loop) are plain attribute
+loads with no lock at all.
 """
 
 from __future__ import annotations
 
 import abc
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generic, List, Optional, Sequence, TypeVar, Union
 
@@ -60,6 +73,10 @@ from repro.core.subscriptions import (
 )
 
 EventT = TypeVar("EventT")
+
+#: Serialises interface lifecycle transitions (close flag, stream registry)
+#: across *all* interfaces; see the module docstring's locking model.
+_LIFECYCLE_LOCK = threading.Lock()
 
 
 @dataclass
@@ -129,14 +146,26 @@ class TPSInterface(abc.ABC, Generic[EventT]):
         :class:`PSException`; ``unsubscribe`` and the history queries keep
         working.  Should teardown itself fail, the interface reverts to open
         so ``close()`` can be retried.
+
+        Safe against concurrent callers: the flag flip is atomic (under the
+        lifecycle lock), so exactly one thread runs the teardown; the losers
+        return immediately.  A publish already past its ``_check_open`` may
+        still be delivering while teardown runs -- it delivers against the
+        pre-close snapshots, and the bus's closed-row skip keeps any *other*
+        closing engine from receiving.  The teardown failure (and the revert
+        to open it triggers) is visible only to the caller that ran the
+        teardown: a concurrent loser has already returned believing the
+        interface closed, so the winning caller owns the retry.
         """
-        if self._tps_closed:
-            return
-        self._tps_closed = True
+        with _LIFECYCLE_LOCK:
+            if self._tps_closed:
+                return
+            self._tps_closed = True
         try:
             self._do_close()
         except BaseException:
-            self._tps_closed = False
+            with _LIFECYCLE_LOCK:
+                self._tps_closed = False
             raise
         self._close_streams()
 
@@ -148,20 +177,33 @@ class TPSInterface(abc.ABC, Generic[EventT]):
     # blocked consumers/producers would wait forever.
 
     def _register_stream(self, stream: EventStream) -> None:
-        streams = getattr(self, "_open_streams", None)
-        if streams is None:
-            streams = []
-            self._open_streams = streams
-        streams.append(stream)
+        with _LIFECYCLE_LOCK:
+            if not self._tps_closed:
+                streams = getattr(self, "_open_streams", None)
+                if streams is None:
+                    streams = []
+                    self._open_streams = streams
+                streams.append(stream)
+                return
+        # The interface closed while the stream was being built (it passed
+        # _check_open before the flag flipped, but registered after
+        # _close_streams took its snapshot).  Nobody would ever auto-close
+        # it, so close it here: consumers see the uniform closed-stream
+        # error instead of blocking on a subscription that no longer exists.
+        stream.close()
 
     def _unregister_stream(self, stream: EventStream) -> None:
-        streams = getattr(self, "_open_streams", None)
-        if streams is not None and stream in streams:
-            streams.remove(stream)
+        with _LIFECYCLE_LOCK:
+            streams = getattr(self, "_open_streams", None)
+            if streams is not None and stream in streams:
+                streams.remove(stream)
 
     def _close_streams(self) -> None:
-        streams = getattr(self, "_open_streams", None)
-        for stream in list(streams or ()):
+        # Snapshot under the lock, close outside it: stream.close() calls
+        # back into _unregister_stream, which takes the lock itself.
+        with _LIFECYCLE_LOCK:
+            streams = list(getattr(self, "_open_streams", ()) or ())
+        for stream in streams:
             stream.close()
 
     def _check_open(self) -> None:
@@ -189,6 +231,18 @@ class TPSInterface(abc.ABC, Generic[EventT]):
         Raises :class:`PSException` (or a subclass) when the object is not an
         instance of the type or the interface is not initialised yet.
         """
+
+    def publish_many(self, events: "Sequence[EventT]") -> List[PublishReceipt]:
+        """Publish a batch of events; returns one receipt per event (v2).
+
+        The default simply loops :meth:`publish`, preserving order and
+        per-event error semantics; bindings with a real batch path override
+        it (the local binding hands the whole batch to the bus, and over a
+        :class:`~repro.core.sharded_engine.ShardedLocalBus` batches from
+        independent hierarchies run concurrently on the shard executor).
+        """
+        self._check_open()
+        return [self.publish(event) for event in events]
 
     # ---------------------------------------------------------- subscribing
 

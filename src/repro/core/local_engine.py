@@ -10,11 +10,24 @@ The local binding is useful on its own (unit-testing application callbacks,
 prototyping event types before deploying on the P2P substrate) and doubles as
 a semantic reference implementation: property-based tests check that the
 JXTA binding delivers exactly what the local binding would.
+
+Locking model: the bus is safe under concurrent publishers, subscribers and
+attach/detach/close churn without slowing the single-threaded hot path.
+Lifecycle mutations (``attach``/``detach`` and route-row rebuilds) serialise
+on the per-bus ``_lock`` and only ever *replace* immutable values -- the
+per-root engine tuples and the per-class route-row tuples -- while
+``publish`` reads those snapshots with no lock at all: a publish racing an
+attach/detach simply delivers against the previous attachment snapshot, the
+same way a publish racing a subscribe sees the previous
+:class:`~repro.core.subscriber.TPSSubscriberManager` handler snapshot.
+Route rows resolved before an engine closed are made harmless by the
+delivery loop itself, which skips rows whose engine reports closed.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple, Type
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Type
 
 from repro.core.bindings import BindingRequest, register_binding
 from repro.core.exceptions import PSException
@@ -40,31 +53,42 @@ class LocalBus:
     registration needs no explicit invalidation hook.  The per-class rows
     replace the seed's per-publish list copy and per-engine ``isinstance``
     re-check.
+
+    Thread safety: ``attach``/``detach`` and row rebuilds hold the per-bus
+    ``_lock``; ``publish`` reads the immutable snapshots lock-free (see the
+    module docstring).
     """
 
     def __init__(self) -> None:
+        #: Serialises attach/detach and route-row rebuilds.  ``publish``
+        #: never takes it: delivery reads immutable snapshots only.
+        self._lock = threading.Lock()
         self._engines: Dict[str, Tuple["LocalTPSEngine", ...]] = {}
         #: root name -> {concrete event class -> delivery rows}.  Each row is
         #: (engine, subscriber manager, criteria, received.append): everything
         #: the delivery loop needs, resolved once per (root, class) so the
         #: per-subscriber work is free of attribute lookups.  Criteria and
         #: the history list are fixed at engine construction, which is what
-        #: makes caching them here safe.
+        #: makes caching them here safe.  Rows are installed and invalidated
+        #: only under ``_lock`` (double-checked on miss), so a row can never
+        #: be built from a half-applied attachment change.
         self._routes: Dict[str, Dict[Type[Any], Tuple[Tuple[Any, ...], ...]]] = {}
 
     def attach(self, engine: "LocalTPSEngine") -> None:
         """Attach an engine to its hierarchy's topic."""
         root = engine.registry.advertised_name
-        self._engines[root] = self._engines.get(root, ()) + (engine,)
-        self._routes.pop(root, None)
+        with self._lock:
+            self._engines[root] = self._engines.get(root, ()) + (engine,)
+            self._routes.pop(root, None)
 
     def detach(self, engine: "LocalTPSEngine") -> None:
         """Detach an engine (missing engines are ignored)."""
         root = engine.registry.advertised_name
-        engines = self._engines.get(root, ())
-        if engine in engines:
-            self._engines[root] = tuple(e for e in engines if e is not engine)
-            self._routes.pop(root, None)
+        with self._lock:
+            engines = self._engines.get(root, ())
+            if engine in engines:
+                self._engines[root] = tuple(e for e in engines if e is not engine)
+                self._routes.pop(root, None)
 
     def engines_for(self, root: Type[Any]) -> Tuple["LocalTPSEngine", ...]:
         """Every engine attached to the hierarchy rooted at ``root``.
@@ -74,18 +98,31 @@ class LocalBus:
         return self._engines.get(type_name(root), ())
 
     def _route(self, root: str, event_class: Type[Any]) -> Tuple[Tuple[Any, ...], ...]:
-        """The delivery rows a ``root``-hierarchy event of ``event_class`` reaches."""
+        """The delivery rows a ``root``-hierarchy event of ``event_class`` reaches.
+
+        The hit path is two lock-free dict reads.  A miss takes ``_lock`` and
+        re-checks (another publisher may have built the row while we waited)
+        before computing the row against the current attachment snapshot;
+        holding the lock for the rebuild means an attach/detach can never
+        interleave with it and leave a permanently stale row installed.
+        """
         routes = self._routes.get(root)
-        if routes is None:
-            routes = self._routes[root] = {}
-        targets = routes.get(event_class)
-        if targets is None:
-            targets = routes[event_class] = tuple(
-                (engine, engine.subscriber_manager, engine.criteria, engine._received.append)
-                for engine in self._engines.get(root, ())
-                if issubclass(event_class, engine.registry.event_type)
-            )
-        return targets
+        if routes is not None:
+            targets = routes.get(event_class)
+            if targets is not None:
+                return targets
+        with self._lock:
+            routes = self._routes.get(root)
+            if routes is None:
+                routes = self._routes[root] = {}
+            targets = routes.get(event_class)
+            if targets is None:
+                targets = routes[event_class] = tuple(
+                    (engine, engine.subscriber_manager, engine.criteria, engine._received.append)
+                    for engine in self._engines.get(root, ())
+                    if issubclass(event_class, engine.registry.event_type)
+                )
+            return targets
 
     def publish(self, publisher: "LocalTPSEngine", event: Any) -> int:
         """Deliver ``event`` to every conforming engine except the publisher.
@@ -93,17 +130,26 @@ class LocalBus:
         Returns the number of engines the event was delivered to.
 
         This loop is the single home of local delivery semantics: skip the
-        publisher, skip engines with no subscriptions, apply content
-        criteria, record the event, dispatch to the bound handlers (errors
-        routed to the paired exception handler).  The subtype check lives in
-        the routing row, and dispatch is inlined rather than delegated to
-        the engine/manager because at high fan-out the two extra Python
-        calls per subscriber were the largest remaining per-delivery cost.
+        publisher, skip closed engines, skip engines with no subscriptions,
+        apply content criteria, record the event, dispatch to the bound
+        handlers (errors routed to the paired exception handler).  The
+        subtype check lives in the routing row, and dispatch is inlined
+        rather than delegated to the engine/manager because at high fan-out
+        the two extra Python calls per subscriber were the largest remaining
+        per-delivery cost.
+
+        The closed check guards against *stale rows*: the row tuple was
+        resolved before the loop started, so a callback that closes another
+        engine mid-dispatch (or a concurrent ``close()`` on another thread)
+        would otherwise still get that engine's ``record(event)`` and handler
+        dispatch.  ``close()`` flips the flag before detaching, so a closed
+        engine stops receiving even from rows resolved before it left the
+        routing table.
         """
         targets = self._route(publisher.registry.advertised_name, type(event))
         delivered = 0
         for engine, manager, criteria, record in targets:
-            if engine is publisher:
+            if engine is publisher or engine._tps_closed:
                 continue
             handlers = manager._handlers
             if not handlers:
@@ -146,6 +192,11 @@ class LocalTPSEngine(TPSInterface):
         criteria: Optional[Criteria] = None,
         codec: Optional[ObjectCodec] = None,
     ) -> None:
+        # Shadow the TPSInterface class attribute with an instance slot: the
+        # delivery loop reads this flag once per route row per publish, and
+        # an instance-dict hit is measurably cheaper than the class-MRO
+        # fallback at high fan-out.
+        self._tps_closed = False
         self.registry = TypeRegistry(event_type, codec=codec)
         self.criteria = criteria
         self.bus = bus or DEFAULT_BUS
@@ -168,6 +219,38 @@ class LocalTPSEngine(TPSInterface):
         return PublishReceipt(
             cpu_time=0.0, completion_time=0.0, pipes=1, wire_receipts=[delivered]
         )
+
+    def publish_many(self, events: Iterable[Any]) -> List[PublishReceipt]:
+        """Publish a batch of events; returns one receipt per event, in order.
+
+        Every event is validated and codec-round-tripped up front (so a batch
+        with a non-publishable event fails before anything is delivered),
+        then the whole batch is handed to the bus in one call when the bus
+        offers a batch path (:meth:`ShardedLocalBus.publish_all
+        <repro.core.sharded_engine.ShardedLocalBus.publish_all>`, which runs
+        independent hierarchies on its executor).  One interface covers one
+        hierarchy, so *this* engine's batch stays in publish order on its own
+        shard; the batch API pays off when several interfaces' batches meet
+        in the bus, or simply by amortising the per-call bookkeeping.
+        """
+        self._check_open()
+        batch = list(events)
+        copies = []
+        for event in batch:
+            self.registry.check_publishable(event)
+            copies.append(self.registry.decode(self.registry.encode(event)))
+        publish_all = getattr(self.bus, "publish_all", None)
+        if publish_all is not None:
+            counts = publish_all([(self, copy) for copy in copies])
+        else:
+            counts = [self.bus.publish(self, copy) for copy in copies]
+        self._sent.extend(batch)
+        return [
+            PublishReceipt(
+                cpu_time=0.0, completion_time=0.0, pipes=1, wire_receipts=[delivered]
+            )
+            for delivered in counts
+        ]
 
     # ----------------------------------------------------------- subscribing
 

@@ -16,12 +16,25 @@ route-row design that makes atomic swaps possible).
 unchanged -- the bus is a drop-in facade with the same
 ``attach``/``detach``/``publish``/``engines_for`` surface -- which is the
 point of the exercise: a third binding built purely from public pieces.
+
+Locking model: the shard tuple is immutable, so the facade itself needs no
+lock -- every call delegates to the owning shard, and each shard is a
+:class:`~repro.core.local_engine.LocalBus` that is thread-safe on its own
+(per-shard lifecycle lock, lock-free snapshot publish).  Two publishers on
+*different* hierarchies therefore share no lock at all; the parallel
+cross-shard path (:meth:`ShardedLocalBus.publish_all`, backing
+``tps.publish_many``) leans on exactly that independence, fanning per-shard
+batches out to a lazily created executor while keeping each hierarchy's
+events in publish order (one hierarchy always lands on one shard, and a
+shard's batch runs serially).
 """
 
 from __future__ import annotations
 
+import threading
 import zlib
-from typing import Any, Tuple, Type
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
 from repro.core.bindings import BindingRequest, register_binding
 from repro.core.exceptions import PSException
@@ -46,6 +59,18 @@ class ShardedLocalBus:
         if shards < 1:
             raise PSException(f"a sharded bus needs at least 1 shard, got {shards}")
         self.shards: Tuple[LocalBus, ...] = tuple(LocalBus() for _ in range(shards))
+        #: Executor of the cross-shard batch path, created on first use (a
+        #: bus that never sees :meth:`publish_all` never starts a thread)
+        #: and guarded by ``_executor_lock`` so two racing batches cannot
+        #: each build one.
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_lock = threading.Lock()
+        #: Thread-local re-entrancy marker: set while a thread runs a shard
+        #: group, so a nested ``publish_all`` (e.g. from a subscriber
+        #: callback) runs inline instead of submitting to -- and then
+        #: waiting on -- the very pool it is occupying, which would
+        #: deadlock once every worker is a waiter.
+        self._local = threading.local()
 
     def shard_index(self, root_name: str) -> int:
         """The shard owning the hierarchy advertised as ``root_name``."""
@@ -74,6 +99,100 @@ class ShardedLocalBus:
         return self.shard_for(publisher.registry.advertised_name).publish(
             publisher, event
         )
+
+    # ------------------------------------------------- cross-shard batches
+
+    def publish_all(
+        self, jobs: Iterable[Tuple["LocalTPSEngine", Any]]
+    ) -> List[int]:
+        """Publish a batch of ``(publisher, event)`` jobs, shards in parallel.
+
+        Jobs are grouped by the shard owning each publisher's hierarchy;
+        every group runs *serially in job order* (so per-hierarchy ordering
+        matches a plain publish loop), while distinct groups run concurrently
+        -- the calling thread takes one group itself and the rest go to the
+        bus executor: the payoff of sharding by hierarchy is that two
+        hierarchies' subscribers block, compute and record independently.
+        Returns the per-job delivery counts in job order.  A single-shard
+        batch runs inline on the calling thread: no executor, no handoff,
+        identical cost to looping ``publish``.  A *nested* ``publish_all``
+        (reached from a subscriber callback already running on a pool
+        worker) also runs fully inline -- workers never wait on the pool
+        they occupy, so re-entrant batches cannot deadlock it.
+        """
+        ordered = list(jobs)
+        results: List[int] = [0] * len(ordered)
+        groups: Dict[int, List[int]] = {}
+        for position, (publisher, _) in enumerate(ordered):
+            index = self.shard_index(publisher.registry.advertised_name)
+            groups.setdefault(index, []).append(position)
+
+        def run_group(index: int, positions: Sequence[int]) -> None:
+            previous = getattr(self._local, "in_worker", False)
+            self._local.in_worker = True
+            try:
+                shard = self.shards[index]
+                for position in positions:
+                    publisher, event = ordered[position]
+                    results[position] = shard.publish(publisher, event)
+            finally:
+                self._local.in_worker = previous
+
+        if len(groups) <= 1 or getattr(self._local, "in_worker", False):
+            for index, positions in groups.items():
+                run_group(index, positions)
+            return results
+        # Executor creation and the submits share one critical section so a
+        # concurrent shutdown() cannot retire the executor between them (a
+        # shutdown arriving after the submits merely waits for the batch).
+        grouped = list(groups.items())
+        with self._executor_lock:
+            executor = self._executor
+            if executor is None:
+                executor = self._executor = ThreadPoolExecutor(
+                    max_workers=len(self.shards),
+                    thread_name_prefix="repro-shard",
+                )
+            futures = [
+                executor.submit(run_group, index, positions)
+                for index, positions in grouped[1:]
+            ]
+        # The caller works one group instead of idling in result(); it is
+        # also the only thread that ever waits on the pool.
+        caller_error: Optional[BaseException] = None
+        try:
+            run_group(*grouped[0])
+        except BaseException as error:  # noqa: BLE001 - re-raised below
+            caller_error = error
+        # Await every group before raising: a failing shard must not leave
+        # the other shards delivering in the background (or their exceptions
+        # unretrieved) while the caller already unwound.
+        errors: List[BaseException] = []
+        for future in futures:
+            try:
+                future.result()
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                errors.append(error)
+        if caller_error is not None:
+            raise caller_error
+        if errors:
+            raise errors[0]
+        return results
+
+    def shutdown(self) -> None:
+        """Stop the batch executor, if one was ever started (idempotent).
+
+        Only the executor is affected: the shards, their engines and the
+        plain ``publish`` path keep working, and a later ``publish_all``
+        lazily builds a fresh executor.  A batch already submitted when the
+        shutdown arrives runs to completion (``wait=True``); the executor
+        swap shares the lock with ``publish_all``'s submits, so a batch can
+        never be caught between obtaining the executor and submitting to it.
+        """
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         attached = sum(len(engines) for shard in self.shards for engines in shard._engines.values())

@@ -8,10 +8,21 @@ also starts and stops the subscriptions."  (paper, Section 3.4)
 pipe "in order to receive the events" -- it hands raw wire messages to the
 engine, which decodes, type-checks, de-duplicates and dispatches them to the
 registered callbacks.
+
+Locking model: every mutation (``add``/``discard``/``remove``) serialises on
+the manager's private lock and ends by swapping in a freshly built, immutable
+``_handlers`` tuple.  Dispatch -- whether through :meth:`dispatch` or inlined
+in :meth:`repro.core.local_engine.LocalBus.publish` -- reads that tuple with
+*no* lock: a single attribute load observes either the old or the new
+snapshot, never a half-built one, so concurrent publishers are never slowed
+by subscription churn and a subscription mutated mid-dispatch takes effect
+from the next event on (the same isolation the seed's per-dispatch copy
+provided, now also thread-safe).
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.interface import Subscription
@@ -33,9 +44,13 @@ class TPSSubscriberManager:
     performs no attribute lookups per event.  A callback that mutates the
     subscriptions mid-dispatch sees the change from the *next* event on --
     the same isolation the seed's per-dispatch copy provided.
+
+    Thread safety: mutations hold ``_lock``; dispatch reads the immutable
+    ``_handlers`` tuple lock-free (see the module docstring).
     """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._subscriptions: List[Subscription] = []
         #: (callback.handle, exception_handler.handle, predicate) rows, in
         #: order.  The predicate slot carries each subscription's pushed-down
@@ -48,6 +63,7 @@ class TPSSubscriberManager:
     # ------------------------------------------------------------ mutation
 
     def _rebuild_handlers(self) -> None:
+        """Swap in a fresh dispatch snapshot; caller must hold ``_lock``."""
         self._handlers = tuple(
             (
                 subscription.callback.handle,
@@ -59,8 +75,9 @@ class TPSSubscriberManager:
 
     def add(self, subscription: Subscription) -> None:
         """Register one subscription."""
-        self._subscriptions.append(subscription)
-        self._rebuild_handlers()
+        with self._lock:
+            self._subscriptions.append(subscription)
+            self._rebuild_handlers()
 
     def discard(self, subscription: Subscription) -> int:
         """Remove one exact subscription object (identity, not matching).
@@ -68,35 +85,37 @@ class TPSSubscriberManager:
         This is the handle-cancellation path: O(n) identity scan, no
         ``Subscription.matches`` calls.  Returns 0 or 1.
         """
-        before = len(self._subscriptions)
-        self._subscriptions = [
-            existing for existing in self._subscriptions if existing is not subscription
-        ]
-        removed = before - len(self._subscriptions)
-        if removed:
-            self._rebuild_handlers()
-        return removed
+        with self._lock:
+            before = len(self._subscriptions)
+            self._subscriptions = [
+                existing for existing in self._subscriptions if existing is not subscription
+            ]
+            removed = before - len(self._subscriptions)
+            if removed:
+                self._rebuild_handlers()
+            return removed
 
     def remove(self, callback: Optional[Any] = None, handler: Optional[Any] = None) -> int:
         """Remove matching subscriptions; with no arguments remove everything.
 
         Returns the number of subscriptions removed.
         """
-        if callback is None:
-            removed = len(self._subscriptions)
-            self._subscriptions.clear()
-            self._handlers = ()
+        with self._lock:
+            if callback is None:
+                removed = len(self._subscriptions)
+                self._subscriptions.clear()
+                self._handlers = ()
+                return removed
+            keep: List[Subscription] = []
+            removed = 0
+            for subscription in self._subscriptions:
+                if subscription.matches(callback, handler):
+                    removed += 1
+                else:
+                    keep.append(subscription)
+            self._subscriptions = keep
+            self._rebuild_handlers()
             return removed
-        keep: List[Subscription] = []
-        removed = 0
-        for subscription in self._subscriptions:
-            if subscription.matches(callback, handler):
-                removed += 1
-            else:
-                keep.append(subscription)
-        self._subscriptions = keep
-        self._rebuild_handlers()
-        return removed
 
     # ------------------------------------------------------------- queries
 

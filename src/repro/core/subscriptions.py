@@ -25,6 +25,15 @@ top of any :class:`~repro.core.interface.TPSInterface` binding:
   consumer (threaded pipelines), ``"drop_oldest"`` bounds memory by
   discarding the stalest events (monitoring dashboards); ``dropped`` counts
   the discards.
+
+Locking model: a handle's ``cancel()`` flips its ``_active`` flag under the
+handle's own lock (exactly-once semantics under concurrent cancellation)
+and runs the discards outside it; a stream guards its buffer, flags and
+conditions with one lock, flips ``_closed`` and wakes all waiters *before*
+cancelling its subscription, and refuses a ``policy="block"`` wait that the
+waiting thread itself would have to service (the re-entrant
+publisher-is-the-only-consumer deadlock) by raising :class:`PSException`
+into the subscription's normal error route.
 """
 
 from __future__ import annotations
@@ -68,10 +77,12 @@ class SubscriptionHandle:
     call created.  ``cancel()`` removes those objects (and only those) from
     the binding, so two subscriptions sharing one callback no longer have to
     be torn down together.  Using the handle as a context manager cancels on
-    exit; cancelling twice is a no-op.
+    exit; cancelling twice is a no-op -- including from two racing threads:
+    the ``_active`` flip is atomic (under the handle's lock), so exactly one
+    caller runs the discards and every other caller gets 0.
     """
 
-    __slots__ = ("_interface", "_subscriptions", "_active")
+    __slots__ = ("_interface", "_subscriptions", "_active", "_lock")
 
     def __init__(
         self, interface: "TPSInterface[Any]", subscriptions: List["Subscription"]
@@ -79,6 +90,7 @@ class SubscriptionHandle:
         self._interface = interface
         self._subscriptions = tuple(subscriptions)
         self._active = True
+        self._lock = threading.Lock()
 
     @property
     def interface(self) -> "TPSInterface[Any]":
@@ -101,9 +113,13 @@ class SubscriptionHandle:
         Subscriptions already gone (e.g. after a blanket ``unsubscribe()`` or
         ``close()``) simply do not count, so cancel is always safe to call.
         """
-        if not self._active:
-            return 0
-        self._active = False
+        # Atomic check-then-flip: without the lock two threads could both
+        # pass the guard and each run the discards.  The discards themselves
+        # run outside the lock (they take the binding's own locks).
+        with self._lock:
+            if not self._active:
+                return 0
+            self._active = False
         return sum(
             self._interface._discard_subscription(subscription)
             for subscription in self._subscriptions
@@ -249,6 +265,9 @@ class EventStream:
         self._not_full = threading.Condition(self._lock)
         self._closed = False
         self._dropped = 0
+        #: Idents of every thread that has consumed (get/drain), used to
+        #: refuse a ``"block"`` wait that can never be woken (see _on_event).
+        self._consumer_idents: "set[int]" = set()
         subscription = interface._subscribe_one(
             self._on_event, exception_handler, predicate=predicate
         )
@@ -264,6 +283,31 @@ class EventStream:
                 return
             if self.maxsize:
                 if self.policy == "block":
+                    if (
+                        len(self._buffer) >= self.maxsize
+                        and self._consumer_idents == {threading.get_ident()}
+                    ):
+                        # The publishing thread is this stream's only
+                        # consumer so far: blocking it on _not_full could
+                        # never be woken -- the thread that would drain the
+                        # buffer is the one about to wait.  Raise instead of
+                        # deadlocking; like any callback error, the exception
+                        # is routed to the subscription's exception handler.
+                        # This is deliberately a *heuristic* on observed
+                        # consumers: a stream nobody has consumed yet still
+                        # blocks (a consumer thread may be about to start,
+                        # and raising would break that legitimate pattern),
+                        # and a past consumer publishing while a brand-new
+                        # consumer thread has not reached its first get()
+                        # raises spuriously -- the undecidable trade-off is
+                        # resolved toward the re-entrant case that is a
+                        # deadlock for certain.
+                        raise PSException(
+                            "EventStream deadlock: the publishing thread is "
+                            "this stream's only consumer and the buffer is "
+                            "full; drain the stream first, use a consumer "
+                            "thread, or choose policy='drop_oldest'"
+                        )
                     while len(self._buffer) >= self.maxsize and not self._closed:
                         self._not_full.wait()
                     if self._closed:
@@ -283,6 +327,7 @@ class EventStream:
         when ``timeout`` (seconds) elapses without an event.
         """
         with self._not_empty:
+            self._consumer_idents.add(threading.get_ident())
             if not self._buffer and not self._closed:
                 self._not_empty.wait_for(
                     lambda: self._buffer or self._closed, timeout=timeout
@@ -298,6 +343,7 @@ class EventStream:
     def drain(self) -> List[Any]:
         """Remove and return everything currently buffered (never blocks)."""
         with self._lock:
+            self._consumer_idents.add(threading.get_ident())
             events = list(self._buffer)
             self._buffer.clear()
             self._not_full.notify_all()
@@ -340,15 +386,23 @@ class EventStream:
         itself calls this for every open stream when it closes (or on a
         blanket ``unsubscribe()``), so consumers never block on a
         subscription that no longer exists.
+
+        The flag flips and the wake-ups happen under the lock *first*, then
+        exactly one thread (the one that flipped it) cancels the
+        subscription and unregisters the stream.  Doing it in the other
+        order had two races: two concurrent closers both ran the
+        unregister, and a producer already inside ``_on_event`` could start
+        a ``_not_full`` wait after the cancel but before the wake -- and
+        then sleep forever.
         """
-        self._handle.cancel()
-        self._interface._unregister_stream(self)
         with self._lock:
             if self._closed:
                 return
             self._closed = True
             self._not_empty.notify_all()
             self._not_full.notify_all()
+        self._handle.cancel()
+        self._interface._unregister_stream(self)
 
     def __enter__(self) -> "EventStream":
         return self

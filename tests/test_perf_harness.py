@@ -83,6 +83,7 @@ class TestPerfSuite:
             "repeats", "codec_iterations", "xml_iterations",
             "fanout_iterations", "churn_iterations", "churn_resident",
             "filtered_iterations", "filtered_subscribers",
+            "mt_publishers", "mt_events", "mt_subscribers", "mt_io_s",
             "figure19_events", "figure20_duration", "figure20_events",
         }
         for name, profile in PROFILES.items():
@@ -114,6 +115,32 @@ class TestPerfSuite:
         assert any("subscribe_churn" in problem for problem in problems)
         assert any("filtered_fanout" in problem for problem in problems)
 
+    def test_schema_covers_the_concurrency_section(self):
+        """The PR-4 section (concurrent sharded fan-out) is part of the
+        contract: a document missing it must fail validation."""
+        assert "mt_fanout" in COMPARISON_NAMES
+        document = {
+            "schema": SCHEMA, "version": "x", "unix_time": 1.0,
+            "profile": "full", "comparisons": [], "scenarios": [],
+        }
+        problems = validate_document(document)
+        assert any("mt_fanout" in problem for problem in problems)
+
+    def test_mt_fanout_event_types_cover_distinct_shards(self):
+        """The greedy hierarchy selection must place each benchmark
+        publisher on its own shard for the committed profiles."""
+        from repro.bench.perf import PROFILES, _mt_types
+        from repro.core.sharded_engine import ShardedLocalBus
+        from repro.core.type_registry import type_name
+
+        for profile in PROFILES.values():
+            publishers = profile["mt_publishers"]
+            probe = ShardedLocalBus(shards=publishers)
+            types = _mt_types(publishers)
+            assert len(types) == publishers
+            shards = {probe.shard_index(type_name(cls)) for cls in types}
+            assert len(shards) == publishers
+
     def test_committed_trajectory_files_validate(self):
         """Every committed BENCH_*.json must validate: historical points
         against the baseline comparison set they were generated under, the
@@ -136,11 +163,13 @@ class TestPerfSuite:
             document = json.load(handle)
         by_name = {entry["name"]: entry for entry in document["comparisons"]}
         # Trajectory pins: the scanning parser stays >= 2x the legacy parser
-        # (PR 2), and filtered fan-out with v2 predicate push-down beats
-        # post-dispatch filtering (PR 3).
+        # (PR 2), filtered fan-out with v2 predicate push-down beats
+        # post-dispatch filtering (PR 3), and per-shard concurrency beats the
+        # locked single bus by >= 1.5x at 4 publisher threads (PR 4).
         assert by_name["xml_parse"]["speedup"] >= 2.0
         assert by_name["filtered_fanout"]["speedup"] > 1.0
         assert by_name["subscribe_churn"]["speedup"] > 1.0
+        assert by_name["mt_fanout"]["speedup"] >= 1.5
 
 
 class TestPerfCli:

@@ -44,7 +44,14 @@ replica of the pre-optimisation (seed) hot path running in the same process:
   threads) versus the naive thread-safe alternative, N publisher threads
   over a single ``LocalBus`` whose delivery runs under one big lock
   (:class:`_LockedLocalBus`), which serialises every hierarchy's
-  subscriber waits behind one another.
+  subscriber waits behind one another;
+* ``intra_shard_fanout`` -- the same threaded-workload style applied to a
+  *single* hot hierarchy: a content-keyed
+  :class:`~repro.core.sharded_engine.ShardedLocalBus`
+  (``partition="content"``) spreading one hierarchy's events across N
+  shards by event key versus the 1-shard bus an unsharded hierarchy
+  amounts to, both driven through the identical ``publish_all`` batch
+  entry point (per-key order preserved on both sides).
 
 Two *scenario* entries record the real wall-clock cost of running the
 simulated Figure 19/20 experiments (SR-TPS variant), so regressions in the
@@ -89,6 +96,7 @@ COMPARISON_NAMES = (
     "subscribe_churn",
     "filtered_fanout",
     "mt_fanout",
+    "intra_shard_fanout",
 )
 
 #: The PR-1 comparison set: the minimum every historical repro-bench/v1
@@ -122,6 +130,11 @@ PROFILES: Dict[str, Dict[str, Any]] = {
         "mt_events": 75,
         "mt_subscribers": 2,
         "mt_io_s": 50e-6,
+        "intra_shards": 4,
+        "intra_keys": 16,
+        "intra_events": 240,
+        "intra_subscribers": 2,
+        "intra_io_s": 50e-6,
         "figure19_events": 100,
         "figure20_duration": 10.0,
         "figure20_events": 2_000,
@@ -139,6 +152,11 @@ PROFILES: Dict[str, Dict[str, Any]] = {
         "mt_events": 30,
         "mt_subscribers": 2,
         "mt_io_s": 50e-6,
+        "intra_shards": 4,
+        "intra_keys": 16,
+        "intra_events": 96,
+        "intra_subscribers": 2,
+        "intra_io_s": 50e-6,
         "figure19_events": 40,
         "figure20_duration": 4.0,
         "figure20_events": 400,
@@ -156,6 +174,11 @@ PROFILES: Dict[str, Dict[str, Any]] = {
         "mt_events": 3,
         "mt_subscribers": 1,
         "mt_io_s": 100e-6,
+        "intra_shards": 2,
+        "intra_keys": 8,
+        "intra_events": 8,
+        "intra_subscribers": 1,
+        "intra_io_s": 100e-6,
         "figure19_events": 10,
         "figure20_duration": 1.0,
         "figure20_events": 10,
@@ -652,6 +675,77 @@ def _bench_mt_fanout(profile: Dict[str, Any]) -> Comparison:
     )
 
 
+#: The intra-hierarchy benchmark's single hot event type: one hierarchy,
+#: sharded by the ``key`` attribute's value.
+_HotEvent = dataclasses.make_dataclass(
+    "_HotShardEvent", [("key", str, ""), ("price", float, 0.0)]
+)
+
+
+def _bench_intra_shard_fanout(profile: Dict[str, Any]) -> Comparison:
+    """Single hot hierarchy: content-keyed N-shard bus vs the 1-shard baseline.
+
+    The ``mt_fanout``-style workload (subscribers perform a short
+    GIL-releasing wait per event, standing in for socket writes and disk
+    appends) applied to the shape ``mt_fanout`` cannot cover: *every* event
+    belongs to one hierarchy, so root-partitioned sharding degenerates to a
+    single shard and the whole fan-out serialises.  Content-keyed
+    partitioning (``partition="content"``, ``content_key="key"``) spreads
+    the hierarchy across N shards by event key; ``publish_all`` then runs
+    the per-key shard groups on the executor's threads concurrently while
+    preserving per-key order.  Both sides run the identical batch through
+    the identical ``ShardedLocalBus.publish_all`` entry point -- the only
+    difference is the partition: N content shards (fast) versus the 1-shard
+    bus (baseline, equivalent to an unsharded hierarchy), so the recorded
+    speedup isolates intra-hierarchy sharding itself.
+    """
+    shards = profile["intra_shards"]
+    keys = profile["intra_keys"]
+    events = profile["intra_events"]
+    subscribers = profile["intra_subscribers"]
+    io_wait = profile["intra_io_s"]
+    repeats = profile["repeats"]
+    batch = [_HotEvent(key=f"key-{index % keys}", price=float(index)) for index in range(events)]
+
+    def build(bus: ShardedLocalBus) -> LocalTPSEngine:
+        publisher = LocalTPSEngine(_HotEvent, bus=bus)
+        for _ in range(subscribers):
+            engine = LocalTPSEngine(_HotEvent, bus=bus)
+            engine.subscribe(lambda event: time.sleep(io_wait))
+        return publisher
+
+    sharded_bus = ShardedLocalBus(
+        shards=shards, partition="content", content_key="key"
+    )
+    single_bus = ShardedLocalBus(shards=1)
+    sharded_publisher = build(sharded_bus)
+    single_publisher = build(single_bus)
+
+    def run(bus: ShardedLocalBus, publisher: LocalTPSEngine) -> float:
+        jobs = [(publisher, event) for event in batch]
+        start = time.perf_counter()
+        bus.publish_all(jobs)
+        return time.perf_counter() - start
+
+    best_single = float("inf")
+    best_sharded = float("inf")
+    for _ in range(repeats):
+        best_single = min(best_single, run(single_bus, single_publisher))
+        best_sharded = min(best_sharded, run(sharded_bus, sharded_publisher))
+        for publisher in (single_publisher, sharded_publisher):
+            for engine in publisher.bus.engines_for(publisher.registry.root):
+                engine._received.clear()
+    sharded_bus.shutdown()
+    single_bus.shutdown()
+    return Comparison(
+        "intra_shard_fanout",
+        best_single / events * 1e6,
+        best_sharded / events * 1e6,
+        events,
+        repeats,
+    )
+
+
 # ---------------------------------------------------------------- scenarios
 
 
@@ -709,6 +803,7 @@ def run_perf_suite(profile: str = "full") -> Dict[str, Any]:
     comparisons.append(_bench_subscribe_churn(settings))
     comparisons.append(_bench_filtered_fanout(settings))
     comparisons.append(_bench_mt_fanout(settings))
+    comparisons.append(_bench_intra_shard_fanout(settings))
     return {
         "schema": SCHEMA,
         "version": __version__,
@@ -760,15 +855,15 @@ def format_suite(document: Dict[str, Any]) -> str:
     """A plain-text table of one suite document."""
     lines = [
         f"perf suite ({document['profile']}) -- repro {document['version']}",
-        f"{'comparison':<16} {'seed us/op':>12} {'fast us/op':>12} {'speedup':>9}",
+        f"{'comparison':<18} {'seed us/op':>12} {'fast us/op':>12} {'speedup':>9}",
     ]
     for entry in document["comparisons"]:
         lines.append(
-            f"{entry['name']:<16} {entry['baseline_per_op_us']:>12.2f} "
+            f"{entry['name']:<18} {entry['baseline_per_op_us']:>12.2f} "
             f"{entry['fast_per_op_us']:>12.2f} {entry['speedup']:>8.2f}x"
         )
     for entry in document["scenarios"]:
-        lines.append(f"{entry['name']:<16} wall-clock {entry['wall_clock_s']:.3f}s")
+        lines.append(f"{entry['name']:<18} wall-clock {entry['wall_clock_s']:.3f}s")
     return "\n".join(lines)
 
 

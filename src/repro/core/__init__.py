@@ -14,11 +14,15 @@ The public API mirrors the paper's Section 3:
 * :class:`Criteria` -- advertisement and content filtering.
 * :class:`PSException` / :class:`CallBackException` -- the API's exceptions.
 
-Three bindings self-register with the binding registry
+Four bindings self-register with the binding registry
 (:mod:`repro.core.bindings`): ``"JXTA"`` (over the simulated JXTA substrate,
-:class:`JxtaTPSEngine`), ``"LOCAL"`` (in-process, :class:`LocalTPSEngine`)
-and ``"SHARDED"`` (in-process over an N-shard bus, :class:`ShardedLocalBus`).
-Applications add their own with :func:`register_binding`.
+:class:`JxtaTPSEngine`), ``"LOCAL"`` (in-process, :class:`LocalTPSEngine`),
+``"SHARDED"`` (in-process over an N-shard bus, :class:`ShardedLocalBus`;
+root- or content-keyed partitioning) and ``"SHARDED+JXTA"`` (the sharded bus
+fanned out over the JXTA wire, :class:`ShardedJxtaTPSEngine`).  Applications
+add their own with :func:`register_binding`; every binding can declare a
+parameter schema that ``new_interface(name, ..., **params)`` is validated
+against.
 
 The v2 surface on top of the paper's Figure 8 (all back-compatible):
 :meth:`~repro.core.interface.TPSInterface.subscribe` returns a
@@ -38,10 +42,12 @@ from repro.core.advertisements import (
     TPSAdvertisementsFinder,
 )
 from repro.core.bindings import (
+    BindingParam,
     BindingRequest,
     BindingSpec,
     TPSBinding,
     binding_capabilities,
+    binding_params,
     get_binding,
     register_binding,
     registered_bindings,
@@ -57,6 +63,7 @@ from repro.core.callbacks import (
     TPSCallBackInterface,
     TPSExceptionHandler,
 )
+from repro.core.composite_engine import ShardedJxtaTPSEngine
 from repro.core.engine import TPSEngine
 from repro.core.exceptions import (
     CallBackException,
@@ -96,6 +103,7 @@ from repro.core.xml_types import (
 )
 
 __all__ = [
+    "BindingParam",
     "BindingRequest",
     "BindingSpec",
     "DEFAULT_SHARD_COUNT",
@@ -123,6 +131,7 @@ __all__ = [
     "PS_PREFIX",
     "PrintingExceptionHandler",
     "PublishReceipt",
+    "ShardedJxtaTPSEngine",
     "ShardedLocalBus",
     "Subscription",
     "SubscriptionBuilder",
@@ -145,6 +154,7 @@ __all__ = [
     "TypeRegistry",
     "all_subtypes",
     "binding_capabilities",
+    "binding_params",
     "get_binding",
     "hierarchy_root",
     "register_binding",

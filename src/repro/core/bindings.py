@@ -13,16 +13,29 @@ This module is that plug point:
   satisfy (the seven Figure 8 operations plus the v2 ``close`` lifecycle);
 * :class:`BindingRequest` -- everything ``new_interface`` knows when it asks
   a binding for an interface (event type, criteria, peer, codec, config,
-  local bus, the paper's ``instance``/``argv`` arguments);
+  local bus, the paper's ``instance``/``argv`` arguments, and the validated
+  binding *parameters*);
+* :class:`BindingParam` -- one declared parameter of a binding: its name,
+  the accepted value types and a one-line description.  A binding registers
+  its parameter schema alongside its factory, and every ``new_interface``
+  call is validated against it *before* the factory runs: unknown keys and
+  type mismatches raise :class:`PSException` messages that name the
+  offending key and enumerate the accepted schema, uniformly for built-in
+  and application-registered bindings alike;
 * :func:`register_binding` / :func:`get_binding` /
-  :func:`registered_bindings` -- the process-wide name -> factory registry.
+  :func:`registered_bindings` / :func:`binding_params` -- the process-wide
+  name -> factory registry and its introspection surface.
 
 The built-in bindings self-register when their modules are imported:
-``"LOCAL"`` (:mod:`repro.core.local_engine`), ``"JXTA"``
-(:mod:`repro.core.jxta_engine`) and ``"SHARDED"``
-(:mod:`repro.core.sharded_engine`).  ``TPSEngine.new_interface`` resolves
-purely through :func:`get_binding`, so third-party bindings registered by
-application code are first-class citizens.
+``"LOCAL"`` (:mod:`repro.core.local_engine`, no parameters), ``"JXTA"``
+(:mod:`repro.core.jxta_engine`, per-interface :class:`TPSConfig` field
+overrides such as ``search_timeout``), ``"SHARDED"``
+(:mod:`repro.core.sharded_engine`, ``shards``/``partition``/``content_key``)
+and ``"SHARDED+JXTA"`` (:mod:`repro.core.composite_engine`, the sharded
+in-process bus fanned out over the JXTA wire).  ``TPSEngine.new_interface``
+resolves purely through :func:`get_binding`, so third-party bindings
+registered by application code are first-class citizens -- parameters
+included.
 """
 
 from __future__ import annotations
@@ -33,11 +46,13 @@ from typing import (
     Callable,
     Dict,
     List,
+    Mapping,
     Optional,
     Protocol,
     Sequence,
     Tuple,
     Type,
+    Union,
     runtime_checkable,
 )
 
@@ -70,14 +85,53 @@ class TPSBinding(Protocol):
 
 
 @dataclass(frozen=True)
+class BindingParam:
+    """One declared parameter of a binding.
+
+    ``types`` is the tuple of accepted value classes (empty accepts any
+    value); ``check`` is an optional extra validator returning a problem
+    string (or None when the value is fine), for constraints a type check
+    cannot express (``shards >= 1``, "string or callable", ...).
+    """
+
+    name: str
+    types: Tuple[type, ...] = ()
+    description: str = ""
+    check: Optional[Callable[[Any], Optional[str]]] = None
+
+    def describe(self) -> str:
+        """``name (type, type)`` -- the schema line used in error messages."""
+        if not self.types:
+            return self.name
+        accepted = "|".join(cls.__name__ for cls in self.types)
+        return f"{self.name} ({accepted})"
+
+    def problem_with(self, value: Any) -> Optional[str]:
+        """Why ``value`` is unacceptable for this parameter, or None."""
+        if self.types and not isinstance(value, self.types):
+            accepted = " or ".join(cls.__name__ for cls in self.types)
+            return (
+                f"parameter {self.name!r} must be {accepted}, "
+                f"got {type(value).__name__}: {value!r}"
+            )
+        if self.check is not None:
+            complaint = self.check(value)
+            if complaint:
+                return f"parameter {self.name!r}: {complaint}"
+        return None
+
+
+@dataclass(frozen=True)
 class BindingRequest:
     """One ``new_interface`` call, as seen by a binding factory.
 
     Mirrors the paper's ``newInterface(String name, Criteria c, Type t,
     String[] arg)`` plus the engine-level construction arguments the Python
-    rendering adds (``peer``, ``codec``, ``config``, ``local_bus``).  A
-    factory picks what it needs and must raise :class:`PSException` when a
-    required argument is missing (e.g. the JXTA binding without a peer).
+    rendering adds (``peer``, ``codec``, ``config``, ``local_bus``) and the
+    v2 binding parameters (``params``, already validated against the
+    binding's declared schema by the time the factory sees them).  A factory
+    picks what it needs and must raise :class:`PSException` when a required
+    argument is missing (e.g. the JXTA binding without a peer).
     """
 
     event_type: Type[Any]
@@ -88,6 +142,13 @@ class BindingRequest:
     codec: Optional[Any] = None
     config: Optional[Any] = None
     local_bus: Optional[Any] = None
+    #: Validated binding parameters of this call (never None; empty when the
+    #: caller passed none).
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def param(self, name: str, default: Any = None) -> Any:
+        """The value of one binding parameter, or ``default``."""
+        return self.params.get(name, default)
 
 
 #: A binding factory: takes one :class:`BindingRequest`, returns an interface.
@@ -96,16 +157,60 @@ BindingFactory = Callable[[BindingRequest], Any]
 
 @dataclass(frozen=True)
 class BindingSpec:
-    """One registered binding: its name, factory and capability tags."""
+    """One registered binding: name, factory, capability tags, param schema."""
 
     name: str
     factory: BindingFactory
     #: Free-form capability tags ("in-process", "distributed", "sharded", ...)
     #: for applications that pick a binding by feature rather than by name.
     capabilities: frozenset = field(default_factory=frozenset)
+    #: The declared parameters, in declaration order.
+    params: Tuple[BindingParam, ...] = ()
+
+    @property
+    def param_names(self) -> Tuple[str, ...]:
+        """The declared parameter names, in declaration order."""
+        return tuple(param.name for param in self.params)
+
+    def describe_params(self) -> str:
+        """Human-readable schema: ``a (int), b (str|float)`` or ``(none)``."""
+        if not self.params:
+            return "(none)"
+        return ", ".join(param.describe() for param in self.params)
+
+    def validate_params(self, params: Mapping[str, Any]) -> None:
+        """Check a ``new_interface`` params mapping against the schema.
+
+        Unknown keys raise :class:`PSException` naming the key and listing
+        the accepted schema; declared keys with unacceptable values raise
+        naming the key and the expectation.  Bindings with an empty schema
+        reject every parameter ("accepts no parameters").
+        """
+        if not params:
+            return
+        by_name = {param.name: param for param in self.params}
+        for key in params:
+            if key not in by_name:
+                if not self.params:
+                    raise PSException(
+                        f"binding {self.name!r} accepts no parameters, "
+                        f"got {key!r}"
+                    )
+                raise PSException(
+                    f"unknown parameter {key!r} for binding {self.name!r}; "
+                    f"accepted parameters: {self.describe_params()}"
+                )
+        for key, value in params.items():
+            complaint = by_name[key].problem_with(value)
+            if complaint:
+                raise PSException(
+                    f"binding {self.name!r}: {complaint} "
+                    f"(accepted parameters: {self.describe_params()})"
+                )
 
     def create(self, request: BindingRequest) -> Any:
-        """Build an interface for ``request`` through this binding's factory."""
+        """Validate ``request.params`` and build an interface via the factory."""
+        self.validate_params(request.params)
         return self.factory(request)
 
 
@@ -118,18 +223,45 @@ def _normalize(name: str) -> str:
     return name.strip().upper()
 
 
+def _normalize_params(
+    name: str, params: Sequence[Union[BindingParam, str]]
+) -> Tuple[BindingParam, ...]:
+    normalized: List[BindingParam] = []
+    seen: set = set()
+    for param in params:
+        if isinstance(param, str):
+            param = BindingParam(param)
+        if not isinstance(param, BindingParam):
+            raise PSException(
+                f"binding {name!r}: parameter declarations must be BindingParam "
+                f"instances or names, got {param!r}"
+            )
+        if param.name in seen:
+            raise PSException(
+                f"binding {name!r}: duplicate parameter declaration {param.name!r}"
+            )
+        seen.add(param.name)
+        normalized.append(param)
+    return tuple(normalized)
+
+
 def register_binding(
     name: str,
     factory: BindingFactory,
     *,
     capabilities: Sequence[str] = (),
+    params: Sequence[Union[BindingParam, str]] = (),
     replace: bool = False,
 ) -> BindingSpec:
     """Register a binding factory under ``name`` (case-insensitive).
 
-    Returns the stored :class:`BindingSpec`.  Re-registering an existing name
-    raises :class:`PSException` unless ``replace=True`` (the built-in
-    bindings register with ``replace=True`` so module reloads stay safe).
+    ``params`` declares the binding's parameter schema (a sequence of
+    :class:`BindingParam`, or bare names for untyped parameters); every
+    ``new_interface(name, ..., **params)`` call is validated against it
+    before the factory runs.  Returns the stored :class:`BindingSpec`.
+    Re-registering an existing name raises :class:`PSException` unless
+    ``replace=True`` (the built-in bindings register with ``replace=True``
+    so module reloads stay safe).
     """
     key = _normalize(name)
     if not callable(factory):
@@ -139,7 +271,12 @@ def register_binding(
             f"a TPS binding named {key!r} is already registered; "
             "pass replace=True to override it"
         )
-    spec = BindingSpec(name=key, factory=factory, capabilities=frozenset(capabilities))
+    spec = BindingSpec(
+        name=key,
+        factory=factory,
+        capabilities=frozenset(capabilities),
+        params=_normalize_params(key, params),
+    )
     _REGISTRY[key] = spec
     return spec
 
@@ -161,9 +298,21 @@ def get_binding(name: str) -> BindingSpec:
     return spec
 
 
-def registered_bindings() -> Tuple[str, ...]:
-    """The names of every registered binding, sorted."""
+def registered_bindings(with_params: bool = False):
+    """The registered binding names, sorted.
+
+    With ``with_params=True`` returns a sorted mapping of binding name to
+    its declared parameter names, so callers can discover what each binding
+    accepts without resolving the spec themselves.
+    """
+    if with_params:
+        return {name: _REGISTRY[name].param_names for name in sorted(_REGISTRY)}
     return tuple(sorted(_REGISTRY))
+
+
+def binding_params(name: str) -> Tuple[BindingParam, ...]:
+    """The declared parameter schema of a registered binding."""
+    return get_binding(name).params
 
 
 def binding_capabilities(name: str) -> frozenset:
@@ -173,10 +322,12 @@ def binding_capabilities(name: str) -> frozenset:
 
 __all__ = [
     "BindingFactory",
+    "BindingParam",
     "BindingRequest",
     "BindingSpec",
     "TPSBinding",
     "binding_capabilities",
+    "binding_params",
     "get_binding",
     "register_binding",
     "registered_bindings",

@@ -1,0 +1,316 @@
+"""The ``"SHARDED+JXTA"`` composite binding: sharded bus + JXTA wire.
+
+The paper's layering claim (Section 4) is that TPS is a thin typed layer
+over *any* substrate.  This module takes it one step further: a binding
+whose substrate is itself two bindings --
+
+* an in-process :class:`~repro.core.sharded_engine.ShardedLocalBus` leg for
+  intra-peer traffic (synchronous, lock-free snapshot delivery, optionally
+  content-keyed so one hot hierarchy spreads across shards), and
+* a :class:`~repro.core.jxta_engine.JxtaTPSEngine` wire leg that fans every
+  publication out over the simulated JXTA substrate to remote peers.
+
+The two legs complement each other exactly: the JXTA wire never delivers to
+the publishing peer itself (``resolved_peers`` excludes self), so same-peer
+interfaces would be deaf to each other over pure JXTA; the local bus covers
+precisely that gap.  To keep delivery exactly-once even when an application
+shares one :class:`ShardedLocalBus` across peers, every outgoing wire
+message is tagged with the bus's process-unique ``bus_id`` (via the
+:meth:`~repro.core.jxta_engine.JxtaTPSEngine._decorate_message` hook) and
+the wire leg drops incoming messages carrying its own tag: whatever the
+local bus already delivered never arrives twice.
+
+Threading model (the PR 4 snapshot/locking design, reused): the local leg is
+fully thread-safe -- delivery reads immutable route-row and handler
+snapshots lock-free, and the composite's bridge handle flips under its own
+lock so concurrent subscribe/unsubscribe churn opens and closes the wire
+bridge exactly once.  The wire leg inherits the JXTA engine's single-thread
+affinity guard: it runs on the simulated network's event loop, and the
+composite routes every wire-touching call (publish, bridge open/close,
+teardown) through the owning thread's call stack, so cross-thread misuse
+surfaces as the wire leg's clear :class:`PSException` rather than corrupted
+network state.
+
+Binding parameters: ``shards``, ``partition``, ``content_key`` (the same
+schema as ``"SHARDED"``).  Registry-built buses are scoped **per peer** --
+each simulated peer models one process, so its composite interfaces share a
+bus with each other but never with another peer's; remote traffic goes over
+the wire, exactly as it would between real processes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable, List, Optional
+
+from repro.core.bindings import BindingRequest, register_binding
+from repro.core.exceptions import PSException
+from repro.core.interface import PublishReceipt, Subscription
+from repro.core.jxta_engine import JxtaTPSEngine, TPSConfig
+from repro.core.local_engine import LocalTPSEngine
+from repro.core.sharded_engine import (
+    SHARDED_BINDING_PARAMS,
+    ShardedLocalBus,
+    request_bus,
+)
+from repro.core.type_registry import Criteria
+from repro.jxta.ids import PeerID
+from repro.jxta.message import Message
+from repro.jxta.peer import Peer
+from repro.serialization.object_codec import ObjectCodec
+
+#: Message element carrying the publishing bus's id (same-bus echo filter).
+TPS_ORIGIN_ELEMENT = "TPSOrigin"
+
+
+class _CompositeWireLeg(JxtaTPSEngine):
+    """The composite's JXTA leg: tags outgoing messages, drops own echoes."""
+
+    def __init__(self, origin: str, *args: Any, **kwargs: Any) -> None:
+        self._origin = origin
+        super().__init__(*args, **kwargs)
+
+    def _decorate_message(self, message: Message) -> None:
+        message.add(TPS_ORIGIN_ELEMENT, self._origin)
+
+    def _on_wire_message(self, message: Message, source: PeerID) -> None:
+        if message.get_text(TPS_ORIGIN_ELEMENT) == self._origin:
+            # Published through our own local bus: the sharded leg already
+            # delivered it to every same-bus subscriber.
+            self.peer.metrics.counter("tps_same_bus_filtered").increment()
+            return
+        super()._on_wire_message(message, source)
+
+
+class ShardedJxtaTPSEngine(LocalTPSEngine):
+    """The ``"SHARDED+JXTA"`` composite TPS interface.
+
+    Subclasses :class:`LocalTPSEngine` (the sharded leg *is* a local engine
+    on a :class:`ShardedLocalBus`) and adds a wire leg plus the bridge that
+    feeds remote events into this interface's own subscriber manager.  The
+    bridge is lazy: it subscribes to the wire leg when this interface gains
+    its first subscription and cancels when the last one goes, so an
+    unsubscribed composite -- like every other binding -- receives nothing
+    ("after this call, no event is received anymore").
+    """
+
+    def __init__(
+        self,
+        event_type: type,
+        peer: Peer,
+        *,
+        bus: ShardedLocalBus,
+        criteria: Optional[Criteria] = None,
+        codec: Optional[ObjectCodec] = None,
+        config: Optional[TPSConfig] = None,
+    ) -> None:
+        super().__init__(event_type, bus=bus, criteria=criteria, codec=codec)
+        #: Serialises bridge open/close against subscription churn.
+        self._bridge_lock = threading.Lock()
+        self._bridge_handle: Optional[Any] = None
+        try:
+            self._wire = _CompositeWireLeg(
+                bus.bus_id,
+                event_type,
+                peer,
+                criteria=criteria,
+                codec=codec,
+                config=config,
+            )
+        except BaseException:
+            # The local leg already attached to the bus; don't leak it.
+            self.bus.detach(self)
+            raise
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def wire(self) -> JxtaTPSEngine:
+        """The JXTA wire leg (read-only introspection)."""
+        return self._wire
+
+    @property
+    def ready(self) -> bool:
+        """Whether the wire leg can publish (an advertisement is attached)."""
+        return self._wire.ready
+
+    @property
+    def attachment_count(self) -> int:
+        """Number of advertisements the wire leg is attached to."""
+        return self._wire.attachment_count
+
+    # ------------------------------------------------------------ publishing
+
+    def publish(self, event: Any) -> PublishReceipt:
+        """Publish locally through the sharded bus *and* remotely over JXTA.
+
+        The partition key is resolved first, so a content-keyed event
+        missing its declared attribute fails before anything is sent; the
+        wire send runs next (it can refuse with ``NotInitializedError``
+        before the network settles), and local shard delivery last.  The
+        receipt is the wire receipt with the local delivery prepended: one
+        extra "pipe" (the bus) and its delivered-count as the first wire
+        receipt entry.
+        """
+        self._check_open()
+        self.registry.check_publishable(event)
+        copy = self.registry.decode(self.registry.encode(event))
+        root_name = self.registry.advertised_name
+        index = self.bus.partition_index(root_name, copy)
+        wire_receipt = self._wire.publish(event)
+        delivered = self.bus.shards[index].publish(self, copy)
+        self._sent.append(event)
+        return PublishReceipt(
+            cpu_time=wire_receipt.cpu_time,
+            completion_time=wire_receipt.completion_time,
+            pipes=wire_receipt.pipes + 1,
+            wire_receipts=[delivered, *wire_receipt.wire_receipts],
+        )
+
+    def publish_many(self, events: Iterable[Any]) -> List[PublishReceipt]:
+        """Publish a batch; the wire leg is single-threaded, so loop.
+
+        Validates the whole batch up front (batch atomicity matches the
+        other bindings), then publishes serially on the calling thread:
+        wire sends must stay on the owning thread, and one interface's
+        local batch is one hierarchy whose per-key order a serial loop
+        trivially preserves.
+        """
+        self._check_open()
+        batch = list(events)
+        for event in batch:
+            self.registry.check_publishable(event)
+        return [self.publish(event) for event in batch]
+
+    # ----------------------------------------------------------- subscribing
+
+    def _sync_bridge(self) -> None:
+        """Open/close the wire bridge to match having subscriptions at all.
+
+        The handle swap is atomic under ``_bridge_lock`` (exactly-once under
+        concurrent churn); the wire calls run outside the composite's
+        dispatch path, on the caller's thread -- which the wire leg's
+        affinity guard requires to be the owning thread.
+        """
+        with self._bridge_lock:
+            if self.subscriber_manager.empty:
+                handle, self._bridge_handle = self._bridge_handle, None
+                if handle is None:
+                    return
+                action = "close"
+            else:
+                if self._bridge_handle is not None:
+                    return
+                action = "open"
+                handle = None
+        if action == "close":
+            handle.cancel()
+        else:
+            opened = self._wire.subscribe(self._deliver_remote)
+            with self._bridge_lock:
+                if self._bridge_handle is None and not self.subscriber_manager.empty:
+                    self._bridge_handle = opened
+                    opened = None
+            if opened is not None:
+                # Lost the race (another open won, or everyone unsubscribed
+                # meanwhile): retire the redundant wire subscription.
+                opened.cancel()
+
+    def _deliver_remote(self, event: Any) -> None:
+        """Bridge callback: a remote event reaches this interface's subscribers.
+
+        The wire leg has already duplicate-filtered, type-checked and
+        criteria-filtered the event; dispatch through the subscriber
+        manager's snapshot applies the pushed-down predicates and routes
+        callback errors to the paired handlers, exactly as local delivery
+        does.
+        """
+        self._received.append(event)
+        self.subscriber_manager.dispatch(event)
+
+    # Subscription mutations may need to open or close the wire bridge, and
+    # the wire leg is single-threaded: checking its thread affinity *before*
+    # touching any state makes a cross-thread call fail atomically (clear
+    # PSException, nothing half-registered, no bridge handle burned) instead
+    # of mutating the local leg and then raising from the wire leg.
+
+    def _add_subscription(self, subscription: Subscription) -> None:
+        self._wire._check_thread("subscribe")
+        super()._add_subscription(subscription)
+        self._sync_bridge()
+
+    def _remove_subscriptions(
+        self, callback: Optional[Any] = None, handler: Optional[Any] = None
+    ) -> int:
+        self._wire._check_thread("unsubscribe")
+        removed = super()._remove_subscriptions(callback, handler)
+        self._sync_bridge()
+        return removed
+
+    def _discard_subscription(self, subscription: Subscription) -> int:
+        self._wire._check_thread("subscription cancel")
+        removed = super()._discard_subscription(subscription)
+        self._sync_bridge()
+        return removed
+
+    # ----------------------------------------------------------------- close
+
+    def _do_close(self) -> None:
+        """Tear down both legs: local detach first, then the wire engine.
+
+        The wire leg's thread affinity is checked up front so a cross-thread
+        close fails before the (irreversible) local detach -- ``close()``'s
+        revert-to-open contract then leaves a genuinely still-open interface.
+        """
+        self._wire._check_thread("close")
+        super()._do_close()
+        with self._bridge_lock:
+            self._bridge_handle = None
+        self._wire.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ShardedJxtaTPSEngine(type={self.registry.interface_name}, "
+            f"peer={self._wire.peer.name!r}, shards={len(self.bus.shards)}, "
+            f"attachments={self.attachment_count})"
+        )
+
+
+def _sharded_jxta_binding(request: BindingRequest) -> ShardedJxtaTPSEngine:
+    """The ``"SHARDED+JXTA"`` binding factory.
+
+    Needs a peer (for the wire leg).  The local leg's bus comes from the
+    engine's ``local_bus`` when given (must be a :class:`ShardedLocalBus`),
+    else from the binding parameters -- cached per (peer, parameter set), so
+    one peer's same-parameter interfaces share a bus and different peers
+    never do (a peer models a process).
+    """
+    if request.peer is None:
+        raise PSException(
+            "the SHARDED+JXTA binding needs a peer for its wire leg: "
+            "construct the engine with TPSEngine(EventType, peer=some_peer)"
+        )
+    bus = request_bus(request, scope=request.peer)
+    return ShardedJxtaTPSEngine(
+        request.event_type,
+        request.peer,
+        bus=bus,
+        criteria=request.criteria,
+        codec=request.codec,
+        config=request.config,
+    )
+
+
+register_binding(
+    "SHARDED+JXTA",
+    _sharded_jxta_binding,
+    capabilities=("in-process", "sharded", "distributed", "simulated-network", "composite"),
+    params=SHARDED_BINDING_PARAMS,
+    replace=True,
+)
+
+
+__all__ = [
+    "ShardedJxtaTPSEngine",
+    "TPS_ORIGIN_ELEMENT",
+]

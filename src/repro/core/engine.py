@@ -98,17 +98,25 @@ class TPSEngine(Generic[EventT]):
         criteria: Optional[Criteria] = None,
         instance: Optional[EventT] = None,
         argv: Optional[Sequence[str]] = None,
+        **params: Any,
     ) -> TPSInterface[EventT]:
         """Create a TPS interface bound to the named infrastructure.
 
         Parameters mirror the paper's ``newInterface(String name, Criteria c,
         Type t, String[] arg)``: the binding name (resolved through the
         registry of :mod:`repro.core.bindings` -- ``"JXTA"``, ``"LOCAL"``,
-        ``"SHARDED"`` or anything the application registered), optional
-        advertisement/content filtering criteria, an optional instance of the
-        event type (checked, then ignored -- Python does not need it) and the
-        application's command-line arguments (passed through to the binding
-        factory).
+        ``"SHARDED"``, the composite bindings or anything the application
+        registered), optional advertisement/content filtering criteria, an
+        optional instance of the event type (checked, then ignored -- Python
+        does not need it) and the application's command-line arguments
+        (passed through to the binding factory).
+
+        Any further keyword arguments are *binding parameters*, validated
+        against the binding's declared schema before its factory runs --
+        e.g. ``new_interface("JXTA", search_timeout=2.0)``, or ``shards=16``
+        for the sharded bindings.  Unknown or ill-typed parameters raise
+        :class:`PSException` naming the offending key and the accepted
+        schema.
         """
         self._check_open()
         if instance is not None and not isinstance(instance, self.event_type):
@@ -126,6 +134,7 @@ class TPSEngine(Generic[EventT]):
             codec=self.codec,
             config=self.config,
             local_bus=self.local_bus,
+            params=params,
         )
         interface: TPSInterface[EventT] = spec.create(request)
         with self._lock:
@@ -153,9 +162,10 @@ class TPSEngine(Generic[EventT]):
         criteria: Optional[Criteria] = None,
         instance: Optional[EventT] = None,
         argv: Optional[Sequence[str]] = None,
+        **params: Any,
     ) -> TPSInterface[EventT]:
         """Alias of :meth:`new_interface` matching the paper's listing."""
-        return self.new_interface(name, criteria, instance, argv)
+        return self.new_interface(name, criteria, instance, argv, **params)
 
     # -------------------------------------------------------------- lifecycle
 

@@ -38,7 +38,10 @@ seven signatures above -- ``tests/test_api_surface.py`` pins them):
   raise :class:`PSException` uniformly across all bindings;
 * :meth:`TPSInterface.publish_many` publishes a batch of events in one call
   (bindings may override it with a genuine batch path -- the local binding
-  routes it through the sharded bus's parallel cross-shard fan-out).
+  routes it through the sharded bus's parallel cross-shard fan-out; on a
+  content-keyed :class:`~repro.core.sharded_engine.ShardedLocalBus` even a
+  single hot hierarchy's batch spreads across shards, with per-key order
+  preserved).
 
 Locking model: lifecycle transitions (the close flag flip, open-stream
 registration) serialise on a module-level lock -- they are rare, so sharing
@@ -239,7 +242,8 @@ class TPSInterface(abc.ABC, Generic[EventT]):
         per-event error semantics; bindings with a real batch path override
         it (the local binding hands the whole batch to the bus, and over a
         :class:`~repro.core.sharded_engine.ShardedLocalBus` batches from
-        independent hierarchies run concurrently on the shard executor).
+        independent hierarchies -- or, content-keyed, from independent keys
+        of one hierarchy -- run concurrently on the shard executor).
         """
         self._check_open()
         return [self.publish(event) for event in events]

@@ -27,7 +27,9 @@ message id.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, List, Optional
@@ -37,7 +39,7 @@ from repro.core.advertisements import (
     TPSAdvertisementsCreator,
     TPSAdvertisementsFinder,
 )
-from repro.core.bindings import BindingRequest, register_binding
+from repro.core.bindings import BindingParam, BindingRequest, register_binding
 from repro.core.exceptions import NotInitializedError, PSException
 from repro.core.interface import PublishReceipt, Subscription, TPSInterface
 from repro.core.subscriber import TPSPipeReader, TPSSubscriberManager
@@ -252,7 +254,19 @@ class TPSAdvertisementsManager:
 
 
 class JxtaTPSEngine(TPSInterface):
-    """The TPS interface implemented over the JXTA substrate."""
+    """The TPS interface implemented over the JXTA substrate.
+
+    Thread affinity: the engine is **single-threaded by design** -- it runs
+    on (and mutates) the simulated network's event loop, whose pipes,
+    finders and queues have no locks.  The engine records the thread that
+    created it and every operation that touches the simulated network
+    (``publish``, the subscribe/unsubscribe mutations, wire receive,
+    teardown) raises :class:`PSException` when called from any other
+    thread, instead of silently corrupting network state.  History queries
+    (``objects_received``/``objects_sent``) stay callable from anywhere.  A
+    threaded wire path would need the PR 4 snapshot treatment; until then
+    the guard makes the constraint explicit.
+    """
 
     def __init__(
         self,
@@ -263,6 +277,9 @@ class JxtaTPSEngine(TPSInterface):
         codec: Optional[ObjectCodec] = None,
         config: Optional[TPSConfig] = None,
     ) -> None:
+        #: The simulated-network thread this engine belongs to (see the
+        #: class docstring's thread-affinity contract).
+        self._owner_ident = threading.get_ident()
         self.registry = TypeRegistry(event_type, codec=codec)
         self.peer = peer
         self.criteria = criteria
@@ -284,6 +301,19 @@ class JxtaTPSEngine(TPSInterface):
             self.receive_overhead = 0.0
         self.manager = TPSAdvertisementsManager(self)
         self.manager.start()
+
+    def _check_thread(self, operation: str) -> None:
+        """Raise unless the caller is the engine's owning thread."""
+        ident = threading.get_ident()
+        if ident != self._owner_ident:
+            raise PSException(
+                f"JxtaTPSEngine for {self.registry.interface_name} is "
+                f"single-threaded (it runs on the simulated network's event "
+                f"loop, owned by thread {self._owner_ident}); {operation} was "
+                f"called from thread {ident}.  Use the LOCAL/SHARDED bindings "
+                "for cross-thread traffic, or marshal calls onto the owning "
+                "thread."
+            )
 
     # ------------------------------------------------------------ properties
 
@@ -307,6 +337,7 @@ class JxtaTPSEngine(TPSInterface):
     def publish(self, event: Any) -> PublishReceipt:
         """Publish a typed event to every subscriber of the type (Figure 8, (1))."""
         self._check_open()
+        self._check_thread("publish")
         self.registry.check_publishable(event)
         attachments = [a for a in self.manager.attachments if a.output_pipe is not None]
         if not attachments:
@@ -322,6 +353,7 @@ class JxtaTPSEngine(TPSInterface):
             f"{self.peer.peer_id.to_urn()}/t{next(_tps_message_counter)}",
         )
         message.add(TPS_EVENT_ELEMENT, payload)
+        self._decorate_message(message)
         if self.config.message_padding:
             message.pad_to(self.config.message_padding)
         receipts = [attachment.output_pipe.send(message) for attachment in attachments]
@@ -337,9 +369,18 @@ class JxtaTPSEngine(TPSInterface):
             wire_receipts=receipts,
         )
 
+    def _decorate_message(self, message: Message) -> None:
+        """Hook: add binding-specific elements to an outgoing message.
+
+        The base engine adds nothing; composite bindings tag messages here
+        (e.g. the SHARDED+JXTA origin element that filters same-bus echoes).
+        Runs before padding, so decorations count toward the padded size.
+        """
+
     # ----------------------------------------------------------- subscribing
 
     def _add_subscription(self, subscription: Subscription) -> None:
+        self._check_thread("subscribe")
         self.subscriber_manager.add(subscription)
         self.manager.ensure_readers()
         self.peer.metrics.counter("tps_subscriptions").increment()
@@ -347,6 +388,7 @@ class JxtaTPSEngine(TPSInterface):
     def _remove_subscriptions(
         self, callback: Optional[Any] = None, handler: Optional[Any] = None
     ) -> int:
+        self._check_thread("unsubscribe")
         removed = self.subscriber_manager.remove(callback, handler)
         if self.subscriber_manager.empty:
             # "After this call, no event is received anymore."
@@ -354,6 +396,7 @@ class JxtaTPSEngine(TPSInterface):
         return removed
 
     def _discard_subscription(self, subscription: Subscription) -> int:
+        self._check_thread("subscription cancel")
         removed = self.subscriber_manager.discard(subscription)
         if self.subscriber_manager.empty:
             self.manager.close_readers()
@@ -371,6 +414,7 @@ class JxtaTPSEngine(TPSInterface):
 
     def _on_wire_message(self, message: Message, source: PeerID) -> None:
         """Handle one raw wire message: decode, filter, dispatch."""
+        self._check_thread("wire receive")
         message_id = message.get_text(TPS_MSG_ID_ELEMENT)
         if self.config.duplicate_filtering and message_id:
             # seen() refreshes recency on a hit, keeping actively-duplicated
@@ -406,6 +450,7 @@ class JxtaTPSEngine(TPSInterface):
 
     def _do_close(self) -> None:
         """Stop the finder, close all pipes and drop subscriptions."""
+        self._check_thread("close")
         self.manager.stop()
         self.subscriber_manager.remove()
 
@@ -414,6 +459,41 @@ class JxtaTPSEngine(TPSInterface):
             f"JxtaTPSEngine(type={self.registry.interface_name}, peer={self.peer.name!r}, "
             f"attachments={self.attachment_count})"
         )
+
+
+#: Accepted value types per TPSConfig field annotation (the float fields
+#: accept ints; the int fields reject bools via the extra check below).
+_CONFIG_FIELD_TYPES = {"float": (int, float), "int": (int,), "bool": (bool,)}
+
+
+def _not_bool(value: Any) -> Optional[str]:
+    # bool subclasses int, so plain isinstance checks against the numeric
+    # fields would let ``search_timeout=True`` through as 1.0 -- reject it
+    # explicitly for every non-bool field.
+    if isinstance(value, bool):
+        return f"must be a number, got {value!r}"
+    return None
+
+
+#: The JXTA binding's parameter schema: every :class:`TPSConfig` field is a
+#: per-interface override, so ``new_interface("JXTA", search_timeout=2.0)``
+#: tunes one interface without constructing and threading a whole config.
+JXTA_BINDING_PARAMS = tuple(
+    BindingParam(
+        config_field.name,
+        _CONFIG_FIELD_TYPES.get(str(config_field.type), ()),
+        f"TPSConfig.{config_field.name} override (default {config_field.default!r})",
+        None if str(config_field.type) == "bool" else _not_bool,
+    )
+    for config_field in dataclasses.fields(TPSConfig)
+)
+
+
+def resolve_jxta_config(request: BindingRequest) -> Optional[TPSConfig]:
+    """The request's effective :class:`TPSConfig`: engine config + overrides."""
+    if not request.params:
+        return request.config
+    return dataclasses.replace(request.config or TPSConfig(), **dict(request.params))
 
 
 def _jxta_binding(request: BindingRequest) -> JxtaTPSEngine:
@@ -428,7 +508,7 @@ def _jxta_binding(request: BindingRequest) -> JxtaTPSEngine:
         request.peer,
         criteria=request.criteria,
         codec=request.codec,
-        config=request.config,
+        config=resolve_jxta_config(request),
     )
 
 
@@ -436,13 +516,16 @@ register_binding(
     "JXTA",
     _jxta_binding,
     capabilities=("distributed", "simulated-network"),
+    params=JXTA_BINDING_PARAMS,
     replace=True,
 )
 
 
 __all__ = [
     "BoundedIdSet",
+    "JXTA_BINDING_PARAMS",
     "JxtaTPSEngine",
+    "resolve_jxta_config",
     "TPSAdvertisementsManager",
     "TPSAttachment",
     "TPSConfig",

@@ -289,8 +289,16 @@ def _local_binding(request: BindingRequest) -> LocalTPSEngine:
     )
 
 
+# LOCAL declares an empty parameter schema: everything it needs (bus, codec,
+# criteria) arrives through the engine-level construction arguments, so any
+# ``new_interface("LOCAL", key=...)`` parameter is rejected with the uniform
+# "accepts no parameters" error instead of being silently dropped.
 register_binding(
-    "LOCAL", _local_binding, capabilities=("in-process", "synchronous"), replace=True
+    "LOCAL",
+    _local_binding,
+    capabilities=("in-process", "synchronous"),
+    params=(),
+    replace=True,
 )
 
 

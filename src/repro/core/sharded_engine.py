@@ -2,41 +2,68 @@
 
 The ROADMAP's sharding direction, taken through the public binding registry
 (no special case anywhere in :mod:`repro.core.engine`): a
-:class:`ShardedLocalBus` partitions engines across N independent
-:class:`~repro.core.local_engine.LocalBus` shards by a stable hash of the
-engine's *hierarchy root* name.  TPS routing is entirely intra-hierarchy --
-an event published on one hierarchy can only ever reach engines of the same
-hierarchy (paper, Section 4.2) -- so every engine of a hierarchy lands on
-the same shard and delivery semantics are identical to a single bus, while
-unrelated hierarchies stop sharing routing tables (and, once a concurrent
-bus lands, will stop sharing a lock: each shard keeps the immutable
-route-row design that makes atomic swaps possible).
+:class:`ShardedLocalBus` partitions delivery across N independent
+:class:`~repro.core.local_engine.LocalBus` shards.
+
+Partition contract (the ``partition`` constructor argument and binding
+parameter):
+
+* ``"root"`` (the default) -- *inter*-hierarchy sharding.  Every engine of a
+  hierarchy lands on the shard selected by CRC-32 of the hierarchy-root name
+  (stable across processes and runs -- Python's randomised ``hash()`` would
+  not be), so delivery semantics are identical to a single bus while
+  unrelated hierarchies stop sharing routing tables and locks.
+* ``"content"`` -- *intra*-hierarchy sharding by event content.  Requires
+  ``content_key``, the name of an event attribute; each published event is
+  routed through the shard selected by CRC-32 of
+  ``"<root name>:<key value>"``.  Engines attach to **every** shard (the
+  partition-aware routing path: whichever shard an event hashes to must know
+  the hierarchy's subscribers), each event is still delivered exactly once
+  (only its own shard delivers it), and per-key ordering is preserved: a
+  given key always hashes to the same shard, and a shard's deliveries run
+  serially in publish order -- including under
+  :meth:`ShardedLocalBus.publish_all`, where each shard group runs serially
+  in job order while distinct shards run in parallel.  An event *missing*
+  the declared attribute raises :class:`PSException` from the publish call
+  (the API's normal error path) instead of crashing with ``AttributeError``;
+  the bus stays fully usable afterwards.
+* a callable ``partition(event) -> key`` -- like ``"content"`` but with an
+  application-supplied key function; the returned key is stringified and
+  CRC-32 hashed.  A raising key function is wrapped in :class:`PSException`
+  the same way.
+
+Binding parameters (v2 registry schema): ``new_interface("SHARDED",
+shards=16)`` or ``new_interface("SHARDED", shards=8, partition="content",
+content_key="symbol")``.  Interfaces created with the *same* parameter set
+share one registry-built bus (so they can talk to each other); passing
+parameters together with an explicit engine-level ``local_bus`` is rejected
+-- the parameters describe a bus, so supply one or the other.
 
 :class:`~repro.core.local_engine.LocalTPSEngine` runs over the sharded bus
 unchanged -- the bus is a drop-in facade with the same
 ``attach``/``detach``/``publish``/``engines_for`` surface -- which is the
-point of the exercise: a third binding built purely from public pieces.
+point of the exercise: a binding built purely from public pieces.
 
 Locking model: the shard tuple is immutable, so the facade itself needs no
 lock -- every call delegates to the owning shard, and each shard is a
 :class:`~repro.core.local_engine.LocalBus` that is thread-safe on its own
 (per-shard lifecycle lock, lock-free snapshot publish).  Two publishers on
-*different* hierarchies therefore share no lock at all; the parallel
-cross-shard path (:meth:`ShardedLocalBus.publish_all`, backing
-``tps.publish_many``) leans on exactly that independence, fanning per-shard
-batches out to a lazily created executor while keeping each hierarchy's
-events in publish order (one hierarchy always lands on one shard, and a
-shard's batch runs serially).
+*different* shards therefore share no lock at all; the parallel cross-shard
+path (:meth:`ShardedLocalBus.publish_all`, backing ``tps.publish_many``)
+leans on exactly that independence, fanning per-shard batches out to a
+lazily created executor while keeping each shard's events in job order.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
+import weakref
 import zlib
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Type
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type, Union
 
-from repro.core.bindings import BindingRequest, register_binding
+from repro.core.bindings import BindingParam, BindingRequest, register_binding
 from repro.core.exceptions import PSException
 from repro.core.local_engine import LocalBus, LocalTPSEngine
 from repro.core.type_registry import type_name
@@ -44,20 +71,54 @@ from repro.core.type_registry import type_name
 #: Shard count of the process-wide default sharded bus.
 DEFAULT_SHARD_COUNT = 8
 
+#: The partition modes a bus accepts besides a callable key function.
+PARTITION_MODES = ("root", "content")
+
+_bus_counter = itertools.count(1)
+
 
 class ShardedLocalBus:
-    """N independent :class:`LocalBus` shards, partitioned by hierarchy root.
+    """N independent :class:`LocalBus` shards with a pluggable partition.
 
     Presents the exact ``LocalBus`` surface
     (``attach``/``detach``/``publish``/``engines_for``), delegating each call
-    to the shard owning the engine's hierarchy.  The partition key is the
-    advertised (root type) name hashed with CRC-32, so placement is stable
-    across processes and runs -- Python's randomised ``hash()`` would not be.
+    to the owning shard.  See the module docstring for the partition
+    contract (``"root"``, ``"content"`` + ``content_key``, or a callable).
     """
 
-    def __init__(self, shards: int = DEFAULT_SHARD_COUNT) -> None:
+    def __init__(
+        self,
+        shards: int = DEFAULT_SHARD_COUNT,
+        *,
+        partition: Union[str, Callable[[Any], Any]] = "root",
+        content_key: Optional[str] = None,
+    ) -> None:
         if shards < 1:
             raise PSException(f"a sharded bus needs at least 1 shard, got {shards}")
+        if callable(partition):
+            self.partition: Union[str, Callable[[Any], Any]] = partition
+        elif partition in PARTITION_MODES:
+            self.partition = partition
+        else:
+            raise PSException(
+                f"unknown partition mode {partition!r}; expected one of "
+                f"{PARTITION_MODES} or a callable key function"
+            )
+        if self.partition == "content":
+            if not isinstance(content_key, str) or not content_key:
+                raise PSException(
+                    "partition='content' needs content_key, the name of the "
+                    "event attribute to shard by"
+                )
+        elif content_key is not None:
+            raise PSException(
+                "content_key only applies to partition='content', "
+                f"got content_key={content_key!r} with partition={partition!r}"
+            )
+        self.content_key = content_key
+        #: Process-unique token identifying this bus; composite bindings tag
+        #: wire messages with it to filter same-bus echoes.
+        self.bus_id = f"shardedbus-{next(_bus_counter)}"
         self.shards: Tuple[LocalBus, ...] = tuple(LocalBus() for _ in range(shards))
         #: Executor of the cross-shard batch path, created on first use (a
         #: bus that never sees :meth:`publish_all` never starts a thread)
@@ -72,33 +133,106 @@ class ShardedLocalBus:
         #: deadlock once every worker is a waiter.
         self._local = threading.local()
 
+    # ------------------------------------------------------------ partition
+
+    @property
+    def intra_hierarchy(self) -> bool:
+        """Whether events of one hierarchy can spread across shards."""
+        return self.partition != "root"
+
     def shard_index(self, root_name: str) -> int:
-        """The shard owning the hierarchy advertised as ``root_name``."""
+        """The shard owning the hierarchy advertised as ``root_name``.
+
+        Only meaningful under ``"root"`` partitioning; intra-hierarchy
+        buses attach every hierarchy to every shard and route per event
+        (see :meth:`partition_index`).
+        """
         return zlib.crc32(root_name.encode("utf-8")) % len(self.shards)
 
     def shard_for(self, root_name: str) -> LocalBus:
         """The :class:`LocalBus` shard owning ``root_name``'s hierarchy."""
         return self.shards[self.shard_index(root_name)]
 
+    def partition_key(self, event: Any) -> str:
+        """The content key of ``event`` under this bus's partition.
+
+        Raises :class:`PSException` (never ``AttributeError``) when the
+        declared ``content_key`` attribute is missing or the callable
+        partition function fails -- the publish-side error path.
+        """
+        if self.partition == "content":
+            try:
+                value = getattr(event, self.content_key)  # type: ignore[arg-type]
+            except AttributeError:
+                raise PSException(
+                    f"content-keyed sharding: event {type(event).__name__!r} has "
+                    f"no attribute {self.content_key!r} (declared as this bus's "
+                    "content_key); publish an event carrying the attribute or "
+                    "re-partition the bus"
+                ) from None
+        else:
+            try:
+                value = self.partition(event)  # type: ignore[operator]
+            except PSException:
+                raise
+            except BaseException as error:
+                raise PSException(
+                    f"partition key function {self.partition!r} failed on "
+                    f"{type(event).__name__!r}: {error}"
+                ) from error
+        return str(value)
+
+    def partition_index(self, root_name: str, event: Any) -> int:
+        """The shard that delivers ``event`` published on ``root_name``.
+
+        Under ``"root"`` partitioning this is the hierarchy's home shard;
+        under content/callable partitioning the key is hashed together with
+        the root name, so two hierarchies sharing key values still spread
+        independently.
+        """
+        if not self.intra_hierarchy:
+            return self.shard_index(root_name)
+        key = self.partition_key(event)
+        return zlib.crc32(f"{root_name}:{key}".encode("utf-8")) % len(self.shards)
+
     # ------------------------------------------------- LocalBus facade
 
     def attach(self, engine: "LocalTPSEngine") -> None:
-        """Attach an engine to its hierarchy's shard."""
-        self.shard_for(engine.registry.advertised_name).attach(engine)
+        """Attach an engine: its home shard, or every shard (intra mode)."""
+        if self.intra_hierarchy:
+            for shard in self.shards:
+                shard.attach(engine)
+        else:
+            self.shard_for(engine.registry.advertised_name).attach(engine)
 
     def detach(self, engine: "LocalTPSEngine") -> None:
-        """Detach an engine from its hierarchy's shard."""
-        self.shard_for(engine.registry.advertised_name).detach(engine)
+        """Detach an engine from every shard it was attached to."""
+        if self.intra_hierarchy:
+            for shard in self.shards:
+                shard.detach(engine)
+        else:
+            self.shard_for(engine.registry.advertised_name).detach(engine)
 
     def engines_for(self, root: Type[Any]) -> Tuple["LocalTPSEngine", ...]:
-        """Every engine attached to the hierarchy rooted at ``root``."""
+        """Every engine attached to the hierarchy rooted at ``root``.
+
+        Intra-hierarchy buses keep identical attachment sets on every shard,
+        so the first shard's snapshot is the answer.
+        """
+        if self.intra_hierarchy:
+            return self.shards[0].engines_for(root)
         return self.shard_for(type_name(root)).engines_for(root)
 
     def publish(self, publisher: "LocalTPSEngine", event: Any) -> int:
-        """Deliver through the publisher's shard (same semantics as LocalBus)."""
-        return self.shard_for(publisher.registry.advertised_name).publish(
-            publisher, event
-        )
+        """Deliver through the event's shard (same semantics as LocalBus).
+
+        Under ``"root"`` partitioning the shard is the publisher's home
+        shard; under content/callable partitioning it is the event's --
+        exactly one shard delivers each event, so delivery stays
+        exactly-once and per-key ordering follows from per-shard seriality.
+        """
+        index = self.partition_index(publisher.registry.advertised_name, event)
+        return self.shards[index].publish(publisher, event)
 
     # ------------------------------------------------- cross-shard batches
 
@@ -107,24 +241,25 @@ class ShardedLocalBus:
     ) -> List[int]:
         """Publish a batch of ``(publisher, event)`` jobs, shards in parallel.
 
-        Jobs are grouped by the shard owning each publisher's hierarchy;
-        every group runs *serially in job order* (so per-hierarchy ordering
-        matches a plain publish loop), while distinct groups run concurrently
-        -- the calling thread takes one group itself and the rest go to the
-        bus executor: the payoff of sharding by hierarchy is that two
-        hierarchies' subscribers block, compute and record independently.
-        Returns the per-job delivery counts in job order.  A single-shard
-        batch runs inline on the calling thread: no executor, no handoff,
-        identical cost to looping ``publish``.  A *nested* ``publish_all``
-        (reached from a subscriber callback already running on a pool
-        worker) also runs fully inline -- workers never wait on the pool
-        they occupy, so re-entrant batches cannot deadlock it.
+        Jobs are grouped by the shard that delivers each event (the
+        publisher's home shard under ``"root"`` partitioning, the event's
+        content shard under intra-hierarchy partitioning); every group runs
+        *serially in job order* -- so per-hierarchy (respectively per-key)
+        ordering matches a plain publish loop -- while distinct groups run
+        concurrently: the calling thread takes one group itself and the rest
+        go to the bus executor.  Returns the per-job delivery counts in job
+        order.  A single-shard batch runs inline on the calling thread: no
+        executor, no handoff, identical cost to looping ``publish``.  A
+        *nested* ``publish_all`` (reached from a subscriber callback already
+        running on a pool worker) also runs fully inline -- workers never
+        wait on the pool they occupy, so re-entrant batches cannot deadlock
+        it.
         """
         ordered = list(jobs)
         results: List[int] = [0] * len(ordered)
         groups: Dict[int, List[int]] = {}
-        for position, (publisher, _) in enumerate(ordered):
-            index = self.shard_index(publisher.registry.advertised_name)
+        for position, (publisher, event) in enumerate(ordered):
+            index = self.partition_index(publisher.registry.advertised_name, event)
             groups.setdefault(index, []).append(position)
 
         def run_group(index: int, positions: Sequence[int]) -> None:
@@ -196,45 +331,173 @@ class ShardedLocalBus:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         attached = sum(len(engines) for shard in self.shards for engines in shard._engines.values())
-        return f"ShardedLocalBus(shards={len(self.shards)}, engines={attached})"
+        part = self.partition if isinstance(self.partition, str) else "callable"
+        return (
+            f"ShardedLocalBus(shards={len(self.shards)}, partition={part!r}, "
+            f"engines={attached})"
+        )
 
 
-#: Default process-wide sharded bus, used when the engine supplies no bus.
+#: Default process-wide sharded bus, used when the engine supplies no bus
+#: and no binding parameters.
 DEFAULT_SHARDED_BUS = ShardedLocalBus()
+
+#: Registry-built buses, keyed by the parameter set that described them, so
+#: interfaces created with identical parameters share one bus and can talk.
+_PARAM_BUSES: Dict[Tuple[Any, ...], ShardedLocalBus] = {}
+#: Scoped registry-built buses (composite bindings scope by peer): the scope
+#: is held weakly so caching a bus never pins a peer -- and through it a
+#: whole simulated network -- in memory.
+_SCOPED_BUSES: "weakref.WeakKeyDictionary[Any, Dict[Tuple[Any, ...], ShardedLocalBus]]" = None  # type: ignore[assignment]
+_PARAM_BUSES_LOCK = threading.Lock()
+
+
+def _positive_int(value: Any) -> Optional[str]:
+    if isinstance(value, bool) or value < 1:
+        return f"must be a positive shard count, got {value!r}"
+    return None
+
+
+def _partition_value(value: Any) -> Optional[str]:
+    # Callable partitions are deliberately *not* accepted as binding params:
+    # registry-built buses are shared by parameter equality, and two
+    # identical-looking lambdas compare unequal -- call sites would silently
+    # land on disjoint buses and never hear each other.  A callable partition
+    # needs an explicitly constructed ShardedLocalBus passed as the engine's
+    # local_bus, which makes the sharing decision the application's.
+    if value in PARTITION_MODES:
+        return None
+    if callable(value):
+        return (
+            "callable partitions cannot describe a shared registry-built bus "
+            "(two equal-looking callables compare unequal); construct "
+            "ShardedLocalBus(partition=fn) yourself and pass it as local_bus"
+        )
+    return f"must be one of {PARTITION_MODES}, got {value!r}"
+
+
+#: The parameter schema shared by the SHARDED and SHARDED+JXTA bindings.
+SHARDED_BINDING_PARAMS = (
+    BindingParam(
+        "shards", (int,), "number of independent LocalBus shards", _positive_int
+    ),
+    BindingParam(
+        "partition",
+        (),  # untyped: the check below explains the callable rejection
+        "'root' (per-hierarchy) or 'content' (per event attribute)",
+        _partition_value,
+    ),
+    BindingParam(
+        "content_key", (str,), "event attribute to shard by (partition='content')"
+    ),
+)
+
+
+def resolve_sharded_params(request: BindingRequest) -> Dict[str, Any]:
+    """Normalise a request's sharding parameters into constructor kwargs.
+
+    ``content_key`` alone implies ``partition="content"`` (the common case
+    needs one parameter, not two).  Returns kwargs for
+    :class:`ShardedLocalBus`; combination errors raise :class:`PSException`.
+    """
+    kwargs: Dict[str, Any] = {}
+    if "shards" in request.params:
+        kwargs["shards"] = request.param("shards")
+    partition = request.param("partition")
+    content_key = request.param("content_key")
+    if content_key is not None and partition is None:
+        partition = "content"
+    if partition is not None:
+        kwargs["partition"] = partition
+    if content_key is not None:
+        kwargs["content_key"] = content_key
+    return kwargs
+
+
+def shared_param_bus(
+    request: BindingRequest, *, scope: Any = None
+) -> ShardedLocalBus:
+    """The bus a parameterised binding request resolves to.
+
+    Identical parameter sets (within one ``scope``; composite bindings scope
+    by peer) share one cached bus; no parameters and no scope resolve to the
+    process-wide :data:`DEFAULT_SHARDED_BUS` for backwards compatibility.
+    """
+    global _SCOPED_BUSES
+    kwargs = resolve_sharded_params(request)
+    if not kwargs and scope is None:
+        return DEFAULT_SHARDED_BUS
+    key = (
+        kwargs.get("shards", DEFAULT_SHARD_COUNT),
+        kwargs.get("partition", "root"),
+        kwargs.get("content_key"),
+    )
+    with _PARAM_BUSES_LOCK:
+        if scope is None:
+            cache = _PARAM_BUSES
+        else:
+            if _SCOPED_BUSES is None:
+                _SCOPED_BUSES = weakref.WeakKeyDictionary()
+            cache = _SCOPED_BUSES.setdefault(scope, {})
+        bus = cache.get(key)
+        if bus is None:
+            bus = cache[key] = ShardedLocalBus(**kwargs)
+        return bus
+
+
+def request_bus(request: BindingRequest, *, scope: Any = None) -> ShardedLocalBus:
+    """Resolve the bus of a SHARDED(-composite) request: explicit or built."""
+    bus = request.local_bus
+    if bus is None:
+        return shared_param_bus(request, scope=scope)
+    if not isinstance(bus, ShardedLocalBus):
+        raise PSException(
+            "the SHARDED binding needs a ShardedLocalBus (or no bus at all); "
+            f"got {type(bus).__name__}: construct the engine with "
+            "TPSEngine(EventType, local_bus=ShardedLocalBus(shards=N))"
+        )
+    if resolve_sharded_params(request):
+        raise PSException(
+            "sharding parameters describe a registry-built bus; pass either "
+            "binding params (shards/partition/content_key) or an explicit "
+            "local_bus, not both"
+        )
+    return bus
 
 
 def _sharded_binding(request: BindingRequest) -> LocalTPSEngine:
     """The ``"SHARDED"`` binding factory.
 
     Uses the engine's ``local_bus`` when it already is a
-    :class:`ShardedLocalBus`, falls back to the process-wide default when no
-    bus was given, and rejects a plain ``LocalBus`` (silently unsharding
-    would betray the binding's name).
+    :class:`ShardedLocalBus`, builds (and caches) a bus from the binding
+    parameters when given, falls back to the process-wide default otherwise,
+    and rejects a plain ``LocalBus`` (silently unsharding would betray the
+    binding's name).
     """
-    bus = request.local_bus
-    if bus is None:
-        bus = DEFAULT_SHARDED_BUS
-    elif not isinstance(bus, ShardedLocalBus):
-        raise PSException(
-            "the SHARDED binding needs a ShardedLocalBus (or no bus at all); "
-            f"got {type(bus).__name__}: construct the engine with "
-            "TPSEngine(EventType, local_bus=ShardedLocalBus(shards=N))"
-        )
     return LocalTPSEngine(
         request.event_type,
-        bus=bus,
+        bus=request_bus(request),
         criteria=request.criteria,
         codec=request.codec,
     )
 
 
 register_binding(
-    "SHARDED", _sharded_binding, capabilities=("in-process", "sharded"), replace=True
+    "SHARDED",
+    _sharded_binding,
+    capabilities=("in-process", "sharded"),
+    params=SHARDED_BINDING_PARAMS,
+    replace=True,
 )
 
 
 __all__ = [
     "DEFAULT_SHARDED_BUS",
     "DEFAULT_SHARD_COUNT",
+    "PARTITION_MODES",
+    "SHARDED_BINDING_PARAMS",
     "ShardedLocalBus",
+    "request_bus",
+    "resolve_sharded_params",
+    "shared_param_bus",
 ]

@@ -99,12 +99,23 @@ class TestInitialisationSurface:
     """Section 4.3.2: ``newInterface(String name, Criteria c, Type t, String[] arg)``."""
 
     def test_new_interface_signature_matches_the_paper(self):
-        assert _parameters(TPSEngine.new_interface) == [
-            "name",
-            "criteria",
-            "instance",
-            "argv",
+        # The paper's four arguments, in the paper's order.  The only v2
+        # addition is the trailing ``**params`` catch-all for binding
+        # parameters -- a VAR_KEYWORD slot is invisible to callers following
+        # the paper's listings, so the Section 4.3.2 call sites are intact.
+        signature = inspect.signature(TPSEngine.new_interface)
+        positional = [
+            name
+            for name, parameter in signature.parameters.items()
+            if name != "self" and parameter.kind is not inspect.Parameter.VAR_KEYWORD
         ]
+        assert positional == ["name", "criteria", "instance", "argv"]
+        extras = [
+            parameter
+            for parameter in signature.parameters.values()
+            if parameter.kind is inspect.Parameter.VAR_KEYWORD
+        ]
+        assert [parameter.name for parameter in extras] == ["params"]
 
     def test_new_interface_defaults(self):
         signature = inspect.signature(TPSEngine.new_interface)

@@ -1,0 +1,240 @@
+"""Registry error paths and the parameterised binding factory surface.
+
+Covers the v2 parameter machinery end to end: unknown bindings still list
+the live registry, unknown/ill-typed parameter keys name the offending key
+and the accepted schema, ``registered_bindings(with_params=True)`` reports
+every binding's declared parameter names, and the built-in schemas
+(SHARDED bus construction/sharing, JXTA config overrides, LOCAL's empty
+schema) behave as documented.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+import pytest
+
+from repro.apps.skirental.types import SkiRental
+from repro.core import TPSConfig, TPSEngine
+from repro.core.bindings import (
+    BindingParam,
+    BindingRequest,
+    binding_params,
+    get_binding,
+    register_binding,
+    registered_bindings,
+    unregister_binding,
+)
+from repro.core.exceptions import PSException
+from repro.core.local_engine import LocalBus, LocalTPSEngine
+from repro.core.sharded_engine import DEFAULT_SHARDED_BUS, ShardedLocalBus
+
+
+class TestUnknownBinding:
+    def test_error_lists_live_registry_even_with_params(self):
+        engine = TPSEngine(SkiRental, local_bus=LocalBus())
+        with pytest.raises(PSException) as excinfo:
+            engine.new_interface("CORBA", shards=4)
+        message = str(excinfo.value)
+        for name in registered_bindings():
+            assert repr(name) in message
+
+    def test_composite_binding_is_registered(self):
+        assert "SHARDED+JXTA" in registered_bindings()
+        assert get_binding("sharded+jxta").name == "SHARDED+JXTA"
+
+
+class TestParamValidationErrors:
+    def test_unknown_key_names_key_and_schema(self):
+        engine = TPSEngine(SkiRental)
+        with pytest.raises(PSException) as excinfo:
+            engine.new_interface("SHARDED", bogus=1)
+        message = str(excinfo.value)
+        assert "'bogus'" in message
+        for declared in ("shards", "partition", "content_key"):
+            assert declared in message
+
+    def test_wrong_type_names_key_and_expectation(self):
+        engine = TPSEngine(SkiRental)
+        with pytest.raises(PSException) as excinfo:
+            engine.new_interface("SHARDED", shards="many")
+        message = str(excinfo.value)
+        assert "'shards'" in message and "int" in message and "'many'" in message
+
+    def test_value_check_failures_name_the_key(self):
+        engine = TPSEngine(SkiRental)
+        with pytest.raises(PSException) as excinfo:
+            engine.new_interface("SHARDED", shards=0)
+        assert "'shards'" in str(excinfo.value)
+        with pytest.raises(PSException) as excinfo:
+            engine.new_interface("SHARDED", partition="bogus-mode")
+        assert "'partition'" in str(excinfo.value)
+
+    def test_no_param_binding_rejects_everything(self):
+        engine = TPSEngine(SkiRental, local_bus=LocalBus())
+        with pytest.raises(PSException) as excinfo:
+            engine.new_interface("LOCAL", anything=1)
+        message = str(excinfo.value)
+        assert "accepts no parameters" in message and "'anything'" in message
+
+    def test_validation_runs_before_the_factory(self):
+        # The JXTA factory requires a peer, but an unknown param must be
+        # reported first: validation precedes construction.
+        engine = TPSEngine(SkiRental)  # no peer
+        with pytest.raises(PSException) as excinfo:
+            engine.new_interface("JXTA", bogus_timeout=1.0)
+        assert "'bogus_timeout'" in str(excinfo.value)
+
+    def test_bool_rejected_where_int_expected(self):
+        engine = TPSEngine(SkiRental)
+        with pytest.raises(PSException) as excinfo:
+            engine.new_interface("JXTA", duplicate_cache_size=True)
+        assert "'duplicate_cache_size'" in str(excinfo.value)
+
+
+class TestRegistryIntrospection:
+    def test_registered_bindings_reports_declared_parameter_names(self):
+        report = registered_bindings(with_params=True)
+        assert report["LOCAL"] == ()
+        assert report["SHARDED"] == ("shards", "partition", "content_key")
+        assert report["SHARDED+JXTA"] == ("shards", "partition", "content_key")
+        assert "search_timeout" in report["JXTA"]
+        # Same name set as the plain listing, same sorted order.
+        assert list(report) == list(registered_bindings())
+
+    def test_binding_params_exposes_the_schema_objects(self):
+        params = binding_params("SHARDED")
+        by_name = {param.name: param for param in params}
+        assert by_name["shards"].types == (int,)
+        assert by_name["content_key"].types == (str,)
+        assert all(param.description for param in params)
+
+    def test_jxta_schema_mirrors_tpsconfig_fields(self):
+        import dataclasses
+
+        declared = set(get_binding("JXTA").param_names)
+        assert declared == {f.name for f in dataclasses.fields(TPSConfig)}
+
+
+class TestShardedParams:
+    def test_same_params_share_one_bus(self):
+        a = TPSEngine(SkiRental).new_interface("SHARDED", shards=5)
+        b = TPSEngine(SkiRental).new_interface("SHARDED", shards=5)
+        assert a.bus is b.bus
+        assert len(a.bus.shards) == 5
+        inbox: List[Any] = []
+        b.subscribe(inbox.append)
+        a.publish(SkiRental("shop", 10.0, "brand", 1))
+        assert len(inbox) == 1
+
+    def test_different_params_build_different_buses(self):
+        a = TPSEngine(SkiRental).new_interface("SHARDED", shards=5)
+        b = TPSEngine(SkiRental).new_interface("SHARDED", shards=6)
+        assert a.bus is not b.bus
+
+    def test_no_params_keeps_the_process_default_bus(self):
+        interface = TPSEngine(SkiRental).new_interface("SHARDED")
+        assert interface.bus is DEFAULT_SHARDED_BUS
+
+    def test_content_key_implies_content_partition(self):
+        interface = TPSEngine(SkiRental).new_interface(
+            "SHARDED", shards=3, content_key="shop"
+        )
+        assert interface.bus.partition == "content"
+        assert interface.bus.content_key == "shop"
+        assert interface.bus.intra_hierarchy
+
+    def test_params_with_explicit_bus_rejected(self):
+        engine = TPSEngine(SkiRental, local_bus=ShardedLocalBus(shards=2))
+        with pytest.raises(PSException) as excinfo:
+            engine.new_interface("SHARDED", shards=4)
+        assert "local_bus" in str(excinfo.value)
+
+    def test_plain_local_bus_still_rejected(self):
+        engine = TPSEngine(SkiRental, local_bus=LocalBus())
+        with pytest.raises(PSException):
+            engine.new_interface("SHARDED")
+
+
+class TestJxtaConfigOverrides:
+    def test_params_override_config_fields(self, two_peers):
+        peer, _, builder = two_peers
+        interface = TPSEngine(SkiRental, peer=peer).new_interface(
+            "JXTA", search_timeout=1.5, duplicate_filtering=False
+        )
+        assert interface.config.search_timeout == 1.5
+        assert interface.config.duplicate_filtering is False
+        # Unspecified fields keep their defaults.
+        assert interface.config.create_if_missing is True
+
+    def test_params_layer_on_top_of_an_engine_config(self, two_peers):
+        peer, _, builder = two_peers
+        base = TPSConfig(search_timeout=9.0, message_padding=128)
+        interface = TPSEngine(SkiRental, peer=peer, config=base).new_interface(
+            "JXTA", search_timeout=1.0
+        )
+        assert interface.config.search_timeout == 1.0
+        assert interface.config.message_padding == 128
+        # The engine's config object itself is untouched.
+        assert base.search_timeout == 9.0
+
+
+class TestCustomBindingParams:
+    def test_custom_schema_via_public_api(self):
+        seen: List[BindingRequest] = []
+
+        def factory(request: BindingRequest) -> LocalTPSEngine:
+            seen.append(request)
+            return LocalTPSEngine(request.event_type, bus=LocalBus())
+
+        register_binding(
+            "PARAMETRIC",
+            factory,
+            params=[
+                BindingParam("level", (int,), "verbosity"),
+                "label",  # bare name: untyped parameter
+            ],
+        )
+        try:
+            engine = TPSEngine(SkiRental)
+            engine.new_interface("PARAMETRIC", level=3, label=object())
+            (request,) = seen
+            assert request.param("level") == 3
+            assert request.param("missing", "fallback") == "fallback"
+            with pytest.raises(PSException) as excinfo:
+                engine.new_interface("PARAMETRIC", level="high")
+            assert "'level'" in str(excinfo.value)
+            with pytest.raises(PSException) as excinfo:
+                engine.new_interface("PARAMETRIC", other=1)
+            assert "level" in str(excinfo.value) and "label" in str(excinfo.value)
+        finally:
+            assert unregister_binding("PARAMETRIC")
+
+    def test_duplicate_param_declaration_rejected(self):
+        with pytest.raises(PSException):
+            register_binding(
+                "DUPPARAM", lambda request: None, params=["a", BindingParam("a")]
+            )
+        assert "DUPPARAM" not in registered_bindings()
+
+
+class TestReviewRegressions:
+    def test_callable_partition_param_rejected_with_guidance(self):
+        # Registry-built buses share by parameter equality; two equal-looking
+        # lambdas compare unequal, so callables must be rejected at the
+        # params layer (construct the bus explicitly instead).
+        engine = TPSEngine(SkiRental)
+        with pytest.raises(PSException) as excinfo:
+            engine.new_interface("SHARDED", partition=lambda event: event.shop)
+        message = str(excinfo.value)
+        assert "'partition'" in message and "local_bus" in message
+        # The explicit-bus route still supports callables.
+        bus = ShardedLocalBus(2, partition=lambda event: event.shop)
+        interface = TPSEngine(SkiRental, local_bus=bus).new_interface("SHARDED")
+        assert interface.bus is bus
+
+    def test_bool_rejected_for_float_config_overrides(self):
+        engine = TPSEngine(SkiRental)
+        with pytest.raises(PSException) as excinfo:
+            engine.new_interface("JXTA", search_timeout=True)
+        assert "'search_timeout'" in str(excinfo.value)

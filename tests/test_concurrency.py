@@ -35,6 +35,10 @@ from repro.core.exceptions import PSException
 from repro.core.local_engine import LocalBus, LocalTPSEngine
 from repro.core.sharded_engine import ShardedLocalBus
 
+#: The whole module is wall-clock stress testing: marked so a fast local
+#: loop can deselect it (``-m "not slow"``) while tier-1 runs everything.
+pytestmark = [pytest.mark.slow, pytest.mark.stress]
+
 #: Hard wall-clock ceiling for any single test's thread group.
 DEADLINE_S = 20.0
 

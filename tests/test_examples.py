@@ -78,3 +78,14 @@ def test_reproduce_figures_single_figure(capsys):
     output = _run_example("reproduce_figures.py", capsys, argv=["--figure", "code-size"])
     assert "programming effort" in output
     assert "SR-TPS application" in output
+
+
+def test_hot_hierarchy_example(capsys):
+    output = _run_example("hot_hierarchy.py", capsys)
+    assert "registered bindings: JXTA, LOCAL, SHARDED, SHARDED+JXTA" in output
+    assert "4 shards, partition='content'" in output
+    assert "delivered 24/24 trades" in output
+    assert "SKI trades arrived in publish order: True" in output
+    assert "same-peer desk saw it synchronously: True" in output
+    assert "remote desk received over the wire: True" in output
+    assert "exactly once on both paths: True" in output

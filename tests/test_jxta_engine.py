@@ -246,3 +246,79 @@ class TestPublishSubscribe:
         receipt = publisher.publish(SkiRental("s", 1.0, "b", 1))
         # Padding shows up in the serialisation cost accounted by the wire.
         assert receipt.cpu_time > 1910 * publisher.peer.cost_model.per_byte
+
+
+class TestThreadAffinity:
+    """The engine is single-threaded by design (it mutates the simulated
+    network's lock-free event loop); cross-thread use must raise a clear
+    PSException instead of silently corrupting network state."""
+
+    def _cross_thread(self, fn):
+        """Run ``fn`` on a fresh thread; return the exception it raised."""
+        import threading
+
+        caught = []
+
+        def run():
+            try:
+                fn()
+            except BaseException as error:  # noqa: BLE001 - collected for assert
+                caught.append(error)
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        return caught[0] if caught else None
+
+    def test_cross_thread_publish_raises_psexception(self, lan):
+        from repro.core.exceptions import PSException
+
+        publisher, subs, collected = _pub_sub(lan)
+        error = self._cross_thread(
+            lambda: publisher.publish(SkiRental("s", 1.0, "b", 1))
+        )
+        assert isinstance(error, PSException)
+        assert "single-threaded" in str(error)
+        # Nothing was sent, and the owning thread keeps working normally.
+        assert publisher.objects_sent() == []
+        receipt = publisher.publish(SkiRental("s", 2.0, "b", 1))
+        lan.simulator.run_until(max(lan.simulator.now, receipt.completion_time))
+        lan.settle(rounds=8)
+        assert [e.price for e in collected[0]] == [2.0]
+
+    def test_cross_thread_subscribe_and_unsubscribe_raise(self, lan):
+        from repro.core.exceptions import PSException
+
+        publisher, (subscriber,), _collected = _pub_sub(lan)
+        error = self._cross_thread(lambda: subscriber.subscribe(lambda event: None))
+        assert isinstance(error, PSException)
+        assert "single-threaded" in str(error)
+        error = self._cross_thread(lambda: subscriber.unsubscribe())
+        assert isinstance(error, PSException)
+
+    def test_cross_thread_handle_cancel_raises(self, lan):
+        from repro.core.exceptions import PSException
+
+        _publisher, (subscriber,), _collected = _pub_sub(lan)
+        resident = len(subscriber.subscriber_manager)
+        callback = lambda event: None  # noqa: E731 - needs identity for unsubscribe
+        handle = subscriber.subscribe(callback)
+        error = self._cross_thread(handle.cancel)
+        assert isinstance(error, PSException)
+        # The failed cross-thread cancel burned the handle's one-shot flag;
+        # the subscription itself is still registered and removable from the
+        # owning thread via the Figure 8 surface.
+        assert len(subscriber.subscriber_manager) == resident + 1
+        assert subscriber.unsubscribe(callback) == 1
+
+    def test_history_queries_allowed_from_any_thread(self, lan):
+        publisher, _subs, _collected = _pub_sub(lan)
+        results = []
+        error = self._cross_thread(
+            lambda: results.append(
+                (publisher.objects_sent(), publisher.objects_received())
+            )
+        )
+        assert error is None
+        assert results == [([], [])]

@@ -84,6 +84,8 @@ class TestPerfSuite:
             "fanout_iterations", "churn_iterations", "churn_resident",
             "filtered_iterations", "filtered_subscribers",
             "mt_publishers", "mt_events", "mt_subscribers", "mt_io_s",
+            "intra_shards", "intra_keys", "intra_events",
+            "intra_subscribers", "intra_io_s",
             "figure19_events", "figure20_duration", "figure20_events",
         }
         for name, profile in PROFILES.items():
@@ -125,6 +127,37 @@ class TestPerfSuite:
         }
         problems = validate_document(document)
         assert any("mt_fanout" in problem for problem in problems)
+
+    def test_schema_covers_the_intra_shard_section(self):
+        """The PR-5 section (content-keyed intra-hierarchy sharding) is part
+        of the contract: a document missing it must fail validation."""
+        assert "intra_shard_fanout" in COMPARISON_NAMES
+        document = {
+            "schema": SCHEMA, "version": "x", "unix_time": 1.0,
+            "profile": "full", "comparisons": [], "scenarios": [],
+        }
+        problems = validate_document(document)
+        assert any("intra_shard_fanout" in problem for problem in problems)
+
+    def test_intra_shard_keys_cover_every_shard(self):
+        """The benchmark's key corpus must actually reach all content
+        shards for the committed profiles, or the recorded speedup would
+        silently measure partial parallelism."""
+        from repro.bench.perf import PROFILES, _HotEvent
+        from repro.core.sharded_engine import ShardedLocalBus
+        from repro.core.type_registry import type_name
+
+        root = type_name(_HotEvent)
+        for profile in PROFILES.values():
+            shards = profile["intra_shards"]
+            bus = ShardedLocalBus(
+                shards=shards, partition="content", content_key="key"
+            )
+            hit = {
+                bus.partition_index(root, _HotEvent(key=f"key-{index}"))
+                for index in range(profile["intra_keys"])
+            }
+            assert hit == set(range(shards))
 
     def test_mt_fanout_event_types_cover_distinct_shards(self):
         """The greedy hierarchy selection must place each benchmark
@@ -170,6 +203,9 @@ class TestPerfSuite:
         assert by_name["filtered_fanout"]["speedup"] > 1.0
         assert by_name["subscribe_churn"]["speedup"] > 1.0
         assert by_name["mt_fanout"]["speedup"] >= 1.5
+        # PR 5: content-keyed intra-hierarchy sharding beats the 1-shard
+        # baseline on the single hot hierarchy.
+        assert by_name["intra_shard_fanout"]["speedup"] > 1.0
 
 
 class TestPerfCli:

@@ -55,7 +55,11 @@ replica of the pre-optimisation (seed) hot path running in the same process:
 
 Two *scenario* entries record the real wall-clock cost of running the
 simulated Figure 19/20 experiments (SR-TPS variant), so regressions in the
-simulator's own hot path show up too.
+simulator's own hot path show up too.  A third scenario, ``lossy_publish``,
+runs the at-least-once wire protocol (``reliable_delivery=True``) over a
+fault-injected network at 0%/1%/5% link drop and records the per-rate
+wall-clock plus delivery/retry counters -- the real cost of the ack/retry
+machinery as loss grows.
 
 The JSON schema (``repro-bench/v1``) is validated by
 ``tests/test_perf_harness.py``; the committed ``BENCH_*.json`` files form the
@@ -111,7 +115,11 @@ BASELINE_COMPARISON_NAMES = (
 )
 
 #: Scenario names every suite run must produce (schema contract).
-SCENARIO_NAMES = ("figure19_sr_tps", "figure20_sr_tps")
+SCENARIO_NAMES = ("figure19_sr_tps", "figure20_sr_tps", "lossy_publish")
+
+#: The pre-PR-6 scenario set: the minimum every historical repro-bench/v1
+#: document contains (``lossy_publish`` arrived with the reliability layer).
+BASELINE_SCENARIO_NAMES = ("figure19_sr_tps", "figure20_sr_tps")
 
 #: Iteration counts per profile.  ``full`` is what BENCH_*.json files are
 #: generated with; ``quick`` is for interactive runs; ``smoke`` exists so the
@@ -138,6 +146,7 @@ PROFILES: Dict[str, Dict[str, Any]] = {
         "figure19_events": 100,
         "figure20_duration": 10.0,
         "figure20_events": 2_000,
+        "lossy_events": 60,
     },
     "quick": {
         "repeats": 3,
@@ -160,6 +169,7 @@ PROFILES: Dict[str, Dict[str, Any]] = {
         "figure19_events": 40,
         "figure20_duration": 4.0,
         "figure20_events": 400,
+        "lossy_events": 20,
     },
     "smoke": {
         "repeats": 1,
@@ -182,8 +192,12 @@ PROFILES: Dict[str, Dict[str, Any]] = {
         "figure19_events": 10,
         "figure20_duration": 1.0,
         "figure20_events": 10,
+        "lossy_events": 4,
     },
 }
+
+#: Link drop probabilities exercised by the ``lossy_publish`` scenario.
+LOSSY_DROP_RATES = (0.0, 0.01, 0.05)
 
 
 @dataclass
@@ -785,7 +799,78 @@ def _bench_scenarios(profile: Dict[str, Any]) -> List[Dict[str, Any]]:
             "received_total": sum(series20.per_second),
         }
     )
+    scenarios.append(_bench_lossy_publish(profile))
     return scenarios
+
+
+def _bench_lossy_publish(profile: Dict[str, Any]) -> Dict[str, Any]:
+    """Wall-clock cost of reliable publishing over increasingly lossy links.
+
+    For each rate in :data:`LOSSY_DROP_RATES` the same small JXTA testbed
+    (one rendez-vous, one publisher, one subscriber, ``reliable_delivery``
+    on) publishes ``lossy_events`` events over a network whose links drop
+    packets with that probability -- a seeded
+    :class:`~repro.net.faults.FaultPlan`, so every run is deterministic.
+    The per-rate figures record the ack/retry machinery's real cost growing
+    with loss while delivery stays complete (retries climb, delivered stays
+    at the published count, terminal failures stay at zero).
+    """
+    from repro.core import TPSConfig, TPSEngine
+    from repro.jxta.platform import JxtaNetworkBuilder
+    from repro.net.faults import FaultPlan, LinkFaults
+
+    events = profile["lossy_events"]
+    reliable = {"reliable_delivery": True}
+    rates: List[Dict[str, Any]] = []
+    total_wall = 0.0
+    for rate in LOSSY_DROP_RATES:
+        builder = JxtaNetworkBuilder(seed=2002)
+        builder.add_rendezvous("rdv-0")
+        pub_peer = builder.add_peer("bench-pub")
+        publisher = TPSEngine(
+            SkiRental,
+            peer=pub_peer,
+            config=TPSConfig(search_timeout=2.0, **reliable),
+        ).new_interface("JXTA")
+        builder.settle(rounds=8)
+        sub_peer = builder.add_peer("bench-sub")
+        subscriber = TPSEngine(
+            SkiRental,
+            peer=sub_peer,
+            config=TPSConfig(search_timeout=6.0, create_if_missing=False, **reliable),
+        ).new_interface("JXTA")
+        inbox: List[Any] = []
+        subscriber.subscribe(inbox.append)
+        builder.settle(rounds=12)
+        # The plan is installed only after discovery has converged, so every
+        # publish (and its acks and retries) crosses the lossy link.
+        builder.network.fault_plan = FaultPlan(seed=6, default=LinkFaults(drop=rate))
+        start = time.perf_counter()
+        for index in range(events):
+            receipt = publisher.publish(SkiRental("bench", 10.0 + index, "b", 1))
+            builder.simulator.run_until(
+                max(builder.simulator.now, receipt.completion_time)
+            )
+        builder.settle(rounds=16)  # drain the retry window
+        wall = time.perf_counter() - start
+        total_wall += wall
+        counters = pub_peer.metrics.counters()
+        rates.append(
+            {
+                "drop_rate": rate,
+                "wall_clock_s": round(wall, 4),
+                "published": events,
+                "delivered": len(inbox),
+                "retries": counters.get("wire_retries", 0),
+                "delivery_failures": counters.get("wire_delivery_failed", 0),
+            }
+        )
+    return {
+        "name": "lossy_publish",
+        "wall_clock_s": round(total_wall, 4),
+        "events_per_rate": events,
+        "rates": rates,
+    }
 
 
 # -------------------------------------------------------------------- suite
@@ -818,11 +903,13 @@ def validate_document(
     document: Dict[str, Any],
     *,
     required_comparisons: "tuple[str, ...]" = COMPARISON_NAMES,
+    required_scenarios: "tuple[str, ...]" = SCENARIO_NAMES,
 ) -> List[str]:
     """Return every schema violation in a suite document (empty = valid).
 
-    ``required_comparisons`` defaults to the full current set; pass
-    :data:`BASELINE_COMPARISON_NAMES` when validating a historical
+    ``required_comparisons`` and ``required_scenarios`` default to the full
+    current sets; pass :data:`BASELINE_COMPARISON_NAMES` /
+    :data:`BASELINE_SCENARIO_NAMES` when validating a historical
     ``BENCH_*.json`` generated before newer sections existed.
     """
     problems: List[str] = []
@@ -841,7 +928,7 @@ def validate_document(
             if not isinstance(value, (int, float)) or value <= 0:
                 problems.append(f"comparison {entry.get('name')!r}: bad {key}={value!r}")
     scenario_names = [entry.get("name") for entry in document.get("scenarios", [])]
-    for expected in SCENARIO_NAMES:
+    for expected in required_scenarios:
         if expected not in scenario_names:
             problems.append(f"missing scenario {expected!r}")
     for entry in document.get("scenarios", []):
@@ -879,8 +966,10 @@ def write_suite(path: str, document: Optional[Dict[str, Any]] = None, *, profile
 
 __all__ = [
     "BASELINE_COMPARISON_NAMES",
+    "BASELINE_SCENARIO_NAMES",
     "COMPARISON_NAMES",
     "Comparison",
+    "LOSSY_DROP_RATES",
     "PROFILES",
     "SCENARIO_NAMES",
     "SCHEMA",

@@ -121,6 +121,18 @@ class ShardedJxtaTPSEngine(LocalTPSEngine):
             # The local leg already attached to the bus; don't leak it.
             self.bus.detach(self)
             raise
+        # Crash containment covers *this* interface's subscribers (the wire
+        # leg's bridge subscription must never be quarantined -- it is the
+        # composite's only remote inlet), so the breaker policy is installed
+        # on the composite's own manager, on the wire leg's virtual clock.
+        wire_config = self._wire.config
+        if wire_config.breaker_threshold > 0:
+            self.subscriber_manager.set_breaker_policy(
+                wire_config.breaker_threshold,
+                wire_config.breaker_cooldown,
+                clock=lambda: self._wire.peer.now,
+                listener=self._wire._on_breaker_transition,
+            )
 
     # ------------------------------------------------------------ properties
 

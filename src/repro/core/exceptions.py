@@ -41,8 +41,29 @@ class TypeMismatchError(PSException):
     """Raised when an object of the wrong type is published on a typed interface."""
 
 
+class DeliveryFailedError(PSException):
+    """A reliable publish terminally failed for at least one target.
+
+    Raised *asynchronously*: the wire layer retries with backoff and only
+    gives up after ``max_delivery_attempts``, so the failure is routed to the
+    engine's ``delivery_failure_handler`` (or, absent one, to every
+    subscription's exception handler) instead of the original ``publish()``
+    call, which returned long ago in virtual time.  Carries the wire-level
+    :class:`~repro.jxta.wire.DeliveryFailure` describing the message, target
+    and attempt count.
+    """
+
+    def __init__(self, failure) -> None:
+        super().__init__(
+            f"delivery of {failure.wire_message_id} to {failure.target_urn} "
+            f"failed after {failure.attempts} attempts"
+        )
+        self.failure = failure
+
+
 __all__ = [
     "CallBackException",
+    "DeliveryFailedError",
     "NotInitializedError",
     "PSException",
     "TypeMismatchError",

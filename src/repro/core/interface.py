@@ -95,6 +95,10 @@ class Subscription:
     #: Pushed-down event filter: when set, events it rejects are skipped in
     #: the dispatch rows themselves and never reach the callback.
     predicate: Optional[Callable[[Any], bool]] = None
+    #: Crash-containment circuit breaker (see
+    #: :class:`repro.core.subscriptions.CircuitBreaker`); attached by the
+    #: manager when a breaker policy is configured, None otherwise.
+    breaker: Optional[Any] = None
 
     def matches(self, callback: Any, handler: Any = None) -> bool:
         """Whether this subscription was registered with the given objects."""
@@ -111,12 +115,48 @@ class PublishReceipt:
     Captures the virtual CPU time the publish call charged to the publishing
     peer (the paper's Figure 18 "invocation time") and the per-pipe send
     receipts from the wire service.
+
+    When the binding publishes over the reliable wire protocol, the wire
+    receipts carry live :class:`~repro.jxta.wire.DeliveryTracker` objects;
+    the ``delivery_*``/``retry_count`` helpers aggregate them (and stay
+    zero/empty for bindings without trackers, e.g. LOCAL or the composite's
+    local-delivery count entry).
     """
 
     cpu_time: float
     completion_time: float
     pipes: int
     wire_receipts: List[Any] = field(default_factory=list)
+
+    @property
+    def delivery_trackers(self) -> List[Any]:
+        """The per-send reliable-delivery trackers (empty without reliability)."""
+        trackers = []
+        for receipt in self.wire_receipts:
+            tracker = getattr(receipt, "tracker", None)
+            if tracker is not None:
+                trackers.append(tracker)
+        return trackers
+
+    @property
+    def retry_count(self) -> int:
+        """Total retransmissions performed (so far) for this publish."""
+        return sum(tracker.retries for tracker in self.delivery_trackers)
+
+    @property
+    def acked_targets(self) -> int:
+        """Targets that acknowledged delivery (so far)."""
+        return sum(len(tracker.acked) for tracker in self.delivery_trackers)
+
+    @property
+    def failed_targets(self) -> int:
+        """Targets for which delivery terminally failed."""
+        return sum(len(tracker.failed) for tracker in self.delivery_trackers)
+
+    @property
+    def delivery_settled(self) -> bool:
+        """Whether every tracked target reached a terminal state (True when untracked)."""
+        return all(tracker.settled for tracker in self.delivery_trackers)
 
 
 class TPSInterface(abc.ABC, Generic[EventT]):

@@ -30,9 +30,8 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import threading
-from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Any, List, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
 
 from repro.core.advertisements import (
     PS_PREFIX,
@@ -40,15 +39,16 @@ from repro.core.advertisements import (
     TPSAdvertisementsFinder,
 )
 from repro.core.bindings import BindingParam, BindingRequest, register_binding
-from repro.core.exceptions import NotInitializedError, PSException
+from repro.core.exceptions import DeliveryFailedError, NotInitializedError, PSException
 from repro.core.interface import PublishReceipt, Subscription, TPSInterface
 from repro.core.subscriber import TPSPipeReader, TPSSubscriberManager
 from repro.core.type_registry import Criteria, TypeRegistry, type_name
 from repro.core.wire_finder import TPSMyInputPipe, TPSMyOutputPipe, TPSWireServiceFinder
 from repro.jxta.advertisement import PeerGroupAdvertisement
-from repro.jxta.ids import PeerID
+from repro.jxta.ids import BoundedIdSet, PeerID
 from repro.jxta.message import Message
 from repro.jxta.peer import Peer
+from repro.jxta.wire import DeliveryFailure, WireReliability
 from repro.serialization.object_codec import ObjectCodec
 
 _tps_message_counter = itertools.count(1)
@@ -96,6 +96,36 @@ class TPSConfig:
     message_padding:
         When positive, pad published messages to this many bytes (the paper's
         measurements use 1910-byte messages).
+    reliable_delivery:
+        Whether to run the wire layer's at-least-once protocol (per-message
+        acks, retries with capped exponential backoff, receiver-side dedup
+        and per-source ordering).  Off by default: the clean-network cost
+        profile of the paper's measurements stays untouched unless asked for.
+    ack_timeout:
+        Base virtual-seconds wait for a delivery ack before the first retry
+        (doubled per attempt up to ``retry_backoff_cap``).
+    max_delivery_attempts:
+        Terminal give-up point of the retry loop; the failure is then routed
+        to :attr:`JxtaTPSEngine.delivery_failure_handler` (or every
+        subscription's exception handler), never silently dropped.
+    retry_backoff / retry_backoff_cap / retry_jitter:
+        Shape of the retry schedule: per-attempt multiplier, cap on the
+        backoff delay, and proportional jitter (drawn off the simulation
+        clock's seeded noise, so runs stay deterministic).
+    ordered_delivery:
+        Whether reliable receivers hold back out-of-order messages to
+        preserve per-source publish order (see ``WireReliability.ordered``).
+    order_gap_timeout:
+        How long a reliable receiver waits for a missing sequence number
+        before abandoning the gap (must exceed the full retry window, or an
+        actually-lost message would wedge its channel forever).
+    breaker_threshold:
+        Consecutive-failure count at which a subscription's callback is
+        quarantined by a circuit breaker.  Zero (default) disables crash
+        containment entirely.
+    breaker_cooldown:
+        Virtual seconds a tripped breaker stays open before probing the
+        callback again (half-open state).
     """
 
     search_timeout: float = 3.0
@@ -105,47 +135,31 @@ class TPSConfig:
     duplicate_filtering: bool = True
     duplicate_cache_size: int = 8192
     message_padding: int = 0
+    reliable_delivery: bool = False
+    ack_timeout: float = 0.25
+    max_delivery_attempts: int = 6
+    retry_backoff: float = 2.0
+    retry_backoff_cap: float = 2.0
+    retry_jitter: float = 0.2
+    ordered_delivery: bool = True
+    order_gap_timeout: float = 6.0
+    breaker_threshold: int = 0
+    breaker_cooldown: float = 30.0
 
-
-class BoundedIdSet:
-    """An LRU-bounded set of message ids for duplicate filtering.
-
-    Membership and insertion are O(1); once ``capacity`` ids are held, adding
-    a new id evicts the least recently seen one, so the duplicate filter's
-    memory stays constant under sustained traffic.  A non-positive capacity
-    disables eviction entirely.
-    """
-
-    __slots__ = ("capacity", "_entries")
-
-    def __init__(self, capacity: int = 0) -> None:
-        self.capacity = capacity
-        self._entries: "OrderedDict[str, None]" = OrderedDict()
-
-    def __contains__(self, item: str) -> bool:
-        return item in self._entries
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def add(self, item: str) -> None:
-        """Record ``item`` as seen, evicting the oldest id beyond capacity."""
-        self.seen(item)
-
-    def seen(self, item: str) -> bool:
-        """Record ``item``; True if it was already present (a duplicate).
-
-        A hit refreshes the id's recency, so ids that keep producing
-        duplicates stay protected from eviction (LRU, not FIFO).
-        """
-        entries = self._entries
-        if item in entries:
-            entries.move_to_end(item)
-            return True
-        entries[item] = None
-        if 0 < self.capacity < len(entries):
-            entries.popitem(last=False)
-        return False
+    def wire_reliability(self) -> Optional[WireReliability]:
+        """The wire-layer reliability spec this config asks for (None when off)."""
+        if not self.reliable_delivery:
+            return None
+        return WireReliability(
+            ack_timeout=self.ack_timeout,
+            max_attempts=self.max_delivery_attempts,
+            backoff=self.retry_backoff,
+            backoff_cap=self.retry_backoff_cap,
+            jitter=self.retry_jitter,
+            ordered=self.ordered_delivery,
+            gap_timeout=self.order_gap_timeout,
+            dedup_capacity=self.duplicate_cache_size,
+        )
 
 
 @dataclass
@@ -224,7 +238,12 @@ class TPSAdvertisementsManager:
             return
         finder = TPSWireServiceFinder(self.engine.peer.world_group, advertisement)
         finder.lookup_wire_service()
-        output_pipe = finder.create_output_pipe(extra_send_cost=self.engine.send_overhead)
+        output_pipe = finder.create_output_pipe(
+            extra_send_cost=self.engine.send_overhead,
+            reliability=self.engine.reliability,
+        )
+        if self.engine.reliability is not None:
+            output_pipe.add_failure_listener(self.engine._on_delivery_failure)
         attachment = TPSAttachment(
             advertisement=advertisement, finder=finder, output_pipe=output_pipe
         )
@@ -249,7 +268,9 @@ class TPSAdvertisementsManager:
     def _open_reader(self, attachment: TPSAttachment) -> None:
         reader = TPSPipeReader(self.engine)
         attachment.input_pipe = attachment.finder.create_input_pipe(
-            reader, processing_cost=self.engine.receive_overhead
+            reader,
+            processing_cost=self.engine.receive_overhead,
+            reliability=self.engine.reliability,
         )
 
 
@@ -288,6 +309,21 @@ class JxtaTPSEngine(TPSInterface):
         self._received: List[Any] = []
         self._sent: List[Any] = []
         self._seen_message_ids = BoundedIdSet(self.config.duplicate_cache_size)
+        #: Wire-layer reliability spec derived from the config (None when
+        #: ``reliable_delivery`` is off); threaded into every pipe the
+        #: advertisements manager opens.
+        self.reliability: Optional[WireReliability] = self.config.wire_reliability()
+        #: Optional application hook for terminal delivery failures.  Called
+        #: with a :class:`DeliveryFailedError`; when unset, failures are
+        #: routed to every subscription's exception handler instead.
+        self.delivery_failure_handler: Optional[Callable[[DeliveryFailedError], None]] = None
+        if self.config.breaker_threshold > 0:
+            self.subscriber_manager.set_breaker_policy(
+                self.config.breaker_threshold,
+                self.config.breaker_cooldown,
+                clock=lambda: self.peer.now,
+                listener=self._on_breaker_transition,
+            )
         cost_model = peer.cost_model
         if self.config.charge_layer_costs:
             #: The SR application-layer work (duplicate ids, multi-advertisement
@@ -410,11 +446,43 @@ class JxtaTPSEngine(TPSInterface):
     def objects_sent(self) -> List[Any]:
         return list(self._sent)
 
+    # ------------------------------------------------------------ reliability
+
+    def _on_delivery_failure(self, failure: DeliveryFailure) -> None:
+        """Route a terminal wire-delivery failure to the application.
+
+        Never silent: the failure is counted, then handed to the engine's
+        ``delivery_failure_handler`` when one is set, else to every
+        subscription's exception handler (the same channel callback errors
+        use), so a publish that gave up after ``max_delivery_attempts`` is
+        always observable.
+        """
+        self.peer.metrics.counter("tps_delivery_failed").increment()
+        error = DeliveryFailedError(failure)
+        handler = self.delivery_failure_handler
+        if handler is not None:
+            handler(error)
+            return
+        for subscription in self.subscriber_manager.subscriptions():
+            try:
+                subscription.exception_handler.handle(error)
+            except BaseException:  # noqa: BLE001 - a broken handler must not stop routing
+                pass
+
+    def _on_breaker_transition(self, state: str, breaker: Any) -> None:
+        """Count breaker state changes (``tps_breaker_open`` etc.)."""
+        self.peer.metrics.counter(f"tps_breaker_{state}").increment()
+
     # --------------------------------------------------------------- receive
 
     def _on_wire_message(self, message: Message, source: PeerID) -> None:
         """Handle one raw wire message: decode, filter, dispatch."""
         self._check_thread("wire receive")
+        if self._tps_closed:
+            # A message can arrive between close() and the settle that drains
+            # in-flight deliveries; count it instead of losing it silently.
+            self.peer.metrics.counter("tps_closed_engine_drops").increment()
+            return
         message_id = message.get_text(TPS_MSG_ID_ELEMENT)
         if self.config.duplicate_filtering and message_id:
             # seen() refreshes recency on a hit, keeping actively-duplicated

@@ -157,18 +157,26 @@ class LocalBus:
             if criteria is not None and not criteria.matches_event(event):
                 continue
             record(event)
-            for handle, handle_error, predicate in handlers:
+            for handle, handle_error, predicate, breaker in handlers:
                 # The pushed-down predicate runs inside the dispatch guard:
                 # a rejected event skips the callback entirely, and a
                 # *raising* predicate is routed to the paired exception
                 # handler exactly like a raising callback (so push-down
                 # keeps FilteringCallback's error semantics and a broken
-                # predicate cannot crash the publisher).
+                # predicate cannot crash the publisher).  The breaker slot
+                # quarantines persistently-raising rows (see CircuitBreaker);
+                # it is None unless a breaker policy was configured.
                 try:
                     if predicate is not None and not predicate(event):
                         continue
+                    if breaker is not None and not breaker.allow():
+                        continue
                     handle(event)
+                    if breaker is not None:
+                        breaker.record_success()
                 except BaseException as error:  # noqa: BLE001 - routed to the handler
+                    if breaker is not None:
+                        breaker.record_failure()
                     try:
                         handle_error(error)
                     except BaseException:  # noqa: BLE001 - must not stop dispatch

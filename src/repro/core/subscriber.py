@@ -26,6 +26,7 @@ import threading
 from typing import Any, Callable, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.interface import Subscription
+from repro.core.subscriptions import CircuitBreaker
 from repro.jxta.ids import PeerID
 from repro.jxta.message import Message
 
@@ -52,12 +53,17 @@ class TPSSubscriberManager:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._subscriptions: List[Subscription] = []
-        #: (callback.handle, exception_handler.handle, predicate) rows, in
-        #: order.  The predicate slot carries each subscription's pushed-down
-        #: event filter (None for unfiltered subscriptions), so dispatch can
-        #: skip filtered-out events before the callback frame is ever opened.
+        #: Active breaker policy; when set, every current and future
+        #: subscription gets its own :class:`CircuitBreaker` built from it.
+        self._breaker_policy: Optional[Tuple[int, float, Any, Any]] = None
+        #: (callback.handle, exception_handler.handle, predicate, breaker)
+        #: rows, in order.  The predicate slot carries each subscription's
+        #: pushed-down event filter (None for unfiltered subscriptions), so
+        #: dispatch can skip filtered-out events before the callback frame is
+        #: ever opened; the breaker slot carries the subscription's
+        #: crash-containment breaker (None when no policy is configured).
         self._handlers: Tuple[
-            Tuple[Callable[[Any], Any], Callable[[Any], Any], Any], ...
+            Tuple[Callable[[Any], Any], Callable[[Any], Any], Any, Any], ...
         ] = ()
 
     # ------------------------------------------------------------ mutation
@@ -69,13 +75,47 @@ class TPSSubscriberManager:
                 subscription.callback.handle,
                 subscription.exception_handler.handle,
                 subscription.predicate,
+                subscription.breaker,
             )
             for subscription in self._subscriptions
         )
 
+    def set_breaker_policy(
+        self,
+        threshold: int,
+        cooldown: float,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+        listener: Optional[Callable[[str, CircuitBreaker], None]] = None,
+    ) -> None:
+        """Attach a :class:`CircuitBreaker` to every current and future subscription.
+
+        ``threshold`` consecutive callback failures quarantine that
+        subscription for ``cooldown`` seconds of the supplied ``clock``
+        (engines pass the virtual clock; the default is wall time).  A
+        non-positive ``threshold`` clears the policy for *future*
+        subscriptions (existing breakers keep operating).
+        """
+        with self._lock:
+            if threshold <= 0:
+                self._breaker_policy = None
+                return
+            self._breaker_policy = (threshold, cooldown, clock, listener)
+            for subscription in self._subscriptions:
+                if subscription.breaker is None:
+                    subscription.breaker = self._make_breaker()
+            self._rebuild_handlers()
+
+    def _make_breaker(self) -> CircuitBreaker:
+        """Build a breaker from the active policy; caller must hold ``_lock``."""
+        threshold, cooldown, clock, listener = self._breaker_policy
+        return CircuitBreaker(threshold, cooldown, clock=clock, listener=listener)
+
     def add(self, subscription: Subscription) -> None:
         """Register one subscription."""
         with self._lock:
+            if self._breaker_policy is not None and subscription.breaker is None:
+                subscription.breaker = self._make_breaker()
             self._subscriptions.append(subscription)
             self._rebuild_handlers()
 
@@ -140,15 +180,23 @@ class TPSSubscriberManager:
         raising.
         """
         delivered = 0
-        for handle, handle_error, predicate in self._handlers:
+        for handle, handle_error, predicate, breaker in self._handlers:
             # Predicate errors are routed to the paired handler like callback
-            # errors: a broken pushed-down filter must not stop dispatch.
+            # errors: a broken pushed-down filter must not stop dispatch (and
+            # counts against the breaker -- a persistently-raising predicate
+            # burns every publish just like a raising callback).
             try:
                 if predicate is not None and not predicate(event):
                     continue
+                if breaker is not None and not breaker.allow():
+                    continue
                 handle(event)
                 delivered += 1
+                if breaker is not None:
+                    breaker.record_success()
             except BaseException as error:  # noqa: BLE001 - routed to the handler
+                if breaker is not None:
+                    breaker.record_failure()
                 try:
                     handle_error(error)
                 except BaseException:  # noqa: BLE001 - a broken handler must not stop dispatch

@@ -18,6 +18,15 @@ top of any :class:`~repro.core.interface.TPSInterface` binding:
   :class:`~repro.core.local_engine.LocalBus` delivery loop), so events a
   subscription filters out never reach its callback dispatch -- no wrapper
   callable, no swallowed exception frame.
+* :class:`CircuitBreaker` -- subscriber crash containment: a callback that
+  raises ``threshold`` consecutive times is quarantined (``closed`` ->
+  ``open``), skipped for a ``cooldown`` period, then given one probational
+  event (``half_open``) that either resets it or re-opens the quarantine.
+  Attached per subscription by
+  :meth:`~repro.core.subscriber.TPSSubscriberManager.set_breaker_policy`
+  (the JXTA/SHARDED bindings wire it to ``TPSConfig.breaker_threshold`` /
+  ``breaker_cooldown``); both dispatch paths -- the manager's and the
+  :class:`~repro.core.local_engine.LocalBus` inline loop -- honour it.
 * :class:`EventStream` -- pull-style consumption:
   ``tps.stream(maxsize=..., policy=...)`` subscribes an internal enqueue
   callback and hands the application an iterator/queue hybrid with explicit
@@ -39,6 +48,7 @@ into the subscription's normal error route.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Iterator, List, Optional, Tuple
 
@@ -46,6 +56,134 @@ from repro.core.exceptions import PSException
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.interface import Subscription, TPSInterface
+
+
+#: Circuit-breaker states (see :class:`CircuitBreaker`).
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Crash containment for one subscription's callback.
+
+    A callback that raises on every event does not just lose its own events:
+    in a fan-out dispatch it burns CPU (and error-handler churn) on every
+    single publish.  The breaker quarantines such a callback the way a
+    service-mesh breaker quarantines a failing endpoint:
+
+    * ``closed`` (normal): events flow; ``threshold`` *consecutive* failures
+      trip the breaker;
+    * ``open`` (quarantined): events are skipped -- counted in ``skipped`` --
+      until ``cooldown`` seconds pass on the supplied clock;
+    * ``half_open`` (probation): after the cool-down, events are let through
+      again; the first success resets to ``closed``, the first failure
+      re-opens for another cool-down.
+
+    The clock is injectable so engines bind it to the simulated network's
+    virtual clock while plain LOCAL deployments default to
+    ``time.monotonic``.  Trip/reset transitions are observable through the
+    optional ``listener`` (called with ``(state, breaker)`` *outside* the
+    breaker's lock) and the ``events`` log of ``(state, timestamp)`` pairs.
+    """
+
+    __slots__ = (
+        "threshold",
+        "cooldown",
+        "state",
+        "failures",
+        "trips",
+        "resets",
+        "skipped",
+        "events",
+        "_open_until",
+        "_clock",
+        "_listener",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        threshold: int,
+        cooldown: float,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+        listener: Optional[Callable[[str, "CircuitBreaker"], None]] = None,
+    ) -> None:
+        if threshold < 1:
+            raise PSException(f"breaker threshold must be >= 1, got {threshold}")
+        if cooldown < 0:
+            raise PSException(f"breaker cooldown must be >= 0, got {cooldown}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.state = BREAKER_CLOSED
+        self.failures = 0
+        self.trips = 0
+        self.resets = 0
+        self.skipped = 0
+        #: (state, clock timestamp) transition log, oldest first.
+        self.events: List[Tuple[str, float]] = []
+        self._open_until = 0.0
+        self._clock = clock if clock is not None else time.monotonic
+        self._listener = listener
+        self._lock = threading.Lock()
+
+    def _transition(self, state: str) -> Tuple[str, "CircuitBreaker"]:
+        """Record a state change; caller holds the lock, returns the event."""
+        self.state = state
+        self.events.append((state, self._clock()))
+        return (state, self)
+
+    def _notify(self, event: Optional[Tuple[str, "CircuitBreaker"]]) -> None:
+        if event is not None and self._listener is not None:
+            try:
+                self._listener(*event)
+            except Exception:  # noqa: BLE001 - observers must not break dispatch
+                pass
+
+    def allow(self) -> bool:
+        """Whether the next event may reach the callback (may move to half-open)."""
+        event = None
+        with self._lock:
+            if self.state == BREAKER_CLOSED:
+                return True
+            if self.state == BREAKER_OPEN:
+                if self._clock() < self._open_until:
+                    self.skipped += 1
+                    return False
+                event = self._transition(BREAKER_HALF_OPEN)
+        self._notify(event)
+        return True
+
+    def record_success(self) -> None:
+        """Note a clean callback invocation (resets failures, closes from probation)."""
+        event = None
+        with self._lock:
+            self.failures = 0
+            if self.state != BREAKER_CLOSED:
+                self.resets += 1
+                event = self._transition(BREAKER_CLOSED)
+        self._notify(event)
+
+    def record_failure(self) -> None:
+        """Note a raising callback invocation (may trip the breaker open)."""
+        event = None
+        with self._lock:
+            self.failures += 1
+            should_trip = self.state == BREAKER_HALF_OPEN or (
+                self.state == BREAKER_CLOSED and self.failures >= self.threshold
+            )
+            if should_trip:
+                self.trips += 1
+                self._open_until = self._clock() + self.cooldown
+                event = self._transition(BREAKER_OPEN)
+        self._notify(event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CircuitBreaker({self.state}, failures={self.failures}, "
+            f"trips={self.trips}, skipped={self.skipped})"
+        )
 
 
 def combine_predicates(
@@ -419,6 +557,10 @@ class EventStream:
 
 
 __all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CircuitBreaker",
     "EventStream",
     "STREAM_POLICIES",
     "SubscriptionBuilder",

@@ -21,7 +21,13 @@ from repro.jxta.errors import JxtaError
 from repro.jxta.message import Message
 from repro.jxta.peergroup import PeerGroup
 from repro.jxta.pipes import PipeMessageListener
-from repro.jxta.wire import SendReceipt, WireInputPipe, WireOutputPipe, WireService
+from repro.jxta.wire import (
+    SendReceipt,
+    WireInputPipe,
+    WireOutputPipe,
+    WireReliability,
+    WireService,
+)
 
 
 class WireServiceFinderException(PSException):
@@ -31,9 +37,15 @@ class WireServiceFinderException(PSException):
 class TPSMyInputPipe:
     """TPS-side wrapper around a wire input pipe plus its source advertisement."""
 
-    def __init__(self, pipe: WireInputPipe, advertisement: PeerGroupAdvertisement) -> None:
+    def __init__(
+        self,
+        pipe: WireInputPipe,
+        advertisement: PeerGroupAdvertisement,
+        wire_service: Optional[WireService] = None,
+    ) -> None:
         self.pipe = pipe
         self.advertisement = advertisement
+        self._wire_service = wire_service
 
     @property
     def pipe_id(self):
@@ -50,8 +62,17 @@ class TPSMyInputPipe:
         self.pipe.add_listener(listener)
 
     def close(self) -> None:
-        """Close the underlying pipe."""
-        self.pipe.close()
+        """Close the underlying pipe, deregistering it from the wire service.
+
+        Routing the close through :meth:`WireService.close_input_pipe` (when
+        the service is known) removes the pipe from the service's delivery
+        table, so late messages count as ``wire_unbound_deliveries`` instead
+        of being silently eaten by a closed ``InputPipe.receive``.
+        """
+        if self._wire_service is not None:
+            self._wire_service.close_input_pipe(self.pipe)
+        else:
+            self.pipe.close()
 
 
 class TPSMyOutputPipe:
@@ -69,6 +90,10 @@ class TPSMyOutputPipe:
     def send(self, message: Message) -> SendReceipt:
         """Send a message on the underlying wire pipe (``msg.dup()`` is handled there)."""
         return self.pipe.send(message)
+
+    def add_failure_listener(self, listener) -> None:
+        """Register a terminal-delivery-failure listener on the wire pipe."""
+        self.pipe.add_failure_listener(listener)
 
     def resolved_targets(self) -> int:
         """Number of remote peers currently resolved for this pipe."""
@@ -132,26 +157,37 @@ class TPSWireServiceFinder:
         listener: Optional[PipeMessageListener] = None,
         *,
         processing_cost: float = 0.0,
+        reliability: Optional[WireReliability] = None,
     ) -> TPSMyInputPipe:
         """Create the wire input pipe used to receive events for this type."""
         wire = self._require_wire()
         pipe_advertisement = self.get_pipe_advertisement()
         try:
             pipe = wire.create_input_pipe(
-                pipe_advertisement, listener, processing_cost=processing_cost
+                pipe_advertisement,
+                listener,
+                processing_cost=processing_cost,
+                reliability=reliability,
             )
         except JxtaError as exc:
             raise WireServiceFinderException("Unable to create the input pipe.") from exc
-        self.my_input_pipe = TPSMyInputPipe(pipe, self.pg_advertisement)
+        self.my_input_pipe = TPSMyInputPipe(pipe, self.pg_advertisement, wire)
         return self.my_input_pipe
 
-    def create_output_pipe(self, *, extra_send_cost: float = 0.0) -> TPSMyOutputPipe:
+    def create_output_pipe(
+        self,
+        *,
+        extra_send_cost: float = 0.0,
+        reliability: Optional[WireReliability] = None,
+    ) -> TPSMyOutputPipe:
         """Create the wire output pipe used to publish events for this type."""
         wire = self._require_wire()
         pipe_advertisement = self.get_pipe_advertisement()
         try:
             pipe = wire.create_output_pipe(
-                pipe_advertisement, extra_send_cost=extra_send_cost
+                pipe_advertisement,
+                extra_send_cost=extra_send_cost,
+                reliability=reliability,
             )
         except JxtaError as exc:
             raise WireServiceFinderException("Unable to create the output pipe.") from exc

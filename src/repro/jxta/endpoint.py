@@ -367,6 +367,11 @@ class EndpointService:
                 continue
             self.metrics.counter("endpoint_sent").increment()
             return True
+        # No transport got the packet out: count the failure instead of
+        # letting it vanish (the network counts routed-but-rejected packets;
+        # this covers the pre-flight reachability misses).
+        self.metrics.counter("endpoint_unroutable").increment()
+        network.metrics.counter("packets_no_route").increment()
         return False
 
     def _relay_through_router(self, envelope: EndpointEnvelope) -> bool:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import random
 import uuid
+from collections import OrderedDict
 from typing import ClassVar, Optional, Type
 
 from repro.jxta.errors import AdvertisementError
@@ -164,7 +165,53 @@ _KIND_REGISTRY: dict[str, Type[JxtaID]] = {
 WORLD_GROUP_ID = PeerGroupID(uuid.UUID(int=0x4A585441_57524C44_00000000_00000001))
 
 
+class BoundedIdSet:
+    """An LRU-bounded set of message/envelope ids for duplicate filtering.
+
+    Membership and insertion are O(1); once ``capacity`` ids are held, adding
+    a new id evicts the least recently seen one, so a duplicate filter's
+    memory stays constant under sustained traffic.  A non-positive capacity
+    disables eviction entirely.
+
+    Used both by the TPS engine (application-level message ids) and by the
+    wire service's at-least-once receiver (wire-level ids), which is why it
+    lives here in the id layer rather than in either consumer.
+    """
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity: int = 0) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, None]" = OrderedDict()
+
+    def __contains__(self, item: str) -> bool:
+        return item in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, item: str) -> None:
+        """Record ``item`` as seen, evicting the oldest id beyond capacity."""
+        self.seen(item)
+
+    def seen(self, item: str) -> bool:
+        """Record ``item``; True if it was already present (a duplicate).
+
+        A hit refreshes the id's recency, so ids that keep producing
+        duplicates stay protected from eviction (LRU, not FIFO).
+        """
+        entries = self._entries
+        if item in entries:
+            entries.move_to_end(item)
+            return True
+        entries[item] = None
+        if 0 < self.capacity < len(entries):
+            entries.popitem(last=False)
+        return False
+
+
 __all__ = [
+    "BoundedIdSet",
     "CodatID",
     "IDFactory",
     "JxtaID",

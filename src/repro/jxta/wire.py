@@ -1,4 +1,4 @@
-"""The WIRE service: many-to-many pipes.
+"""The WIRE service: many-to-many pipes, with an optional reliable mode.
 
 "The best known [services] are the monitoring service, the cms service and
 the wire service (responsible for providing many-to-many communication)."
@@ -26,31 +26,181 @@ that shape the paper's figures:
 The layers above (SR-JXTA, SR-TPS) add their own per-message costs through
 ``extra_send_cost`` and the input pipes' ``processing_cost``, so the relative
 ordering JXTA-WIRE < SR-JXTA <= SR-TPS emerges from the layering itself.
+
+Reliability model (at-least-once + dedup = exactly-once observed)
+-----------------------------------------------------------------
+
+An output pipe created with a :class:`WireReliability` runs an at-least-once
+protocol per resolved target, on top of a network that may drop, duplicate,
+reorder or delay packets (see :mod:`repro.net.faults`):
+
+* **sender**: each target gets its own copy of the message stamped with an
+  ack request, a per-(pipe, target) sequence number and a channel id unique
+  to the output pipe.  Unacked copies are retransmitted on a capped
+  exponential backoff schedule (``ack_timeout * backoff**(attempt-1)``,
+  capped at ``backoff_cap``, jittered), driven entirely off the virtual
+  clock.  After ``max_attempts`` the delivery is declared failed: the
+  ``wire_delivery_failed`` counter is bumped, the
+  :class:`DeliveryTracker` on the :class:`SendReceipt` records the terminal
+  state and the pipe's failure listeners fire with a
+  :class:`DeliveryFailure` -- a give-up is *reported*, never silent.
+* **receiver**: wire ids are deduplicated with a bounded LRU
+  :class:`~repro.jxta.ids.BoundedIdSet`, so retransmits and network
+  duplicates collapse to one observed delivery; a duplicate is re-acked
+  (the previous ack may have been the lost packet).  Sequenced messages
+  run through a per-channel hold-back buffer that releases them in sequence
+  order, restoring per-source FIFO under reordering.  A sequence gap that
+  does not fill within ``gap_timeout`` (e.g. the sender terminally gave up
+  on that message) is abandoned -- counted in
+  ``wire_order_gaps_abandoned`` -- and delivery resumes at the next
+  buffered sequence so one lost message cannot wedge the channel.
+* **acks happen after acceptance**: a receiver only acks a message it has
+  accepted (enqueued or held back); a message bounced off the full receive
+  queue is *not* acked, so sender retransmission doubles as flow control.
+
+The result is the exactly-once-observed, per-source-FIFO contract pinned by
+``tests/test_binding_conformance.py``, which the chaos matrix re-runs over a
+faulty network.
 """
 
 from __future__ import annotations
 
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.jxta.advertisement import PipeAdvertisement
 from repro.jxta.endpoint import EndpointEnvelope
 from repro.jxta.errors import PipeError
-from repro.jxta.ids import PeerID, PipeID
+from repro.jxta.ids import BoundedIdSet, PeerID, PipeID
 from repro.jxta.message import Message
 from repro.jxta.pipes import InputPipe, OutputPipe, PipeKind, PipeMessageListener
+from repro.net.simclock import EventHandle
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.jxta.peergroup import PeerGroup
 
 _wire_message_counter = itertools.count(1)
+_wire_channel_counter = itertools.count(1)
 
 #: Name of the message element carrying the wire-level message id.
 WIRE_MSG_ID_ELEMENT = "JxtaWireMsgId"
 #: Name of the message element carrying the original wire source peer.
 WIRE_SRC_ELEMENT = "JxtaWireSrc"
+#: Element marking a message whose delivery must be acknowledged.
+WIRE_ACK_REQ_ELEMENT = "JxtaWireAckReq"
+#: Element carrying the per-(pipe, target) sequence number (ordered mode).
+WIRE_SEQ_ELEMENT = "JxtaWireSeq"
+#: Element carrying the sender-side channel id (unique per output pipe).
+WIRE_CHANNEL_ELEMENT = "JxtaWireChan"
+#: Element of an ack message naming the wire id being acknowledged.
+WIRE_ACK_ID_ELEMENT = "JxtaWireAckId"
+#: Endpoint param prefix under which a sender listens for acks.
+WIRE_ACK_PARAM_PREFIX = "jxta-wire-ack:"
+
+
+@dataclass(frozen=True)
+class WireReliability:
+    """Parameters of the at-least-once wire protocol (see module docstring).
+
+    Attributes
+    ----------
+    ack_timeout:
+        Seconds to wait for the first ack before retransmitting.
+    max_attempts:
+        Total transmission attempts (first send included) before the
+        delivery is declared failed.
+    backoff:
+        Multiplier applied to the retry delay after each attempt.
+    backoff_cap:
+        Upper bound (seconds) on the retry delay.
+    jitter:
+        Relative sigma of lognormal noise on each retry delay, decorrelating
+        retransmission bursts from concurrent senders.
+    ordered:
+        Whether to sequence messages per (pipe, target) and restore
+        per-source FIFO on the receiver through a hold-back buffer.
+    gap_timeout:
+        Receiver-side seconds to wait for a sequence gap to fill before
+        abandoning it (should exceed the sender's full retry window).
+    dedup_capacity:
+        Capacity of the receiver's bounded wire-id dedup set.
+    """
+
+    ack_timeout: float = 0.25
+    max_attempts: int = 6
+    backoff: float = 2.0
+    backoff_cap: float = 2.0
+    jitter: float = 0.2
+    ordered: bool = True
+    gap_timeout: float = 6.0
+    dedup_capacity: int = 4096
+
+
+@dataclass(frozen=True)
+class DeliveryFailure:
+    """A terminal "gave up after N attempts" event for one (message, target)."""
+
+    wire_message_id: str
+    pipe_urn: str
+    target_urn: str
+    attempts: int
+
+
+class DeliveryTracker:
+    """Per-target delivery state of one reliable send, exposed on the receipt.
+
+    States progress ``pending`` -> ``acked`` | ``failed`` | ``abandoned``
+    (abandoned = the pipe was closed with the delivery still in flight).
+    """
+
+    __slots__ = ("wire_message_id", "states", "attempts", "retries")
+
+    def __init__(self, wire_message_id: str, target_urns: List[str]) -> None:
+        self.wire_message_id = wire_message_id
+        self.states: Dict[str, str] = {urn: "pending" for urn in target_urns}
+        self.attempts: Dict[str, int] = {urn: 1 for urn in target_urns}
+        self.retries = 0
+
+    def record_retry(self, target_urn: str) -> None:
+        """Count one retransmission to ``target_urn``."""
+        self.attempts[target_urn] = self.attempts.get(target_urn, 0) + 1
+        self.retries += 1
+
+    def mark(self, target_urn: str, state: str) -> None:
+        """Move ``target_urn`` to a terminal ``state``."""
+        self.states[target_urn] = state
+
+    def _in_state(self, state: str) -> List[str]:
+        return [urn for urn, s in self.states.items() if s == state]
+
+    @property
+    def pending(self) -> List[str]:
+        """Targets still awaiting an ack."""
+        return self._in_state("pending")
+
+    @property
+    def acked(self) -> List[str]:
+        """Targets that acknowledged the message."""
+        return self._in_state("acked")
+
+    @property
+    def failed(self) -> List[str]:
+        """Targets for which delivery terminally failed."""
+        return self._in_state("failed")
+
+    @property
+    def settled(self) -> bool:
+        """Whether every target reached a terminal state."""
+        return not self.pending
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DeliveryTracker({self.wire_message_id}, acked={len(self.acked)}, "
+            f"failed={len(self.failed)}, pending={len(self.pending)}, "
+            f"retries={self.retries})"
+        )
 
 
 @dataclass
@@ -69,12 +219,16 @@ class SendReceipt:
         Number of resolved connections the message was sent to.
     wire_message_id:
         The wire-level message id stamped on the message.
+    tracker:
+        Per-target ack/retry state for reliable sends (None otherwise).
+        The tracker keeps updating as the simulation advances.
     """
 
     cpu_time: float
     completion_time: float
     targets: int
     wire_message_id: str
+    tracker: Optional[DeliveryTracker] = None
 
 
 class WireInputPipe(InputPipe):
@@ -82,7 +236,13 @@ class WireInputPipe(InputPipe):
 
 
 class WireOutputPipe(OutputPipe):
-    """A wire (many-to-many) output pipe with cost-accounted sends."""
+    """A wire (many-to-many) output pipe with cost-accounted sends.
+
+    When constructed with a :class:`WireReliability` the pipe runs the
+    at-least-once protocol: each send is tracked per target, retransmitted
+    with capped exponential backoff and eventually acked or reported failed
+    to the registered failure listeners.
+    """
 
     def __init__(
         self,
@@ -90,13 +250,34 @@ class WireOutputPipe(OutputPipe):
         wire_service: "WireService",
         *,
         extra_send_cost: float = 0.0,
+        reliability: Optional[WireReliability] = None,
     ) -> None:
         super().__init__(advertisement, wire_service.group.pipe_service)
         self._wire = wire_service
         #: Extra virtual CPU charged per send on top of the wire cost,
         #: representing the work done by the layer above (SR-JXTA / SR-TPS).
         self.extra_send_cost = extra_send_cost
+        self.reliability = reliability
+        #: Called with a :class:`DeliveryFailure` when a reliable delivery
+        #: exhausts its attempts.
+        self.failure_listeners: List[Callable[[DeliveryFailure], None]] = []
+        #: Sender-side channel id; globally unique per output pipe so the
+        #: receiver's sequencing state can never collide across pipes.
+        self.channel_id = (
+            f"{wire_service.peer.peer_id.to_urn()}/c{next(_wire_channel_counter)}"
+        )
+        self._next_seq: Dict[str, int] = {}
         self.receipts: List[SendReceipt] = []
+
+    def add_failure_listener(self, listener: Callable[[DeliveryFailure], None]) -> None:
+        """Register a listener for terminal delivery failures on this pipe."""
+        self.failure_listeners.append(listener)
+
+    def next_sequence(self, target_urn: str) -> int:
+        """The next per-target sequence number (starts at 1)."""
+        value = self._next_seq.get(target_urn, 0) + 1
+        self._next_seq[target_urn] = value
+        return value
 
     def send(self, message: Message) -> SendReceipt:  # type: ignore[override]
         """Send a message to every bound input pipe; returns a :class:`SendReceipt`."""
@@ -106,6 +287,41 @@ class WireOutputPipe(OutputPipe):
         self.sent_count += 1
         self.receipts.append(receipt)
         return receipt
+
+    def close(self) -> None:
+        """Close the pipe and abandon its in-flight reliable deliveries."""
+        if self.closed:
+            return
+        super().close()
+        self._wire.abandon_pending(self)
+
+
+@dataclass
+class _PendingDelivery:
+    """Sender-side state of one unacked (message, target) pair."""
+
+    wire_id: str
+    target: PeerID
+    target_urn: str
+    message: Message
+    pipe: WireOutputPipe
+    pipe_urn: str
+    reliability: WireReliability
+    tracker: DeliveryTracker
+    attempts: int = 1
+    handle: Optional[EventHandle] = None
+
+
+class _ChannelState:
+    """Receiver-side hold-back state for one sender channel."""
+
+    __slots__ = ("next_seq", "buffer", "gap_handle")
+
+    def __init__(self) -> None:
+        self.next_seq = 1
+        #: seq -> (pipe_urn, envelope, message) held until the gap fills.
+        self.buffer: Dict[int, Tuple[str, EndpointEnvelope, Message]] = {}
+        self.gap_handle: Optional[EventHandle] = None
 
 
 class WireService:
@@ -120,6 +336,10 @@ class WireService:
     WireCode = "net.jxta.impl.wire.WireService"
     WireSecurity = "none"
 
+    #: Hold-back buffer bound per channel: beyond this many out-of-order
+    #: messages the gap is abandoned early to keep memory constant.
+    HOLDBACK_LIMIT = 64
+
     def __init__(self, group: "PeerGroup", *, duplicate_suppression: bool = False) -> None:
         self.group = group
         self.peer = group.peer
@@ -129,14 +349,28 @@ class WireService:
         #: already delivered.  The real JXTA-WIRE did *not* do this -- the
         #: paper lists duplicate handling among the functionality the SR
         #: layers add -- so the default is False; ablation benches flip it.
+        #: (Reliable-mode messages are always deduplicated: that is part of
+        #: the ack/retry protocol, not an application-layer courtesy.)
         self.duplicate_suppression = duplicate_suppression
         #: pipe URN -> wire input pipes opened locally.
         self._inputs: Dict[str, List[WireInputPipe]] = {}
         #: pipe URN -> set of source peer URNs seen (connected publishers).
-        self._sources: Dict[str, Set[str]] = {}
-        self._seen_wire_ids: Set[str] = set()
+        self._sources: Dict[str, set] = {}
+        self._seen_wire_ids = BoundedIdSet(capacity=4096)
+        #: Wire ids of accepted reliable messages (bounded LRU); retransmits
+        #: hitting this set are re-acked and dropped.
+        self._seen_reliable = BoundedIdSet(capacity=4096)
+        #: Receiver-side gap timeout; create_input_pipe overrides it from the
+        #: caller's :class:`WireReliability`.
+        self.order_gap_timeout = WireReliability.gap_timeout
         self._queue: Deque[Tuple[str, EndpointEnvelope, Message]] = deque()
         self._busy = False
+        #: (wire id, target urn) -> in-flight reliable delivery.
+        self._pending: Dict[Tuple[str, str], _PendingDelivery] = {}
+        #: channel id -> hold-back sequencing state.
+        self._channels: Dict[str, _ChannelState] = {}
+        #: ack params this service already listens on.
+        self._ack_params: set[str] = set()
 
     # ----------------------------------------------------------- pipe setup
 
@@ -146,14 +380,23 @@ class WireService:
         listener: Optional[PipeMessageListener] = None,
         *,
         processing_cost: float = 0.0,
+        reliability: Optional[WireReliability] = None,
     ) -> WireInputPipe:
-        """Open a wire input pipe: messages sent on this pipe id will be delivered here."""
+        """Open a wire input pipe: messages sent on this pipe id will be delivered here.
+
+        ``reliability`` tunes the *receiver* side of the protocol (dedup
+        capacity, gap timeout); ack/retransmit behaviour is governed by the
+        sender's output-pipe reliability.
+        """
         pipe = WireInputPipe(
             advertisement,
             self.group.pipe_service,
             listener=listener,
             processing_cost=processing_cost,
         )
+        if reliability is not None:
+            self._seen_reliable.capacity = reliability.dedup_capacity
+            self.order_gap_timeout = reliability.gap_timeout
         urn = advertisement.pipe_id.to_urn()
         if urn not in self._inputs:
             self._inputs[urn] = []
@@ -175,9 +418,19 @@ class WireService:
         *,
         extra_send_cost: float = 0.0,
         resolve: bool = True,
+        reliability: Optional[WireReliability] = None,
     ) -> WireOutputPipe:
         """Open a wire output pipe (and resolve the current set of bound peers)."""
-        pipe = WireOutputPipe(advertisement, self, extra_send_cost=extra_send_cost)
+        pipe = WireOutputPipe(
+            advertisement, self, extra_send_cost=extra_send_cost, reliability=reliability
+        )
+        if reliability is not None:
+            ack_param = WIRE_ACK_PARAM_PREFIX + advertisement.pipe_id.to_urn()
+            if ack_param not in self._ack_params:
+                self._ack_params.add(ack_param)
+                self.peer.endpoint.register_listener(
+                    self.WireName, ack_param, self._on_ack_envelope
+                )
         if resolve:
             self.group.pipe_service.resolve(advertisement.pipe_id)
         self.peer.metrics.counter("wire_output_pipes").increment()
@@ -212,7 +465,8 @@ class WireService:
         The call charges the sending peer's virtual CPU (base + per-connection
         + serialisation + the caller's ``extra_cpu``), schedules the actual
         network transmissions at the completion instant and returns a
-        :class:`SendReceipt` describing the cost.
+        :class:`SendReceipt` describing the cost.  Reliable pipes additionally
+        stamp per-target sequence/ack elements and arm the retry machinery.
         """
         wire_message = message.dup()
         wire_id = f"{self.peer.peer_id.to_urn()}/w{next(_wire_message_counter)}"
@@ -227,14 +481,39 @@ class WireService:
         simulator = self.peer.simulator
         completion = simulator.now + total_cost
         pipe_urn = pipe.pipe_id.to_urn()
+        reliability = pipe.reliability
+        tracker: Optional[DeliveryTracker] = None
+        sequences: Dict[str, int] = {}
+        if reliability is not None and targets:
+            tracker = DeliveryTracker(wire_id, [t.to_urn() for t in targets])
+            if reliability.ordered:
+                # Sequence numbers are claimed *now*, synchronously, in
+                # publish-call order: the transmit event below fires at a
+                # jittered CPU-completion instant, so stamping there would
+                # scramble the sequences of same-instant publishes and break
+                # the per-source ordering the channel exists to provide.
+                sequences = {
+                    target.to_urn(): pipe.next_sequence(target.to_urn())
+                    for target in targets
+                }
 
         def _transmit() -> None:
             if targets:
                 for target in targets:
-                    self.peer.endpoint.send(target, wire_message, self.WireName, pipe_urn)
+                    if reliability is not None:
+                        self._send_reliable(
+                            pipe, target, wire_message, pipe_urn, wire_id,
+                            tracker, reliability, sequences.get(target.to_urn()),
+                        )
+                    else:
+                        self.peer.endpoint.send(
+                            target, wire_message, self.WireName, pipe_urn
+                        )
             else:
                 # No resolved bindings yet: fall back to propagation so early
                 # messages still have a chance to reach late-resolving peers.
+                # Propagated copies carry no ack/seq elements -- they take the
+                # legacy unreliable path on the receiver.
                 self.peer.endpoint.propagate(wire_message, self.WireName, pipe_urn)
 
         simulator.schedule(total_cost, _transmit, label=f"wire-send:{self.peer.name}")
@@ -246,7 +525,126 @@ class WireService:
             completion_time=completion,
             targets=len(targets),
             wire_message_id=wire_id,
+            tracker=tracker,
         )
+
+    def _send_reliable(
+        self,
+        pipe: WireOutputPipe,
+        target: PeerID,
+        wire_message: Message,
+        pipe_urn: str,
+        wire_id: str,
+        tracker: DeliveryTracker,
+        reliability: WireReliability,
+        sequence: Optional[int] = None,
+    ) -> None:
+        """First transmission of one per-target copy; arms the retry timer."""
+        target_urn = target.to_urn()
+        copy = wire_message.dup()
+        copy.add(WIRE_ACK_REQ_ELEMENT, "1")
+        if reliability.ordered and sequence is not None:
+            copy.add(WIRE_CHANNEL_ELEMENT, pipe.channel_id)
+            copy.add(WIRE_SEQ_ELEMENT, str(sequence))
+        pending = _PendingDelivery(
+            wire_id=wire_id,
+            target=target,
+            target_urn=target_urn,
+            message=copy,
+            pipe=pipe,
+            pipe_urn=pipe_urn,
+            reliability=reliability,
+            tracker=tracker,
+        )
+        self._pending[(wire_id, target_urn)] = pending
+        self.peer.endpoint.send(target, copy, self.WireName, pipe_urn)
+        self._arm_retry(pending)
+
+    def _arm_retry(self, pending: _PendingDelivery) -> None:
+        reliability = pending.reliability
+        delay = min(
+            reliability.backoff_cap,
+            reliability.ack_timeout * reliability.backoff ** (pending.attempts - 1),
+        )
+        if reliability.jitter > 0:
+            delay = self.noise.jittered(delay, reliability.jitter)
+        pending.handle = self.peer.simulator.schedule(
+            delay,
+            lambda: self._retry(pending),
+            label=f"wire-retry:{self.peer.name}",
+        )
+
+    def _retry(self, pending: _PendingDelivery) -> None:
+        key = (pending.wire_id, pending.target_urn)
+        if self._pending.get(key) is not pending:
+            return  # acked or abandoned while the timer was in flight
+        if pending.pipe.closed:
+            del self._pending[key]
+            pending.tracker.mark(pending.target_urn, "abandoned")
+            return
+        if pending.attempts >= pending.reliability.max_attempts:
+            del self._pending[key]
+            pending.tracker.mark(pending.target_urn, "failed")
+            self.peer.metrics.counter("wire_delivery_failed").increment()
+            failure = DeliveryFailure(
+                wire_message_id=pending.wire_id,
+                pipe_urn=pending.pipe_urn,
+                target_urn=pending.target_urn,
+                attempts=pending.attempts,
+            )
+            for listener in list(pending.pipe.failure_listeners):
+                try:
+                    listener(failure)
+                except Exception:  # noqa: BLE001 - listeners must not break the service
+                    self.peer.metrics.counter("wire_failure_listener_errors").increment()
+            return
+        pending.attempts += 1
+        pending.tracker.record_retry(pending.target_urn)
+        self.peer.metrics.counter("wire_retries").increment()
+        self.peer.endpoint.send(
+            pending.target, pending.message, self.WireName, pending.pipe_urn
+        )
+        self._arm_retry(pending)
+
+    def abandon_pending(self, pipe: WireOutputPipe) -> None:
+        """Cancel the in-flight reliable deliveries of a closing pipe."""
+        for key, pending in list(self._pending.items()):
+            if pending.pipe is pipe:
+                if pending.handle is not None:
+                    pending.handle.cancel()
+                pending.tracker.mark(pending.target_urn, "abandoned")
+                del self._pending[key]
+
+    # ----------------------------------------------------------------- acks
+
+    def _on_ack_envelope(self, envelope: EndpointEnvelope, message: Message) -> None:
+        wire_id = message.get_text(WIRE_ACK_ID_ELEMENT)
+        pending = self._pending.pop((wire_id, envelope.src_peer), None)
+        if pending is None:
+            # Duplicate ack, ack of an abandoned delivery, or chaos echo.
+            self.peer.metrics.counter("wire_acks_ignored").increment()
+            return
+        if pending.handle is not None:
+            pending.handle.cancel()
+        pending.tracker.mark(pending.target_urn, "acked")
+        self.peer.metrics.counter("wire_acks_received").increment()
+
+    def _send_ack(self, envelope: EndpointEnvelope, message: Message, wire_id: str) -> None:
+        """Acknowledge an accepted reliable message back to its wire source.
+
+        Acks are tiny control messages; they charge network time but no wire
+        CPU cost, like the protocol chatter of the other JXTA services.
+        """
+        source_urn = message.get_text(WIRE_SRC_ELEMENT) or envelope.src_peer
+        ack = Message()
+        ack.add(WIRE_ACK_ID_ELEMENT, wire_id)
+        self.peer.endpoint.send(
+            PeerID.from_urn(source_urn),
+            ack,
+            self.WireName,
+            WIRE_ACK_PARAM_PREFIX + envelope.param,
+        )
+        self.peer.metrics.counter("wire_acks_sent").increment()
 
     # -------------------------------------------------------------- receive
 
@@ -256,20 +654,135 @@ class WireService:
             self.peer.metrics.counter("wire_unbound_deliveries").increment()
             return
         wire_id = message.get_text(WIRE_MSG_ID_ELEMENT)
+        if wire_id and message.has(WIRE_ACK_REQ_ELEMENT):
+            self._receive_reliable(pipe_urn, envelope, message, wire_id)
+            return
         if self.duplicate_suppression and wire_id:
-            if wire_id in self._seen_wire_ids:
+            if self._seen_wire_ids.seen(wire_id):
                 self.peer.metrics.counter("wire_duplicates_suppressed").increment()
                 return
-            self._seen_wire_ids.add(wire_id)
+        self._enqueue(pipe_urn, envelope, message)
+
+    def _receive_reliable(
+        self, pipe_urn: str, envelope: EndpointEnvelope, message: Message, wire_id: str
+    ) -> None:
+        if wire_id in self._seen_reliable:
+            # Retransmit (or network duplicate) of an already-accepted
+            # message: the previous ack may have been lost, so re-ack.
+            self._send_ack(envelope, message, wire_id)
+            self.peer.metrics.counter("wire_duplicates_suppressed").increment()
+            return
+        channel = message.get_text(WIRE_CHANNEL_ELEMENT)
+        seq_text = message.get_text(WIRE_SEQ_ELEMENT)
+        if channel and seq_text:
+            self._receive_ordered(
+                pipe_urn, envelope, message, wire_id, channel, int(seq_text)
+            )
+            return
+        # Unordered reliable message: accept, then ack.
+        if not self._enqueue(pipe_urn, envelope, message):
+            return  # queue full -> no ack -> the sender's retry is our flow control
+        self._seen_reliable.add(wire_id)
+        self._send_ack(envelope, message, wire_id)
+
+    def _receive_ordered(
+        self,
+        pipe_urn: str,
+        envelope: EndpointEnvelope,
+        message: Message,
+        wire_id: str,
+        channel: str,
+        seq: int,
+    ) -> None:
+        state = self._channels.setdefault(channel, _ChannelState())
+        if seq < state.next_seq:
+            # A retransmit of a sequence this channel already released
+            # (typically after an abandoned gap): ack so the sender stops,
+            # but do not deliver twice.
+            self._seen_reliable.add(wire_id)
+            self._send_ack(envelope, message, wire_id)
+            self.peer.metrics.counter("wire_stale_retransmits").increment()
+            return
+        if seq == state.next_seq:
+            if not self._enqueue(pipe_urn, envelope, message):
+                return  # not accepted: no ack, sender will retransmit
+            self._seen_reliable.add(wire_id)
+            self._send_ack(envelope, message, wire_id)
+            state.next_seq += 1
+            self._flush_channel(channel, state)
+            return
+        # Future sequence: hold it back until the gap fills (or times out).
+        if len(state.buffer) >= self.HOLDBACK_LIMIT:
+            self._abandon_gap(channel, state)
+            if seq < state.next_seq:  # the jump may have released our slot
+                self._seen_reliable.add(wire_id)
+                self._send_ack(envelope, message, wire_id)
+                return
+        state.buffer[seq] = (pipe_urn, envelope, message)
+        self._seen_reliable.add(wire_id)
+        self._send_ack(envelope, message, wire_id)
+        self.peer.metrics.counter("wire_out_of_order_held").increment()
+        self._arm_gap_timer(channel, state)
+
+    def _flush_channel(self, channel: str, state: _ChannelState) -> None:
+        """Release consecutively-sequenced held messages, manage the gap timer."""
+        while state.next_seq in state.buffer:
+            held_urn, held_envelope, held_message = state.buffer.pop(state.next_seq)
+            state.next_seq += 1
+            if not self._enqueue(held_urn, held_envelope, held_message):
+                # Already acked when buffered; under overload the bounded
+                # receive queue still wins (counted in wire_messages_dropped).
+                pass
+        if state.gap_handle is not None:
+            state.gap_handle.cancel()
+            state.gap_handle = None
+        if state.buffer:
+            self._arm_gap_timer(channel, state)
+
+    def _arm_gap_timer(self, channel: str, state: _ChannelState) -> None:
+        if state.gap_handle is not None and not state.gap_handle.cancelled:
+            return
+        state.gap_handle = self.peer.simulator.schedule(
+            self.order_gap_timeout,
+            lambda: self._on_gap_timeout(channel),
+            label=f"wire-gap:{self.peer.name}",
+        )
+
+    def _on_gap_timeout(self, channel: str) -> None:
+        state = self._channels.get(channel)
+        if state is None:
+            return
+        state.gap_handle = None
+        if state.buffer:
+            self._abandon_gap(channel, state)
+
+    def _abandon_gap(self, channel: str, state: _ChannelState) -> None:
+        """Skip a sequence gap that will never fill (sender gave up) and resume.
+
+        The missing message's loss is already reported on the *sender* side
+        (``wire_delivery_failed`` + failure listeners); the receiver counts
+        the abandonment and releases everything it was holding back.
+        """
+        if not state.buffer:
+            return
+        state.next_seq = min(state.buffer)
+        self.peer.metrics.counter("wire_order_gaps_abandoned").increment()
+        self._flush_channel(channel, state)
+
+    def _enqueue(
+        self, pipe_urn: str, envelope: EndpointEnvelope, message: Message
+    ) -> bool:
+        """Admit one message into the bounded service queue; False when full."""
         source = message.get_text(WIRE_SRC_ELEMENT) or envelope.src_peer
         self._sources.setdefault(pipe_urn, set()).add(source)
         if len(self._queue) >= self.cost_model.receive_queue_limit:
             self.peer.metrics.counter("wire_messages_dropped").increment()
-            return
+            return False
         self._queue.append((pipe_urn, envelope, message))
         self.peer.metrics.counter("wire_messages_enqueued").increment()
         if not self._busy:
             self._process_next()
+        return True
 
     def _process_next(self) -> None:
         if not self._queue:
@@ -289,6 +802,11 @@ class WireService:
             source_urn = message.get_text(WIRE_SRC_ELEMENT) or envelope.src_peer
             source = PeerID.from_urn(source_urn)
             for pipe in list(pipes):
+                if pipe.closed:
+                    # The pipe closed while the message was queued: count the
+                    # drop instead of letting InputPipe.receive eat it.
+                    self.peer.metrics.counter("wire_closed_pipe_drops").increment()
+                    continue
                 pipe.receive(message, source)
             self.peer.metrics.counter("wire_messages_delivered").increment()
             self.peer.metrics.timer("wire_receive_cpu").observe(service_time)
@@ -301,10 +819,18 @@ class WireService:
 
 
 __all__ = [
+    "DeliveryFailure",
+    "DeliveryTracker",
     "SendReceipt",
+    "WIRE_ACK_ID_ELEMENT",
+    "WIRE_ACK_PARAM_PREFIX",
+    "WIRE_ACK_REQ_ELEMENT",
+    "WIRE_CHANNEL_ELEMENT",
     "WIRE_MSG_ID_ELEMENT",
+    "WIRE_SEQ_ELEMENT",
     "WIRE_SRC_ELEMENT",
     "WireInputPipe",
     "WireOutputPipe",
+    "WireReliability",
     "WireService",
 ]

@@ -25,6 +25,7 @@ simulated.
 from __future__ import annotations
 
 from repro.net.cost import CostModel, PAPER_TESTBED
+from repro.net.faults import FaultPlan, LinkFaults
 from repro.net.firewall import Firewall, FirewallRule
 from repro.net.metrics import Counter, MetricsRegistry, TimeSeries, Timer
 from repro.net.network import Link, LinkSpec, Network, NetworkError, NoRouteError
@@ -43,10 +44,12 @@ __all__ = [
     "CostModel",
     "Counter",
     "EventHandle",
+    "FaultPlan",
     "Firewall",
     "FirewallRule",
     "HttpTransport",
     "Link",
+    "LinkFaults",
     "LinkSpec",
     "MetricsRegistry",
     "MulticastTransport",

@@ -11,6 +11,17 @@ Delivery is asynchronous: ``transmit`` charges the delay to the simulator and
 schedules ``Node.deliver`` at the future instant.  Unreliable transports may
 drop packets according to the link's loss rate; reliable transports (TCP,
 HTTP) never lose packets but pay their per-packet overhead.
+
+Chaos testing installs a :class:`~repro.net.faults.FaultPlan` on the network
+(``network.fault_plan = FaultPlan.chaos(...)``): every scheduled delivery --
+including ones on nominally "reliable" transports, since the point is to
+exercise the retry/ack/dedup layers above -- is then subject to the plan's
+seeded drop/duplicate/reorder/delay decisions.  Injected faults are counted
+in the network metrics (``faults_dropped``, ``faults_duplicated``,
+``faults_delayed``, ``faults_scripted``), as are routing failures
+(``packets_no_route`` for unreachable unicast destinations and
+``packets_blocked`` for firewall rejections), so no packet ever vanishes
+without a counter.
 """
 
 from __future__ import annotations
@@ -19,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.net.cost import CostModel, NoiseSource, PAPER_TESTBED
+from repro.net.faults import FaultPlan
 from repro.net.firewall import Direction
 from repro.net.metrics import MetricsRegistry
 from repro.net.node import Node
@@ -98,6 +110,11 @@ class Network:
         The calibrated cost model shared with the JXTA substrate.
     noise:
         Deterministic noise source (seeded) used for jitter and loss.
+    fault_plan:
+        Optional seeded :class:`~repro.net.faults.FaultPlan` consulted for
+        every scheduled delivery (chaos testing).  May also be installed
+        later by assigning ``network.fault_plan``.  The plan owns its own
+        RNG, so installing one does not perturb the ``noise`` sequence.
     """
 
     DEFAULT_SEGMENT = "lan0"
@@ -109,10 +126,12 @@ class Network:
         default_link: Optional[LinkSpec] = None,
         cost_model: CostModel = PAPER_TESTBED,
         noise: Optional[NoiseSource] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.simulator = simulator or Simulator()
         self.cost_model = cost_model
         self.noise = noise or NoiseSource()
+        self.fault_plan = fault_plan
         self.default_link = default_link or LinkSpec.lan(cost_model)
         self.metrics = MetricsRegistry(name="network")
         self._nodes: Dict[str, Node] = {}
@@ -241,13 +260,36 @@ class Network:
     def _transmit_unicast(self, sender: Node, packet: Packet) -> None:
         destination = packet.destination
         if not self.has_node(destination):
+            self.metrics.counter("packets_no_route").increment()
             raise UnknownNodeError(f"unknown destination {destination!r}")
         if not self.reachable(sender.address, destination, packet.transport):
+            # Routing failures used to vanish without a counter; discriminate
+            # firewall rejections (policy) from missing routes (topology).
+            if self._firewall_blocked(sender.address, destination, packet):
+                self.metrics.counter("packets_blocked").increment()
+            self.metrics.counter("packets_no_route").increment()
             raise NoRouteError(
                 f"no {packet.transport} route from {sender.address!r} to {destination!r}"
             )
         spec = self._link_between(sender.address, destination) or self.default_link
         self._schedule_delivery(sender, self.node(destination), packet, spec)
+
+    def _firewall_blocked(self, a: str, b: str, packet: Packet) -> bool:
+        """Whether the only obstacle between ``a`` and ``b`` is a firewall."""
+        if self.partitioned(a, b) or self._link_between(a, b) is None:
+            return False
+        try:
+            kind = TransportKind(packet.transport)
+        except ValueError:
+            return False
+        sender, receiver = self.node(a), self.node(b)
+        if not (sender.supports(kind) and receiver.supports(kind)):
+            return False
+        probe = Packet(source=a, destination=b, payload=b"", transport=kind.value)
+        return not (
+            sender.firewall.permits(probe, Direction.OUTBOUND)
+            and receiver.firewall.permits(probe, Direction.INBOUND)
+        )
 
     def _transmit_multicast(self, sender: Node, packet: Packet) -> None:
         segment = self.segment_of(sender.address)
@@ -280,18 +322,38 @@ class Network:
         if not transport.reliable and self.noise.chance(spec.loss_rate):
             self.metrics.counter("packets_lost").increment()
             return
+        # The fault plan is consulted *after* the legacy loss draw so that
+        # installing a plan never shifts the noise source's RNG sequence, and
+        # applies to every transport -- chaos deliberately breaks the "TCP
+        # never loses" idealisation to exercise the retry layers above.
+        extra_delays: Tuple[float, ...] = (0.0,)
+        plan = self.fault_plan
+        if plan is not None:
+            decision = plan.decide(sender.address, receiver.address)
+            if decision.scripted:
+                self.metrics.counter("faults_scripted").increment()
+            if decision.drop:
+                self.metrics.counter("faults_dropped").increment()
+                self.metrics.counter("packets_lost").increment()
+                return
+            extra_delays = decision.deliveries
+            if len(extra_delays) > 1:
+                self.metrics.counter("faults_duplicated").increment(len(extra_delays) - 1)
+            if any(extra > 0.0 for extra in extra_delays):
+                self.metrics.counter("faults_delayed").increment()
         delay = (
             self.noise.jittered(spec.latency, spec.jitter)
             + packet.size / spec.bandwidth
             + transport.per_packet_overhead
         )
-        self.metrics.counter("packets_delivered").increment()
-        self.metrics.counter("bytes_carried").increment(packet.size)
-        self.simulator.schedule(
-            delay,
-            lambda: receiver.deliver(packet),
-            label=f"deliver:{sender.address}->{receiver.address}",
-        )
+        for extra in extra_delays:
+            self.metrics.counter("packets_delivered").increment()
+            self.metrics.counter("bytes_carried").increment(packet.size)
+            self.simulator.schedule(
+                delay + extra,
+                lambda: receiver.deliver(packet),
+                label=f"deliver:{sender.address}->{receiver.address}",
+            )
 
     # ------------------------------------------------------------------ misc
 

@@ -287,7 +287,7 @@ class TestSubscriptionBuilder:
         _, subscriber = pair
         predicate = lambda o: o.price < 100  # noqa: E731
         subscriber.subscription(lambda event: None).where(predicate).start()
-        ((_, _, row_predicate),) = subscriber.subscriber_manager._handlers
+        ((_, _, row_predicate, _),) = subscriber.subscriber_manager._handlers
         assert row_predicate is predicate
 
     def test_on_error_routes_callback_exceptions(self, pair):

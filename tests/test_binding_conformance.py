@@ -20,6 +20,13 @@ wire bindings).  The test bodies never branch on the binding name.
 Covered surface: publish/subscribe with ordering and history, handle
 cancellation, fluent ``.where()`` predicates, streams under both overflow
 policies, close idempotence, and the uniform post-close ``PSException``.
+
+The ``+CHAOS`` variants (marked ``chaos``) re-run the wire bindings over a
+fault-injected network -- every link drops, duplicates, reorders and delays
+packets per :meth:`repro.net.faults.FaultPlan.chaos` -- with the wire
+layer's reliable delivery switched on.  Every assertion stays byte-for-byte
+identical: at-least-once retries plus receiver dedup and ordering must make
+a faulty network indistinguishable from a clean one at the TPS API.
 """
 
 from __future__ import annotations
@@ -35,9 +42,21 @@ from repro.core.interface import TPSInterface
 from repro.core.local_engine import LocalBus
 from repro.core.sharded_engine import ShardedLocalBus
 from repro.jxta.platform import JxtaNetworkBuilder
+from repro.net.faults import FaultPlan
 
-#: The behavioral matrix: every test in this module runs once per binding.
-BINDINGS = ("LOCAL", "SHARDED", "JXTA", "SHARDED+JXTA")
+#: Suffix selecting a fault-injected network with reliable delivery on.
+CHAOS_SUFFIX = "+CHAOS"
+
+#: The behavioral matrix: every test in this module runs once per binding,
+#: plus once per wire binding over the standard chaos fault plan.
+BINDINGS = (
+    "LOCAL",
+    "SHARDED",
+    "JXTA",
+    "SHARDED+JXTA",
+    pytest.param("JXTA" + CHAOS_SUFFIX, marks=pytest.mark.chaos),
+    pytest.param("SHARDED+JXTA" + CHAOS_SUFFIX, marks=pytest.mark.chaos),
+)
 
 #: Conformance involves full simulated networks for the wire bindings.
 pytestmark = [pytest.mark.slow]
@@ -54,6 +73,9 @@ class BindingHarness:
     PUMP_ROUNDS = 10
 
     def __init__(self, binding: str) -> None:
+        self.chaos = binding.endswith(CHAOS_SUFFIX)
+        if self.chaos:
+            binding = binding[: -len(CHAOS_SUFFIX)]
         self.binding = binding
         self.engines: List[TPSEngine] = []
         self.builder: Optional[JxtaNetworkBuilder] = None
@@ -67,7 +89,11 @@ class BindingHarness:
             self.builder.add_rendezvous("rdv-0")
             self.publisher_peer = self.builder.add_peer("conf-pub")
             self.subscriber_peer = self.builder.add_peer("conf-sub")
+            # Discovery converges on a clean network; the faults switch on
+            # *before* any TPS traffic, so every publish crosses chaos.
             self.builder.settle(rounds=6)
+            if self.chaos:
+                self.builder.network.fault_plan = FaultPlan.chaos(seed=20020713)
 
     @property
     def wire(self) -> bool:
@@ -79,7 +105,9 @@ class BindingHarness:
         """One interface over this harness's binding (wire peers explicit)."""
         if self.wire:
             config = TPSConfig(
-                search_timeout=2.0 if create else 6.0, create_if_missing=create
+                search_timeout=2.0 if create else 6.0,
+                create_if_missing=create,
+                reliable_delivery=self.chaos,
             )
             engine = TPSEngine(
                 event_type, peer=peer or self.publisher_peer, config=config

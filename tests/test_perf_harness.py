@@ -87,6 +87,7 @@ class TestPerfSuite:
             "intra_shards", "intra_keys", "intra_events",
             "intra_subscribers", "intra_io_s",
             "figure19_events", "figure20_duration", "figure20_events",
+            "lossy_events",
         }
         for name, profile in PROFILES.items():
             assert keys <= set(profile), f"profile {name} missing keys"
@@ -176,12 +177,12 @@ class TestPerfSuite:
 
     def test_committed_trajectory_files_validate(self):
         """Every committed BENCH_*.json must validate: historical points
-        against the baseline comparison set they were generated under, the
-        newest point against the full current schema."""
+        against the baseline comparison/scenario sets they were generated
+        under, the newest point against the full current schema."""
         import glob
         import os
 
-        from repro.bench.perf import BASELINE_COMPARISON_NAMES
+        from repro.bench.perf import BASELINE_COMPARISON_NAMES, BASELINE_SCENARIO_NAMES
 
         root = os.path.join(os.path.dirname(__file__), os.pardir)
         paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
@@ -190,8 +191,13 @@ class TestPerfSuite:
         for path in paths:
             with open(path, encoding="utf-8") as handle:
                 document = json.load(handle)
-            required = COMPARISON_NAMES if path == newest else BASELINE_COMPARISON_NAMES
-            assert validate_document(document, required_comparisons=required) == [], path
+            comparisons = COMPARISON_NAMES if path == newest else BASELINE_COMPARISON_NAMES
+            scenarios = SCENARIO_NAMES if path == newest else BASELINE_SCENARIO_NAMES
+            assert validate_document(
+                document,
+                required_comparisons=comparisons,
+                required_scenarios=scenarios,
+            ) == [], path
         with open(newest, encoding="utf-8") as handle:
             document = json.load(handle)
         by_name = {entry["name"]: entry for entry in document["comparisons"]}
@@ -206,6 +212,27 @@ class TestPerfSuite:
         # PR 5: content-keyed intra-hierarchy sharding beats the 1-shard
         # baseline on the single hot hierarchy.
         assert by_name["intra_shard_fanout"]["speedup"] > 1.0
+        # PR 6: reliable delivery under loss stays complete -- every rate in
+        # the lossy_publish sweep delivers all published events with zero
+        # terminal failures, and the lossy rates actually exercise retries.
+        lossy = next(
+            entry for entry in document["scenarios"] if entry["name"] == "lossy_publish"
+        )
+        for rate in lossy["rates"]:
+            assert rate["delivered"] == rate["published"], rate
+            assert rate["delivery_failures"] == 0, rate
+        assert sum(rate["retries"] for rate in lossy["rates"][1:]) > 0
+
+    def test_schema_covers_the_lossy_scenario(self):
+        """The PR-6 scenario (reliable publish over lossy links) is part of
+        the contract: a document missing it must fail validation."""
+        assert "lossy_publish" in SCENARIO_NAMES
+        document = {
+            "schema": SCHEMA, "version": "x", "unix_time": 1.0,
+            "profile": "full", "comparisons": [], "scenarios": [],
+        }
+        problems = validate_document(document)
+        assert any("lossy_publish" in problem for problem in problems)
 
 
 class TestPerfCli:

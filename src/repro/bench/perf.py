@@ -115,7 +115,12 @@ BASELINE_COMPARISON_NAMES = (
 )
 
 #: Scenario names every suite run must produce (schema contract).
-SCENARIO_NAMES = ("figure19_sr_tps", "figure20_sr_tps", "lossy_publish")
+SCENARIO_NAMES = (
+    "figure19_sr_tps",
+    "figure20_sr_tps",
+    "lossy_publish",
+    "reshard_live",
+)
 
 #: The pre-PR-6 scenario set: the minimum every historical repro-bench/v1
 #: document contains (``lossy_publish`` arrived with the reliability layer).
@@ -147,6 +152,9 @@ PROFILES: Dict[str, Dict[str, Any]] = {
         "figure20_duration": 10.0,
         "figure20_events": 2_000,
         "lossy_events": 60,
+        "reshard_shards": 4,
+        "reshard_keys": 24,
+        "reshard_events": 4_000,
     },
     "quick": {
         "repeats": 3,
@@ -170,6 +178,9 @@ PROFILES: Dict[str, Dict[str, Any]] = {
         "figure20_duration": 4.0,
         "figure20_events": 400,
         "lossy_events": 20,
+        "reshard_shards": 4,
+        "reshard_keys": 24,
+        "reshard_events": 1_000,
     },
     "smoke": {
         "repeats": 1,
@@ -193,6 +204,9 @@ PROFILES: Dict[str, Dict[str, Any]] = {
         "figure20_duration": 1.0,
         "figure20_events": 10,
         "lossy_events": 4,
+        "reshard_shards": 2,
+        "reshard_keys": 8,
+        "reshard_events": 40,
     },
 }
 
@@ -580,7 +594,9 @@ def _mt_types(publishers: int) -> List[type]:
     filled with unused candidates and the benchmark merely loses some
     parallelism -- it never breaks.
     """
-    probe = ShardedLocalBus(shards=publishers)
+    # placement="modn" pins the pre-PR 7 CRC-32-mod-N assignment, keeping
+    # this benchmark's workload bit-identical to the recorded BENCH history.
+    probe = ShardedLocalBus(shards=publishers, placement="modn")
     chosen: List[type] = []
     used: "set[int]" = set()
     for cls in _MT_EVENT_TYPES:
@@ -639,7 +655,7 @@ def _bench_mt_fanout(profile: Dict[str, Any]) -> Comparison:
 
     locked_bus = _LockedLocalBus()
     locked_engines = build(locked_bus)
-    sharded_bus = ShardedLocalBus(shards=publishers)
+    sharded_bus = ShardedLocalBus(shards=publishers, placement="modn")
     sharded_engines = build(sharded_bus)
 
     def run_locked() -> float:
@@ -728,10 +744,12 @@ def _bench_intra_shard_fanout(profile: Dict[str, Any]) -> Comparison:
             engine.subscribe(lambda event: time.sleep(io_wait))
         return publisher
 
+    # placement="modn" keeps the key->shard grouping identical to the
+    # recorded BENCH history (ring placement would regroup the corpus).
     sharded_bus = ShardedLocalBus(
-        shards=shards, partition="content", content_key="key"
+        shards=shards, partition="content", content_key="key", placement="modn"
     )
-    single_bus = ShardedLocalBus(shards=1)
+    single_bus = ShardedLocalBus(shards=1, placement="modn")
     sharded_publisher = build(sharded_bus)
     single_publisher = build(single_bus)
 
@@ -800,7 +818,83 @@ def _bench_scenarios(profile: Dict[str, Any]) -> List[Dict[str, Any]]:
         }
     )
     scenarios.append(_bench_lossy_publish(profile))
+    scenarios.append(_bench_reshard_live(profile))
     return scenarios
+
+
+def _bench_reshard_live(profile: Dict[str, Any]) -> Dict[str, Any]:
+    """Publish throughput during a live ``add_shard`` versus steady state.
+
+    One content-keyed ring bus (the PR 7 elastic default), one subscriber,
+    one publisher streaming the same key corpus twice: first against a
+    fixed topology (steady), then again while a background thread grows the
+    bus by one shard mid-stream (the drain-then-switch migration pauses
+    only the moved keys, so throughput should dip, not stop).  The scenario
+    also records the placement-layer movement bound in action: how many of
+    the corpus keys the migration actually re-homed (consistent hashing
+    promises ~1/(N+1) of them; mod-N rehashing would move ~N/(N+1)).
+    """
+    from repro.core.placement import moved_keys
+
+    shards = profile["reshard_shards"]
+    keys = profile["reshard_keys"]
+    events = profile["reshard_events"]
+    bus = ShardedLocalBus(shards=shards, partition="content", content_key="key")
+    publisher = LocalTPSEngine(_HotEvent, bus=bus)
+    subscriber = LocalTPSEngine(_HotEvent, bus=bus)
+    delivered = [0]
+    subscriber.subscribe(lambda event: delivered.__setitem__(0, delivered[0] + 1))
+    corpus = [f"key-{index}" for index in range(keys)]
+    batch = [
+        _HotEvent(key=corpus[index % keys], price=float(index))
+        for index in range(events)
+    ]
+
+    def stream() -> float:
+        start = time.perf_counter()
+        for event in batch:
+            bus.publish(publisher, event)
+        return time.perf_counter() - start
+
+    steady_wall = stream()
+
+    placement_before = bus._epoch.placement
+    go = threading.Event()
+    done = threading.Event()
+
+    def grow() -> None:
+        go.wait()
+        bus.add_shard()
+        done.set()
+
+    churn = threading.Thread(target=grow, name="reshard-bench", daemon=True)
+    churn.start()
+    start = time.perf_counter()
+    for index, event in enumerate(batch):
+        if index == events // 3:
+            go.set()
+        bus.publish(publisher, event)
+    churn.join()
+    reshard_wall = time.perf_counter() - start
+    placement_after = bus._epoch.placement
+    moved = moved_keys(placement_before, placement_after, corpus)
+    bus.shutdown()
+    assert delivered[0] == 2 * events, "resharding lost or duplicated deliveries"
+    return {
+        "name": "reshard_live",
+        "wall_clock_s": round(steady_wall + reshard_wall, 4),
+        "events": events,
+        "shards_before": shards,
+        "shards_after": shards + 1,
+        "epochs": bus.epoch_number,
+        "steady_events_per_s": round(events / steady_wall, 1),
+        "reshard_events_per_s": round(events / reshard_wall, 1),
+        "throughput_ratio": round(
+            (events / reshard_wall) / (events / steady_wall), 3
+        ),
+        "keys_total": keys,
+        "keys_moved": len(moved),
+    }
 
 
 def _bench_lossy_publish(profile: Dict[str, Any]) -> Dict[str, Any]:

@@ -91,20 +91,28 @@ class BindingParam:
     ``types`` is the tuple of accepted value classes (empty accepts any
     value); ``check`` is an optional extra validator returning a problem
     string (or None when the value is fine), for constraints a type check
-    cannot express (``shards >= 1``, "string or callable", ...).
+    cannot express (``shards >= 1``, "string or callable", ...); ``default``
+    is the *effective* value when the parameter is omitted (None both for
+    "no default" and for a genuine None default -- introspection only,
+    factories still resolve their own fallbacks).
     """
 
     name: str
     types: Tuple[type, ...] = ()
     description: str = ""
     check: Optional[Callable[[Any], Optional[str]]] = None
+    default: Any = None
 
     def describe(self) -> str:
-        """``name (type, type)`` -- the schema line used in error messages."""
-        if not self.types:
-            return self.name
-        accepted = "|".join(cls.__name__ for cls in self.types)
-        return f"{self.name} ({accepted})"
+        """``name (type, type) [=default]`` -- the schema line used in error
+        messages and introspection."""
+        line = self.name
+        if self.types:
+            accepted = "|".join(cls.__name__ for cls in self.types)
+            line = f"{line} ({accepted})"
+        if self.default is not None:
+            line = f"{line} [={self.default!r}]"
+        return line
 
     def problem_with(self, value: Any) -> Optional[str]:
         """Why ``value`` is unacceptable for this parameter, or None."""

@@ -31,19 +31,37 @@ teardown) through the owning thread's call stack, so cross-thread misuse
 surfaces as the wire leg's clear :class:`PSException` rather than corrupted
 network state.
 
-Binding parameters: ``shards``, ``partition``, ``content_key`` (the same
-schema as ``"SHARDED"``).  Registry-built buses are scoped **per peer** --
-each simulated peer models one process, so its composite interfaces share a
-bus with each other but never with another peer's; remote traffic goes over
-the wire, exactly as it would between real processes.
+Binding parameters: the full ``"SHARDED"`` schema (``shards``,
+``partition``, ``content_key``, ``placement``, ``virtual_nodes``) plus the
+composite-only membership knobs (``membership``, ``heartbeat_interval``,
+``suspect_timeout``, ``confirm_timeout``).  Registry-built buses are scoped
+**per peer** -- each simulated peer models one process, so its composite
+interfaces share a bus with each other but never with another peer's; remote
+traffic goes over the wire, exactly as it would between real processes.
+
+Membership (PR 7): with ``membership=True`` the peer runs one shared
+:class:`~repro.net.membership.MembershipMonitor` (first engine to enable it
+fixes the timing -- later engines on the same peer reuse it).  Each publish
+syncs the wire leg's resolved peers into the monitor's watch list, and the
+monitor's mutual-discovery heartbeats spread the watching to subscribe-only
+peers from there.  When the detector *confirms* a peer dead, the composite
+closes that peer's wire leg: every reliable delivery still pending towards
+it is failed immediately through :meth:`WireService.fail_target` (reported
+via the PR 6 ``delivery_failure_handler`` path instead of retrying the full
+backoff ladder) and the peer is dropped from the pipe binding tables so new
+publishes stop targeting it.  The detector keeps *probing* the dead peer,
+so a rejoin flips it back to ``alive`` and the next resolve re-records it.
+Enable membership on every participating peer -- heartbeats are mutual, and
+a peer that never heartbeats back is (correctly) convicted.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Iterable, List, Optional
+import weakref
+from typing import Any, Dict, Iterable, List, Optional
 
-from repro.core.bindings import BindingRequest, register_binding
+from repro.core.bindings import BindingParam, BindingRequest, register_binding
 from repro.core.exceptions import PSException
 from repro.core.interface import PublishReceipt, Subscription
 from repro.core.jxta_engine import JxtaTPSEngine, TPSConfig
@@ -57,10 +75,86 @@ from repro.core.type_registry import Criteria
 from repro.jxta.ids import PeerID
 from repro.jxta.message import Message
 from repro.jxta.peer import Peer
+from repro.net.membership import MembershipConfig, MembershipMonitor
 from repro.serialization.object_codec import ObjectCodec
 
 #: Message element carrying the publishing bus's id (same-bus echo filter).
 TPS_ORIGIN_ELEMENT = "TPSOrigin"
+
+#: One failure detector per peer (a peer models a process; its composite
+#: interfaces share one view of who is alive).  Held weakly so caching a
+#: monitor never pins a peer -- and through it a simulated network.
+_MONITORS: "weakref.WeakKeyDictionary[Peer, MembershipMonitor]" = (
+    weakref.WeakKeyDictionary()
+)
+_MONITORS_LOCK = threading.Lock()
+
+#: The membership timing parameter names (floats, virtual seconds).
+_MEMBERSHIP_TIMING_PARAMS = (
+    "heartbeat_interval",
+    "suspect_timeout",
+    "confirm_timeout",
+)
+
+
+def _monitor_for(peer: Peer, timing: Dict[str, float]) -> MembershipMonitor:
+    """The peer's shared failure detector, created on first request.
+
+    First configuration wins: the monitor is one per peer, so a second
+    engine asking for different timing silently reuses the existing one
+    (the alternative -- two detectors with two clocks disagreeing about the
+    same peers -- is strictly worse).
+    """
+    with _MONITORS_LOCK:
+        monitor = _MONITORS.get(peer)
+        if monitor is None:
+            try:
+                monitor = MembershipMonitor(peer, MembershipConfig(**timing))
+            except ValueError as error:
+                raise PSException(
+                    f"invalid membership timing for the SHARDED+JXTA binding: {error}"
+                ) from error
+            _MONITORS[peer] = monitor
+        return monitor
+
+
+def _positive_seconds(value: Any) -> Optional[str]:
+    if isinstance(value, bool) or value <= 0:
+        return f"must be a positive number of virtual seconds, got {value!r}"
+    return None
+
+
+#: The composite's parameter schema: everything SHARDED takes, plus the
+#: membership failure-detector knobs (which need a peer, hence live here).
+COMPOSITE_BINDING_PARAMS = SHARDED_BINDING_PARAMS + (
+    BindingParam(
+        "membership",
+        (bool,),
+        "run a heartbeat failure detector on this peer",
+        default=False,
+    ),
+    BindingParam(
+        "heartbeat_interval",
+        (int, float),
+        "virtual seconds between heartbeats (membership=True)",
+        _positive_seconds,
+        default=MembershipConfig.heartbeat_interval,
+    ),
+    BindingParam(
+        "suspect_timeout",
+        (int, float),
+        "silence before a peer turns SUSPECT (membership=True)",
+        _positive_seconds,
+        default=MembershipConfig.suspect_timeout,
+    ),
+    BindingParam(
+        "confirm_timeout",
+        (int, float),
+        "further silence before SUSPECT is confirmed DEAD (membership=True)",
+        _positive_seconds,
+        default=MembershipConfig.confirm_timeout,
+    ),
+)
 
 
 class _CompositeWireLeg(JxtaTPSEngine):
@@ -103,11 +197,13 @@ class ShardedJxtaTPSEngine(LocalTPSEngine):
         criteria: Optional[Criteria] = None,
         codec: Optional[ObjectCodec] = None,
         config: Optional[TPSConfig] = None,
+        membership: Optional[MembershipMonitor] = None,
     ) -> None:
         super().__init__(event_type, bus=bus, criteria=criteria, codec=codec)
         #: Serialises bridge open/close against subscription churn.
         self._bridge_lock = threading.Lock()
         self._bridge_handle: Optional[Any] = None
+        self._membership = membership
         try:
             self._wire = _CompositeWireLeg(
                 bus.bus_id,
@@ -121,6 +217,8 @@ class ShardedJxtaTPSEngine(LocalTPSEngine):
             # The local leg already attached to the bus; don't leak it.
             self.bus.detach(self)
             raise
+        if membership is not None:
+            membership.add_listener(self._on_membership_event)
         # Crash containment covers *this* interface's subscribers (the wire
         # leg's bridge subscription must never be quarantined -- it is the
         # composite's only remote inlet), so the breaker policy is installed
@@ -151,26 +249,72 @@ class ShardedJxtaTPSEngine(LocalTPSEngine):
         """Number of advertisements the wire leg is attached to."""
         return self._wire.attachment_count
 
+    @property
+    def membership(self) -> Optional[MembershipMonitor]:
+        """The peer's shared failure detector (None when membership is off)."""
+        return self._membership
+
+    # ------------------------------------------------------------ membership
+
+    def _sync_membership_watches(self) -> None:
+        """Put every currently resolved wire target under the detector's watch.
+
+        Runs on each publish (the moment resolved peers matter); watching is
+        idempotent, and the monitor's mutual discovery spreads it to
+        subscribe-only peers that never publish themselves.
+        """
+        monitor = self._membership
+        if monitor is None:
+            return
+        for attachment in self._wire.manager.attachments:
+            output_pipe = attachment.output_pipe
+            if output_pipe is None:
+                continue
+            for peer_id in output_pipe.pipe.resolved_peers():
+                monitor.watch(peer_id)
+
+    def _on_membership_event(self, event: str, urn: str) -> None:
+        """Close the wire leg towards a peer the detector confirmed dead.
+
+        Pending reliable deliveries to the departed peer are failed at once
+        (each surfaces through ``delivery_failure_handler`` exactly like a
+        retry-exhausted delivery) and the peer leaves the pipe binding
+        tables so new publishes stop targeting it.  The monitor keeps
+        probing the peer; on ``recover`` nothing needs undoing here -- the
+        next binding resolve re-records the peer as a target.
+        """
+        if event != "confirm":
+            return
+        for attachment in self._wire.manager.attachments:
+            wire_service = attachment.finder.wire_service
+            if wire_service is None:
+                continue
+            wire_service.fail_target(urn)
+            wire_service.group.pipe_service.forget_peer(urn)
+
     # ------------------------------------------------------------ publishing
 
     def publish(self, event: Any) -> PublishReceipt:
         """Publish locally through the sharded bus *and* remotely over JXTA.
 
-        The partition key is resolved first, so a content-keyed event
+        The placement key is resolved first, so a content-keyed event
         missing its declared attribute fails before anything is sent; the
         wire send runs next (it can refuse with ``NotInitializedError``
-        before the network settles), and local shard delivery last.  The
-        receipt is the wire receipt with the local delivery prepended: one
-        extra "pipe" (the bus) and its delivered-count as the first wire
-        receipt entry.
+        before the network settles), and local shard delivery last -- via
+        the bus's own epoch-registered publish path, so a concurrent
+        ``add_shard``/``remove_shard`` either waits this delivery out or
+        this delivery routes through one consistent placement snapshot
+        (never a stale pre-computed shard index).  The receipt is the wire
+        receipt with the local delivery prepended: one extra "pipe" (the
+        bus) and its delivered-count as the first wire receipt entry.
         """
         self._check_open()
         self.registry.check_publishable(event)
         copy = self.registry.decode(self.registry.encode(event))
-        root_name = self.registry.advertised_name
-        index = self.bus.partition_index(root_name, copy)
+        self.bus.placement_key(self.registry.advertised_name, copy)
+        self._sync_membership_watches()
         wire_receipt = self._wire.publish(event)
-        delivered = self.bus.shards[index].publish(self, copy)
+        delivered = self.bus.publish(self, copy)
         self._sent.append(event)
         return PublishReceipt(
             cpu_time=wire_receipt.cpu_time,
@@ -278,6 +422,11 @@ class ShardedJxtaTPSEngine(LocalTPSEngine):
         super()._do_close()
         with self._bridge_lock:
             self._bridge_handle = None
+        if self._membership is not None:
+            # The monitor is the peer's, not this engine's: stop feeding this
+            # engine's departed-peer handler but leave the detector running
+            # for the peer's other composite interfaces.
+            self._membership.remove_listener(self._on_membership_event)
         self._wire.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -303,6 +452,19 @@ def _sharded_jxta_binding(request: BindingRequest) -> ShardedJxtaTPSEngine:
             "construct the engine with TPSEngine(EventType, peer=some_peer)"
         )
     bus = request_bus(request, scope=request.peer)
+    timing = {
+        name: request.param(name)
+        for name in _MEMBERSHIP_TIMING_PARAMS
+        if name in request.params
+    }
+    monitor = None
+    if request.param("membership"):
+        monitor = _monitor_for(request.peer, timing)
+    elif timing:
+        raise PSException(
+            f"membership timing parameters {sorted(timing)} have no effect "
+            "without membership=True; enable the failure detector or drop them"
+        )
     return ShardedJxtaTPSEngine(
         request.event_type,
         request.peer,
@@ -310,19 +472,29 @@ def _sharded_jxta_binding(request: BindingRequest) -> ShardedJxtaTPSEngine:
         criteria=request.criteria,
         codec=request.codec,
         config=request.config,
+        membership=monitor,
     )
 
 
 register_binding(
     "SHARDED+JXTA",
     _sharded_jxta_binding,
-    capabilities=("in-process", "sharded", "distributed", "simulated-network", "composite"),
-    params=SHARDED_BINDING_PARAMS,
+    capabilities=(
+        "in-process",
+        "sharded",
+        "elastic",
+        "distributed",
+        "simulated-network",
+        "composite",
+        "membership",
+    ),
+    params=COMPOSITE_BINDING_PARAMS,
     replace=True,
 )
 
 
 __all__ = [
+    "COMPOSITE_BINDING_PARAMS",
     "ShardedJxtaTPSEngine",
     "TPS_ORIGIN_ELEMENT",
 ]

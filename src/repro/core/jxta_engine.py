@@ -552,6 +552,7 @@ JXTA_BINDING_PARAMS = tuple(
         _CONFIG_FIELD_TYPES.get(str(config_field.type), ()),
         f"TPSConfig.{config_field.name} override (default {config_field.default!r})",
         None if str(config_field.type) == "bool" else _not_bool,
+        default=config_field.default,
     )
     for config_field in dataclasses.fields(TPSConfig)
 )

@@ -1,26 +1,28 @@
-"""The ``"SHARDED"`` binding: an N-shard in-process bus.
+"""The ``"SHARDED"`` binding: an elastic N-shard in-process bus.
 
 The ROADMAP's sharding direction, taken through the public binding registry
 (no special case anywhere in :mod:`repro.core.engine`): a
 :class:`ShardedLocalBus` partitions delivery across N independent
-:class:`~repro.core.local_engine.LocalBus` shards.
+:class:`~repro.core.local_engine.LocalBus` shards — and, since PR 7, the
+shard set is *elastic*: :meth:`ShardedLocalBus.add_shard` /
+:meth:`ShardedLocalBus.remove_shard` resize a **running** bus without
+dropping, duplicating or reordering a single delivery.
 
 Partition contract (the ``partition`` constructor argument and binding
 parameter):
 
 * ``"root"`` (the default) -- *inter*-hierarchy sharding.  Every engine of a
-  hierarchy lands on the shard selected by CRC-32 of the hierarchy-root name
-  (stable across processes and runs -- Python's randomised ``hash()`` would
-  not be), so delivery semantics are identical to a single bus while
-  unrelated hierarchies stop sharing routing tables and locks.
+  hierarchy lands on the shard its placement selects for the hierarchy-root
+  name, so delivery semantics are identical to a single bus while unrelated
+  hierarchies stop sharing routing tables and locks.
 * ``"content"`` -- *intra*-hierarchy sharding by event content.  Requires
   ``content_key``, the name of an event attribute; each published event is
-  routed through the shard selected by CRC-32 of
+  routed through the shard its placement selects for
   ``"<root name>:<key value>"``.  Engines attach to **every** shard (the
   partition-aware routing path: whichever shard an event hashes to must know
   the hierarchy's subscribers), each event is still delivered exactly once
   (only its own shard delivers it), and per-key ordering is preserved: a
-  given key always hashes to the same shard, and a shard's deliveries run
+  given key always maps to the same shard, and a shard's deliveries run
   serially in publish order -- including under
   :meth:`ShardedLocalBus.publish_all`, where each shard group runs serially
   in job order while distinct shards run in parallel.  An event *missing*
@@ -29,43 +31,97 @@ parameter):
   the bus stays fully usable afterwards.
 * a callable ``partition(event) -> key`` -- like ``"content"`` but with an
   application-supplied key function; the returned key is stringified and
-  CRC-32 hashed.  A raising key function is wrapped in :class:`PSException`
-  the same way.
+  hashed.  A raising key function is wrapped in :class:`PSException` the
+  same way.
+* ``"ring"`` / ``"modn"`` -- aliases for ``"root"`` partitioning with the
+  named placement pinned (shorthand for ``partition="root",
+  placement=...``), so binding params can say ``partition="modn"`` to get
+  the exact pre-PR 7 CRC-32 mod-N layout.
+
+*Where* a key lives is delegated to :mod:`repro.core.placement` (the
+``placement`` / ``virtual_nodes`` arguments): ``"ring"`` -- the default --
+is a consistent-hash ring with virtual nodes over stable shard ids, so
+resizing moves only ~``1/(N+1)`` of the keys; ``"modn"`` is the legacy
+CRC-32 mod-N compatibility mode (identical assignment to the PR 5 bus,
+nearly total reshuffle on resize -- usable, but resharding it is a bulk
+move, not an incremental one).
 
 Binding parameters (v2 registry schema): ``new_interface("SHARDED",
 shards=16)`` or ``new_interface("SHARDED", shards=8, partition="content",
-content_key="symbol")``.  Interfaces created with the *same* parameter set
-share one registry-built bus (so they can talk to each other); passing
-parameters together with an explicit engine-level ``local_bus`` is rejected
--- the parameters describe a bus, so supply one or the other.
+content_key="symbol", virtual_nodes=128)``.  Interfaces created with the
+*same* parameter set share one registry-built bus (so they can talk to each
+other); passing parameters together with an explicit engine-level
+``local_bus`` is rejected -- the parameters describe a bus, so supply one or
+the other.
 
 :class:`~repro.core.local_engine.LocalTPSEngine` runs over the sharded bus
 unchanged -- the bus is a drop-in facade with the same
 ``attach``/``detach``/``publish``/``engines_for`` surface -- which is the
 point of the exercise: a binding built purely from public pieces.
 
-Locking model: the shard tuple is immutable, so the facade itself needs no
-lock -- every call delegates to the owning shard, and each shard is a
-:class:`~repro.core.local_engine.LocalBus` that is thread-safe on its own
-(per-shard lifecycle lock, lock-free snapshot publish).  Two publishers on
-*different* shards therefore share no lock at all; the parallel cross-shard
-path (:meth:`ShardedLocalBus.publish_all`, backing ``tps.publish_many``)
-leans on exactly that independence, fanning per-shard batches out to a
-lazily created executor while keeping each shard's events in job order.
+Locking and migration model (PR 4's snapshot discipline, extended to PR 7's
+ring epochs -- no new locking scheme):
+
+* All *routing state* lives in one immutable ``_Epoch`` object -- the shard
+  tuple, the placement, an optional pause gate -- swapped atomically as a
+  whole, exactly like the PR 1 route rows and PR 4 handler snapshots.  The
+  publish path reads ``self._epoch`` once and never takes a bus-level lock;
+  two publishers on *different* shards share no lock at all.  The parallel
+  cross-shard path (:meth:`ShardedLocalBus.publish_all`, backing
+  ``tps.publish_many``) leans on exactly that independence, fanning
+  per-shard batches out to a lazily created executor while keeping each
+  shard's events in job order.
+* Publishers *register* in the epoch they read (a CPython-atomic
+  ``list.append`` token, re-checked against ``self._epoch`` so a token can
+  never land in an epoch that was already retired) and deregister when the
+  delivery returns -- giving migrations an exact "who is still delivering
+  under the old placement" signal with zero cost on the steady-state path.
+* Live resharding is **drain-then-switch per key range**, serialized under
+  ``_topology_lock`` (shared with ``attach``/``detach``):
+
+  1. install a *paused* epoch: same shards/placement, plus a gate that
+     blocks exactly the keys whose owner differs between the old and new
+     placement (everything else keeps publishing at full speed);
+  2. drain the previous epoch's in-flight registrations -- after this, no
+     thread is delivering an affected key anywhere;
+  3. attach moved hierarchies' engines to their new owner shards (delivery
+     for those keys is still gated, so double-attachment is unobservable);
+  4. swap in the final epoch (new shard tuple + placement) -- the atomic
+     commit point;
+  5. detach moved engines from their old shards and open the gate; blocked
+     publishers re-read the epoch and deliver to the new owner.
+
+  Per-key order is preserved because an affected key's deliveries are
+  strictly partitioned in time around the commit point (drained before,
+  gated until after); exactly-once because at every instant exactly one
+  shard delivers any given key.  ``publish_all`` registers once for the
+  whole batch, so a batch can never straddle an epoch change -- it either
+  drains before the switch or waits for it.  Nested publishes from
+  subscriber callbacks reuse the thread's already-registered epoch instead
+  of re-entering the gate, so delivery work can never deadlock a migration
+  that is waiting on its own drain.  The one rule this buys: **do not call
+  ``add_shard``/``remove_shard`` from inside a subscriber callback** -- the
+  migration would wait for a drain that includes itself.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
+import time
 import weakref
-import zlib
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type, Union
 
 from repro.core.bindings import BindingParam, BindingRequest, register_binding
 from repro.core.exceptions import PSException
 from repro.core.local_engine import LocalBus, LocalTPSEngine
+from repro.core.placement import (
+    DEFAULT_VIRTUAL_NODES,
+    PLACEMENT_MODES,
+    Placement,
+    make_placement,
+)
 from repro.core.type_registry import type_name
 
 #: Shard count of the process-wide default sharded bus.
@@ -74,16 +130,70 @@ DEFAULT_SHARD_COUNT = 8
 #: The partition modes a bus accepts besides a callable key function.
 PARTITION_MODES = ("root", "content")
 
+#: Placement used when neither ``placement`` nor a partition alias pins one.
+DEFAULT_PLACEMENT = "ring"
+
 _bus_counter = itertools.count(1)
+
+#: Seconds between drain polls while a migration waits out in-flight
+#: deliveries (they are typically microseconds long).
+_DRAIN_POLL_S = 0.00005
+
+
+class _PauseGate:
+    """Blocks publishers of exactly the keys a migration is moving.
+
+    ``affects`` compares the *stable shard id* a key maps to under the old
+    vs the new placement; unaffected keys never wait.  ``event`` opens once
+    the final epoch is installed.
+    """
+
+    __slots__ = ("old_placement", "new_placement", "event")
+
+    def __init__(self, old_placement: Placement, new_placement: Placement) -> None:
+        self.old_placement = old_placement
+        self.new_placement = new_placement
+        self.event = threading.Event()
+
+    def affects(self, key: str) -> bool:
+        return self.old_placement.shard_id_for(key) != self.new_placement.shard_id_for(key)
+
+
+class _Epoch:
+    """One immutable routing snapshot: shards + placement (+ pause gate).
+
+    Swapped whole on ``bus._epoch`` (the PR 1/PR 4 snapshot template).
+    ``inflight`` is the registration list publishers enter tokens into;
+    a paused epoch and the final epoch that commits it share one list, so
+    the *next* migration's drain covers both.
+    """
+
+    __slots__ = ("number", "shards", "placement", "pause", "inflight")
+
+    def __init__(
+        self,
+        number: int,
+        shards: Tuple[LocalBus, ...],
+        placement: Placement,
+        pause: Optional[_PauseGate],
+        inflight: List[Any],
+    ) -> None:
+        self.number = number
+        self.shards = shards
+        self.placement = placement
+        self.pause = pause
+        self.inflight = inflight
 
 
 class ShardedLocalBus:
-    """N independent :class:`LocalBus` shards with a pluggable partition.
+    """N independent :class:`LocalBus` shards with a pluggable partition
+    and placement, resizable while publishing
+    (:meth:`add_shard`/:meth:`remove_shard`).
 
     Presents the exact ``LocalBus`` surface
     (``attach``/``detach``/``publish``/``engines_for``), delegating each call
     to the owning shard.  See the module docstring for the partition
-    contract (``"root"``, ``"content"`` + ``content_key``, or a callable).
+    contract and the epoch/migration model.
     """
 
     def __init__(
@@ -92,17 +202,40 @@ class ShardedLocalBus:
         *,
         partition: Union[str, Callable[[Any], Any]] = "root",
         content_key: Optional[str] = None,
+        placement: Optional[str] = None,
+        virtual_nodes: Optional[int] = None,
     ) -> None:
         if shards < 1:
             raise PSException(f"a sharded bus needs at least 1 shard, got {shards}")
+        alias: Optional[str] = None
         if callable(partition):
             self.partition: Union[str, Callable[[Any], Any]] = partition
         elif partition in PARTITION_MODES:
             self.partition = partition
+        elif partition in PLACEMENT_MODES:
+            # "ring"/"modn" shorthand: root partitioning, placement pinned.
+            alias, self.partition = partition, "root"
         else:
             raise PSException(
                 f"unknown partition mode {partition!r}; expected one of "
-                f"{PARTITION_MODES} or a callable key function"
+                f"{PARTITION_MODES}, a placement alias {PLACEMENT_MODES}, "
+                "or a callable key function"
+            )
+        if alias is not None and placement is not None and placement != alias:
+            raise PSException(
+                f"partition={alias!r} already pins placement={alias!r}; "
+                f"got conflicting placement={placement!r}"
+            )
+        placement_mode = alias or placement or DEFAULT_PLACEMENT
+        if placement_mode not in PLACEMENT_MODES:
+            raise PSException(
+                f"unknown placement {placement_mode!r}; expected one of "
+                f"{PLACEMENT_MODES}"
+            )
+        if virtual_nodes is not None and placement_mode != "ring":
+            raise PSException(
+                "virtual_nodes only applies to placement='ring', got "
+                f"virtual_nodes={virtual_nodes!r} with placement={placement_mode!r}"
             )
         if self.partition == "content":
             if not isinstance(content_key, str) or not content_key:
@@ -116,24 +249,53 @@ class ShardedLocalBus:
                 f"got content_key={content_key!r} with partition={partition!r}"
             )
         self.content_key = content_key
+        self.placement_mode = placement_mode
+        self.virtual_nodes = (
+            DEFAULT_VIRTUAL_NODES if virtual_nodes is None else virtual_nodes
+        )
+        ordinal = next(_bus_counter)
         #: Process-unique token identifying this bus; composite bindings tag
         #: wire messages with it to filter same-bus echoes.
-        self.bus_id = f"shardedbus-{next(_bus_counter)}"
-        self.shards: Tuple[LocalBus, ...] = tuple(LocalBus() for _ in range(shards))
+        self.bus_id = f"shardedbus-{ordinal}"
+        self._ordinal = ordinal
+        initial = make_placement(
+            placement_mode, range(shards), virtual_nodes=self.virtual_nodes
+        )
+        self._epoch = _Epoch(0, tuple(LocalBus() for _ in range(shards)), initial, None, [])
+        #: Next stable shard id add_shard() hands out (ids are never reused,
+        #: which is what keeps surviving shards' ring points fixed).
+        self._next_shard_id = shards
+        #: Serializes attach/detach/add_shard/remove_shard; never touched by
+        #: the publish path.
+        self._topology_lock = threading.Lock()
+        #: Every attached engine -> its hierarchy-root name, so a migration
+        #: knows which engines to re-home.  Guarded by ``_topology_lock``.
+        self._attached: Dict["LocalTPSEngine", str] = {}
         #: Executor of the cross-shard batch path, created on first use (a
         #: bus that never sees :meth:`publish_all` never starts a thread)
         #: and guarded by ``_executor_lock`` so two racing batches cannot
         #: each build one.
         self._executor: Optional[ThreadPoolExecutor] = None
         self._executor_lock = threading.Lock()
-        #: Thread-local re-entrancy marker: set while a thread runs a shard
-        #: group, so a nested ``publish_all`` (e.g. from a subscriber
-        #: callback) runs inline instead of submitting to -- and then
-        #: waiting on -- the very pool it is occupying, which would
-        #: deadlock once every worker is a waiter.
+        #: Thread-local re-entrancy state: ``in_worker`` is set while a
+        #: thread runs a shard group, so a nested ``publish_all`` (e.g. from
+        #: a subscriber callback) runs inline instead of submitting to --
+        #: and then waiting on -- the very pool it is occupying; ``epoch``
+        #: is the epoch the thread is already registered in, so nested
+        #: publishes reuse it instead of re-entering the pause gate.
         self._local = threading.local()
 
     # ------------------------------------------------------------ partition
+
+    @property
+    def shards(self) -> Tuple[LocalBus, ...]:
+        """The current epoch's shard tuple (an immutable snapshot)."""
+        return self._epoch.shards
+
+    @property
+    def epoch_number(self) -> int:
+        """The current ring epoch; bumps once per completed reshard."""
+        return self._epoch.number
 
     @property
     def intra_hierarchy(self) -> bool:
@@ -147,11 +309,13 @@ class ShardedLocalBus:
         buses attach every hierarchy to every shard and route per event
         (see :meth:`partition_index`).
         """
-        return zlib.crc32(root_name.encode("utf-8")) % len(self.shards)
+        epoch = self._epoch
+        return epoch.placement.index_for(root_name)
 
     def shard_for(self, root_name: str) -> LocalBus:
         """The :class:`LocalBus` shard owning ``root_name``'s hierarchy."""
-        return self.shards[self.shard_index(root_name)]
+        epoch = self._epoch
+        return epoch.shards[epoch.placement.index_for(root_name)]
 
     def partition_key(self, event: Any) -> str:
         """The content key of ``event`` under this bus's partition.
@@ -182,36 +346,82 @@ class ShardedLocalBus:
                 ) from error
         return str(value)
 
+    def placement_key(self, root_name: str, event: Any) -> str:
+        """The placement-layer key of one publish: the root name, or
+        ``"<root>:<content key>"`` under intra-hierarchy partitioning (two
+        hierarchies sharing key values still spread independently)."""
+        if not self.intra_hierarchy:
+            return root_name
+        return f"{root_name}:{self.partition_key(event)}"
+
     def partition_index(self, root_name: str, event: Any) -> int:
         """The shard that delivers ``event`` published on ``root_name``.
 
         Under ``"root"`` partitioning this is the hierarchy's home shard;
         under content/callable partitioning the key is hashed together with
-        the root name, so two hierarchies sharing key values still spread
-        independently.
+        the root name.
         """
-        if not self.intra_hierarchy:
-            return self.shard_index(root_name)
-        key = self.partition_key(event)
-        return zlib.crc32(f"{root_name}:{key}".encode("utf-8")) % len(self.shards)
+        epoch = self._epoch
+        return epoch.placement.index_for(self.placement_key(root_name, event))
+
+    # ----------------------------------------------------- epoch entry/exit
+
+    def _enter_epoch(self, keys: Sequence[str]) -> Tuple[_Epoch, bool]:
+        """Register this thread as delivering ``keys``; returns the epoch to
+        route by and whether a token was taken (False when nested inside a
+        delivery already registered on this thread).
+
+        Blocks while any of the keys is paused by a live migration.  The
+        append/re-check/pop dance makes registration atomic against the
+        epoch swap: a token that lands after its epoch was retired is backed
+        out and the loop re-reads.
+        """
+        held: Optional[_Epoch] = getattr(self._local, "epoch", None)
+        if held is not None:
+            return held, False
+        while True:
+            epoch = self._epoch
+            gate = epoch.pause
+            if gate is not None and any(gate.affects(key) for key in keys):
+                gate.event.wait()
+                continue
+            epoch.inflight.append(None)
+            if self._epoch is not epoch:
+                epoch.inflight.pop()
+                continue
+            self._local.epoch = epoch
+            return epoch, True
+
+    def _exit_epoch(self, epoch: _Epoch, token: bool) -> None:
+        if token:
+            self._local.epoch = None
+            epoch.inflight.pop()
 
     # ------------------------------------------------- LocalBus facade
 
     def attach(self, engine: "LocalTPSEngine") -> None:
         """Attach an engine: its home shard, or every shard (intra mode)."""
-        if self.intra_hierarchy:
-            for shard in self.shards:
-                shard.attach(engine)
-        else:
-            self.shard_for(engine.registry.advertised_name).attach(engine)
+        root = engine.registry.advertised_name
+        with self._topology_lock:
+            epoch = self._epoch
+            if self.intra_hierarchy:
+                for shard in epoch.shards:
+                    shard.attach(engine)
+            else:
+                epoch.shards[epoch.placement.index_for(root)].attach(engine)
+            self._attached[engine] = root
 
     def detach(self, engine: "LocalTPSEngine") -> None:
         """Detach an engine from every shard it was attached to."""
-        if self.intra_hierarchy:
-            for shard in self.shards:
-                shard.detach(engine)
-        else:
-            self.shard_for(engine.registry.advertised_name).detach(engine)
+        root = engine.registry.advertised_name
+        with self._topology_lock:
+            epoch = self._epoch
+            if self.intra_hierarchy:
+                for shard in epoch.shards:
+                    shard.detach(engine)
+            else:
+                epoch.shards[epoch.placement.index_for(root)].detach(engine)
+            self._attached.pop(engine, None)
 
     def engines_for(self, root: Type[Any]) -> Tuple["LocalTPSEngine", ...]:
         """Every engine attached to the hierarchy rooted at ``root``.
@@ -219,9 +429,11 @@ class ShardedLocalBus:
         Intra-hierarchy buses keep identical attachment sets on every shard,
         so the first shard's snapshot is the answer.
         """
+        epoch = self._epoch
         if self.intra_hierarchy:
-            return self.shards[0].engines_for(root)
-        return self.shard_for(type_name(root)).engines_for(root)
+            return epoch.shards[0].engines_for(root)
+        name = type_name(root)
+        return epoch.shards[epoch.placement.index_for(name)].engines_for(root)
 
     def publish(self, publisher: "LocalTPSEngine", event: Any) -> int:
         """Deliver through the event's shard (same semantics as LocalBus).
@@ -230,9 +442,17 @@ class ShardedLocalBus:
         shard; under content/callable partitioning it is the event's --
         exactly one shard delivers each event, so delivery stays
         exactly-once and per-key ordering follows from per-shard seriality.
+        Registers in the current epoch (and waits out a migration that is
+        moving this very key) before touching any shard.
         """
-        index = self.partition_index(publisher.registry.advertised_name, event)
-        return self.shards[index].publish(publisher, event)
+        key = self.placement_key(publisher.registry.advertised_name, event)
+        epoch, token = self._enter_epoch((key,))
+        try:
+            return epoch.shards[epoch.placement.index_for(key)].publish(
+                publisher, event
+            )
+        finally:
+            self._exit_epoch(epoch, token)
 
     # ------------------------------------------------- cross-shard batches
 
@@ -253,66 +473,85 @@ class ShardedLocalBus:
         *nested* ``publish_all`` (reached from a subscriber callback already
         running on a pool worker) also runs fully inline -- workers never
         wait on the pool they occupy, so re-entrant batches cannot deadlock
-        it.
+        it.  The whole batch registers in **one** epoch: it can never
+        straddle a reshard -- either it drains before the switch or it waits
+        for the new placement and groups against that.
         """
         ordered = list(jobs)
-        results: List[int] = [0] * len(ordered)
-        groups: Dict[int, List[int]] = {}
-        for position, (publisher, event) in enumerate(ordered):
-            index = self.partition_index(publisher.registry.advertised_name, event)
-            groups.setdefault(index, []).append(position)
-
-        def run_group(index: int, positions: Sequence[int]) -> None:
-            previous = getattr(self._local, "in_worker", False)
-            self._local.in_worker = True
-            try:
-                shard = self.shards[index]
-                for position in positions:
-                    publisher, event = ordered[position]
-                    results[position] = shard.publish(publisher, event)
-            finally:
-                self._local.in_worker = previous
-
-        if len(groups) <= 1 or getattr(self._local, "in_worker", False):
-            for index, positions in groups.items():
-                run_group(index, positions)
-            return results
-        # Executor creation and the submits share one critical section so a
-        # concurrent shutdown() cannot retire the executor between them (a
-        # shutdown arriving after the submits merely waits for the batch).
-        grouped = list(groups.items())
-        with self._executor_lock:
-            executor = self._executor
-            if executor is None:
-                executor = self._executor = ThreadPoolExecutor(
-                    max_workers=len(self.shards),
-                    thread_name_prefix="repro-shard",
-                )
-            futures = [
-                executor.submit(run_group, index, positions)
-                for index, positions in grouped[1:]
-            ]
-        # The caller works one group instead of idling in result(); it is
-        # also the only thread that ever waits on the pool.
-        caller_error: Optional[BaseException] = None
+        # Key resolution happens before any delivery, so a bad key fails the
+        # batch closed -- and before epoch entry, so the pause gate sees the
+        # full key set.
+        keys = [
+            self.placement_key(publisher.registry.advertised_name, event)
+            for publisher, event in ordered
+        ]
+        epoch, token = self._enter_epoch(keys)
         try:
-            run_group(*grouped[0])
-        except BaseException as error:  # noqa: BLE001 - re-raised below
-            caller_error = error
-        # Await every group before raising: a failing shard must not leave
-        # the other shards delivering in the background (or their exceptions
-        # unretrieved) while the caller already unwound.
-        errors: List[BaseException] = []
-        for future in futures:
+            results: List[int] = [0] * len(ordered)
+            groups: Dict[int, List[int]] = {}
+            for position, key in enumerate(keys):
+                groups.setdefault(epoch.placement.index_for(key), []).append(position)
+
+            def run_group(index: int, positions: Sequence[int]) -> None:
+                previous_worker = getattr(self._local, "in_worker", False)
+                previous_epoch = getattr(self._local, "epoch", None)
+                self._local.in_worker = True
+                # Pool workers inherit the batch's registration: a nested
+                # publish from a subscriber callback must not re-enter the
+                # pause gate while this batch blocks a migration's drain.
+                self._local.epoch = epoch
+                try:
+                    shard = epoch.shards[index]
+                    for position in positions:
+                        publisher, event = ordered[position]
+                        results[position] = shard.publish(publisher, event)
+                finally:
+                    self._local.in_worker = previous_worker
+                    self._local.epoch = previous_epoch
+
+            if len(groups) <= 1 or getattr(self._local, "in_worker", False):
+                for index, positions in groups.items():
+                    run_group(index, positions)
+                return results
+            # Executor creation and the submits share one critical section
+            # so a concurrent shutdown() cannot retire the executor between
+            # them (a shutdown arriving after the submits merely waits for
+            # the batch).
+            grouped = list(groups.items())
+            with self._executor_lock:
+                executor = self._executor
+                if executor is None:
+                    executor = self._executor = ThreadPoolExecutor(
+                        max_workers=len(epoch.shards),
+                        thread_name_prefix=f"repro-shard-{self._ordinal}",
+                    )
+                futures = [
+                    executor.submit(run_group, index, positions)
+                    for index, positions in grouped[1:]
+                ]
+            # The caller works one group instead of idling in result(); it
+            # is also the only thread that ever waits on the pool.
+            caller_error: Optional[BaseException] = None
             try:
-                future.result()
+                run_group(*grouped[0])
             except BaseException as error:  # noqa: BLE001 - re-raised below
-                errors.append(error)
-        if caller_error is not None:
-            raise caller_error
-        if errors:
-            raise errors[0]
-        return results
+                caller_error = error
+            # Await every group before raising: a failing shard must not
+            # leave the other shards delivering in the background (or their
+            # exceptions unretrieved) while the caller already unwound.
+            errors: List[BaseException] = []
+            for future in futures:
+                try:
+                    future.result()
+                except BaseException as error:  # noqa: BLE001 - re-raised below
+                    errors.append(error)
+            if caller_error is not None:
+                raise caller_error
+            if errors:
+                raise errors[0]
+            return results
+        finally:
+            self._exit_epoch(epoch, token)
 
     def shutdown(self) -> None:
         """Stop the batch executor, if one was ever started (idempotent).
@@ -321,19 +560,153 @@ class ShardedLocalBus:
         plain ``publish`` path keep working, and a later ``publish_all``
         lazily builds a fresh executor.  A batch already submitted when the
         shutdown arrives runs to completion (``wait=True``); the executor
-        swap shares the lock with ``publish_all``'s submits, so a batch can
-        never be caught between obtaining the executor and submitting to it.
+        swap is an atomic flip under the per-bus executor lock (shared with
+        ``publish_all``'s submits), so a batch can never be caught between
+        obtaining the executor and submitting to it -- and two concurrent
+        ``shutdown`` calls (say, a migration retiring a stale-sized pool
+        racing a user ``close()``) each take a *different* value out of the
+        slot, at most one of them non-None, so neither can double-stop or
+        resurrect the other's executor.
         """
         with self._executor_lock:
             executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True)
 
+    # --------------------------------------------------- live resharding
+
+    def add_shard(self) -> int:
+        """Grow the running bus by one shard; returns its tuple position.
+
+        Drain-then-switch (see the module docstring): only the keys the new
+        shard captures pause, everything else keeps publishing.  Must not be
+        called from inside a subscriber callback.
+        """
+        with self._topology_lock:
+            old = self._epoch
+            shard_id = self._next_shard_id
+            self._next_shard_id += 1
+            new_placement = old.placement.with_shards(
+                old.placement.shard_ids + (shard_id,)
+            )
+            new_shard = LocalBus()
+            new_shards = old.shards + (new_shard,)
+            prepare: List[Tuple[LocalBus, "LocalTPSEngine"]] = []
+            cleanup: List[Tuple[LocalBus, "LocalTPSEngine"]] = []
+            if self.intra_hierarchy:
+                prepare = [(new_shard, engine) for engine in self._attached]
+            else:
+                for engine, root in self._attached.items():
+                    old_position = old.placement.index_for(root)
+                    if (
+                        old.placement.shard_ids[old_position]
+                        != new_placement.shard_id_for(root)
+                    ):
+                        prepare.append(
+                            (new_shards[new_placement.index_for(root)], engine)
+                        )
+                        cleanup.append((old.shards[old_position], engine))
+            self._migrate(old, new_shards, new_placement, prepare, cleanup)
+            position = len(new_shards) - 1
+        # Outside the lock: retire the executor so the next batch builds one
+        # sized to the new shard count (a running batch finishes first).
+        self.shutdown()
+        return position
+
+    def remove_shard(self, index: Optional[int] = None) -> int:
+        """Shrink the running bus by one shard (the last, or ``index``);
+        returns the removed tuple position.  The removed shard's keys are
+        re-homed onto the survivors; under ring placement nothing else
+        moves.  Must not be called from inside a subscriber callback.
+        """
+        with self._topology_lock:
+            old = self._epoch
+            if len(old.shards) <= 1:
+                raise PSException(
+                    "a sharded bus cannot drop below 1 shard; "
+                    f"remove_shard on a {len(old.shards)}-shard bus"
+                )
+            position = len(old.shards) - 1 if index is None else index
+            if not 0 <= position < len(old.shards):
+                raise PSException(
+                    f"remove_shard index {index!r} out of range for "
+                    f"{len(old.shards)} shards"
+                )
+            removed = old.shards[position]
+            ids = old.placement.shard_ids
+            new_placement = old.placement.with_shards(
+                ids[:position] + ids[position + 1 :]
+            )
+            new_shards = old.shards[:position] + old.shards[position + 1 :]
+            prepare: List[Tuple[LocalBus, "LocalTPSEngine"]] = []
+            cleanup: List[Tuple[LocalBus, "LocalTPSEngine"]] = []
+            if self.intra_hierarchy:
+                cleanup = [(removed, engine) for engine in self._attached]
+            else:
+                for engine, root in self._attached.items():
+                    if old.placement.index_for(root) == position:
+                        prepare.append(
+                            (new_shards[new_placement.index_for(root)], engine)
+                        )
+                        cleanup.append((removed, engine))
+            self._migrate(old, new_shards, new_placement, prepare, cleanup)
+        self.shutdown()
+        return position
+
+    def _migrate(
+        self,
+        old: _Epoch,
+        new_shards: Tuple[LocalBus, ...],
+        new_placement: Placement,
+        prepare: List[Tuple[LocalBus, "LocalTPSEngine"]],
+        cleanup: List[Tuple[LocalBus, "LocalTPSEngine"]],
+    ) -> None:
+        """Drain-then-switch core; caller holds ``_topology_lock``.
+
+        ``prepare`` attachments happen *before* the commit (new owners learn
+        the hierarchy while its keys are gated), ``cleanup`` detachments
+        *after* (old owners stop seeing it once no delivery can reach them
+        there).  The paused and final epochs share one in-flight list, so
+        the next migration's drain covers stragglers from both.
+        """
+        gate = _PauseGate(old.placement, new_placement)
+        shared_inflight: List[Any] = []
+        self._epoch = _Epoch(
+            old.number, old.shards, old.placement, gate, shared_inflight
+        )
+        try:
+            # Drain: every token in the pre-pause epoch was taken by a
+            # thread delivering under the old placement; affected keys must
+            # all be out before anything moves.  (New publishers are either
+            # gated, or unaffected and registering in the shared list.)
+            while old.inflight:
+                time.sleep(_DRAIN_POLL_S)
+            for shard, engine in prepare:
+                shard.attach(engine)
+            self._epoch = _Epoch(
+                old.number + 1, new_shards, new_placement, None, shared_inflight
+            )
+        except BaseException:
+            # Restore a gate-free old epoch so the bus stays usable; tokens
+            # already in the shared list stay valid for the next migration.
+            self._epoch = _Epoch(
+                old.number, old.shards, old.placement, None, shared_inflight
+            )
+            raise
+        finally:
+            gate.event.set()
+        for shard, engine in cleanup:
+            shard.detach(engine)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        attached = sum(len(engines) for shard in self.shards for engines in shard._engines.values())
+        epoch = self._epoch
+        attached = sum(
+            len(engines) for shard in epoch.shards for engines in shard._engines.values()
+        )
         part = self.partition if isinstance(self.partition, str) else "callable"
         return (
-            f"ShardedLocalBus(shards={len(self.shards)}, partition={part!r}, "
+            f"ShardedLocalBus(shards={len(epoch.shards)}, partition={part!r}, "
+            f"placement={self.placement_mode!r}, epoch={epoch.number}, "
             f"engines={attached})"
         )
 
@@ -365,7 +738,7 @@ def _partition_value(value: Any) -> Optional[str]:
     # land on disjoint buses and never hear each other.  A callable partition
     # needs an explicitly constructed ShardedLocalBus passed as the engine's
     # local_bus, which makes the sharing decision the application's.
-    if value in PARTITION_MODES:
+    if value in PARTITION_MODES or value in PLACEMENT_MODES:
         return None
     if callable(value):
         return (
@@ -373,22 +746,58 @@ def _partition_value(value: Any) -> Optional[str]:
             "(two equal-looking callables compare unequal); construct "
             "ShardedLocalBus(partition=fn) yourself and pass it as local_bus"
         )
-    return f"must be one of {PARTITION_MODES}, got {value!r}"
+    return (
+        f"must be one of {PARTITION_MODES + PLACEMENT_MODES}, got {value!r}"
+    )
+
+
+def _placement_value(value: Any) -> Optional[str]:
+    if value in PLACEMENT_MODES:
+        return None
+    return f"must be one of {PLACEMENT_MODES}, got {value!r}"
+
+
+def _virtual_nodes_value(value: Any) -> Optional[str]:
+    if isinstance(value, bool) or value < 1:
+        return f"must be a positive ring-point count, got {value!r}"
+    return None
 
 
 #: The parameter schema shared by the SHARDED and SHARDED+JXTA bindings.
 SHARDED_BINDING_PARAMS = (
     BindingParam(
-        "shards", (int,), "number of independent LocalBus shards", _positive_int
+        "shards",
+        (int,),
+        "number of independent LocalBus shards",
+        _positive_int,
+        default=DEFAULT_SHARD_COUNT,
     ),
     BindingParam(
         "partition",
         (),  # untyped: the check below explains the callable rejection
-        "'root' (per-hierarchy) or 'content' (per event attribute)",
+        "'root' (per-hierarchy), 'content' (per event attribute), or a "
+        "placement alias 'ring'/'modn'",
         _partition_value,
+        default="root",
     ),
     BindingParam(
-        "content_key", (str,), "event attribute to shard by (partition='content')"
+        "content_key",
+        (str,),
+        "event attribute to shard by (partition='content')",
+    ),
+    BindingParam(
+        "placement",
+        (str,),
+        "'ring' (consistent-hash, elastic) or 'modn' (legacy CRC-32 mod N)",
+        _placement_value,
+        default=DEFAULT_PLACEMENT,
+    ),
+    BindingParam(
+        "virtual_nodes",
+        (int,),
+        "ring points per shard (placement='ring')",
+        _virtual_nodes_value,
+        default=DEFAULT_VIRTUAL_NODES,
     ),
 )
 
@@ -411,7 +820,28 @@ def resolve_sharded_params(request: BindingRequest) -> Dict[str, Any]:
         kwargs["partition"] = partition
     if content_key is not None:
         kwargs["content_key"] = content_key
+    if "placement" in request.params:
+        kwargs["placement"] = request.param("placement")
+    if "virtual_nodes" in request.params:
+        kwargs["virtual_nodes"] = request.param("virtual_nodes")
     return kwargs
+
+
+def _bus_cache_key(kwargs: Dict[str, Any]) -> Tuple[Any, ...]:
+    """Canonical cache key of a parameter set: two spellings of the same
+    bus ("partition='modn'" vs "partition='root', placement='modn'") must
+    share one bus, or call sites would silently stop hearing each other."""
+    partition = kwargs.get("partition", "root")
+    placement = kwargs.get("placement")
+    if isinstance(partition, str) and partition in PLACEMENT_MODES:
+        placement, partition = placement or partition, "root"
+    return (
+        kwargs.get("shards", DEFAULT_SHARD_COUNT),
+        partition,
+        kwargs.get("content_key"),
+        placement or DEFAULT_PLACEMENT,
+        kwargs.get("virtual_nodes", DEFAULT_VIRTUAL_NODES),
+    )
 
 
 def shared_param_bus(
@@ -427,11 +857,7 @@ def shared_param_bus(
     kwargs = resolve_sharded_params(request)
     if not kwargs and scope is None:
         return DEFAULT_SHARDED_BUS
-    key = (
-        kwargs.get("shards", DEFAULT_SHARD_COUNT),
-        kwargs.get("partition", "root"),
-        kwargs.get("content_key"),
-    )
+    key = _bus_cache_key(kwargs)
     with _PARAM_BUSES_LOCK:
         if scope is None:
             cache = _PARAM_BUSES
@@ -459,8 +885,8 @@ def request_bus(request: BindingRequest, *, scope: Any = None) -> ShardedLocalBu
     if resolve_sharded_params(request):
         raise PSException(
             "sharding parameters describe a registry-built bus; pass either "
-            "binding params (shards/partition/content_key) or an explicit "
-            "local_bus, not both"
+            "binding params (shards/partition/content_key/placement/"
+            "virtual_nodes) or an explicit local_bus, not both"
         )
     return bus
 
@@ -485,13 +911,14 @@ def _sharded_binding(request: BindingRequest) -> LocalTPSEngine:
 register_binding(
     "SHARDED",
     _sharded_binding,
-    capabilities=("in-process", "sharded"),
+    capabilities=("in-process", "sharded", "elastic"),
     params=SHARDED_BINDING_PARAMS,
     replace=True,
 )
 
 
 __all__ = [
+    "DEFAULT_PLACEMENT",
     "DEFAULT_SHARDED_BUS",
     "DEFAULT_SHARD_COUNT",
     "PARTITION_MODES",

@@ -125,6 +125,24 @@ class PipeBindingService:
             if peer_urn != me
         ]
 
+    def forget_peer(self, peer_id: PeerID | str) -> int:
+        """Drop every remote binding of one peer; returns bindings removed.
+
+        The membership layer calls this when a peer is *confirmed* dead, so
+        ``resolved_peers`` stops offering it as a wire target immediately --
+        the symmetric operation to a ``PipeUnbind`` announcement the dead
+        peer can no longer send.  A peer that later rejoins re-announces (or
+        answers the next ``PipeResolve``) and is re-recorded normally.
+        """
+        urn = peer_id.to_urn() if isinstance(peer_id, PeerID) else peer_id
+        removed = 0
+        for bindings in self._remote.values():
+            if bindings.pop(urn, None) is not None:
+                removed += 1
+        if removed:
+            self.peer.metrics.counter("pbp_bindings_forgotten").increment(removed)
+        return removed
+
     def local_pipes(self, pipe_id: PipeID) -> List[InputPipe]:
         """Input pipes this peer has open for ``pipe_id``."""
         return list(self._local.get(pipe_id.to_urn(), []))

@@ -615,6 +615,41 @@ class WireService:
                 pending.tracker.mark(pending.target_urn, "abandoned")
                 del self._pending[key]
 
+    def fail_target(self, target_urn: str) -> int:
+        """Terminally fail every in-flight reliable delivery towards one peer.
+
+        Called by the membership integration when a peer is *confirmed*
+        dead: instead of letting each pending message burn through its
+        remaining retry budget against a corpse, the deliveries fail now,
+        once, through the exact same reported path a retry exhaustion takes
+        (``wire_delivery_failed`` counter + pipe failure listeners) -- a
+        departed peer ends in a report, never in silent queue growth.
+        Returns the number of deliveries failed.
+        """
+        failed = 0
+        for key, pending in list(self._pending.items()):
+            if pending.target_urn != target_urn:
+                continue
+            if pending.handle is not None:
+                pending.handle.cancel()
+            del self._pending[key]
+            pending.tracker.mark(pending.target_urn, "failed")
+            self.peer.metrics.counter("wire_delivery_failed").increment()
+            self.peer.metrics.counter("wire_peer_departed").increment()
+            failure = DeliveryFailure(
+                wire_message_id=pending.wire_id,
+                pipe_urn=pending.pipe_urn,
+                target_urn=pending.target_urn,
+                attempts=pending.attempts,
+            )
+            for listener in list(pending.pipe.failure_listeners):
+                try:
+                    listener(failure)
+                except Exception:  # noqa: BLE001 - listeners must not break the service
+                    self.peer.metrics.counter("wire_failure_listener_errors").increment()
+            failed += 1
+        return failed
+
     # ----------------------------------------------------------------- acks
 
     def _on_ack_envelope(self, envelope: EndpointEnvelope, message: Message) -> None:

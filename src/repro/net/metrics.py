@@ -36,6 +36,34 @@ class Counter:
         return f"Counter({self.name}={self.value})"
 
 
+class Gauge:
+    """A named value that can move both ways (unlike a :class:`Counter`).
+
+    Added for the membership layer: "alive members right now" is a level,
+    not an accumulation, and resetting a counter to fake decrements would
+    wreck the monotonicity the bench harness relies on.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the current level."""
+        self.value = value
+
+    def increment(self, amount: float = 1.0) -> None:
+        """Move the level up by ``amount``."""
+        self.value += amount
+
+    def decrement(self, amount: float = 1.0) -> None:
+        """Move the level down by ``amount``."""
+        self.value -= amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Gauge({self.name}={self.value})"
+
+
 class Timer:
     """Accumulates observed durations and exposes simple statistics."""
 
@@ -180,12 +208,19 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._timers: Dict[str, Timer] = {}
         self._series: Dict[str, TimeSeries] = {}
+        self._gauges: Dict[str, Gauge] = {}
 
     def counter(self, name: str) -> Counter:
         """Fetch (creating if needed) the counter with the given name."""
         if name not in self._counters:
             self._counters[name] = Counter(name)
         return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """Fetch (creating if needed) the gauge with the given name."""
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
 
     def timer(self, name: str) -> Timer:
         """Fetch (creating if needed) the timer with the given name."""
@@ -236,6 +271,7 @@ def summarize(samples: Iterable[float]) -> Tuple[float, float, float, float]:
 
 __all__ = [
     "Counter",
+    "Gauge",
     "MetricsRegistry",
     "Sample",
     "TimeSeries",

@@ -27,6 +27,13 @@ packets per :meth:`repro.net.faults.FaultPlan.chaos` -- with the wire
 layer's reliable delivery switched on.  Every assertion stays byte-for-byte
 identical: at-least-once retries plus receiver dedup and ordering must make
 a faulty network indistinguishable from a clean one at the TPS API.
+
+The ``+RESHARD`` variants (PR 7) additionally grow and shrink every sharded
+bus *between pumps*, so each behavioral test runs across live
+``add_shard``/``remove_shard`` migrations -- alone for the in-process
+``SHARDED`` binding, and stacked on top of the chaos fault plan for the
+composite.  Again every assertion is unchanged: elasticity, like the
+network faults, must be invisible at the TPS API.
 """
 
 from __future__ import annotations
@@ -47,8 +54,13 @@ from repro.net.faults import FaultPlan
 #: Suffix selecting a fault-injected network with reliable delivery on.
 CHAOS_SUFFIX = "+CHAOS"
 
+#: Suffix growing/shrinking every sharded bus between pumps (live
+#: resharding while the behavioral tests run).
+RESHARD_SUFFIX = "+RESHARD"
+
 #: The behavioral matrix: every test in this module runs once per binding,
-#: plus once per wire binding over the standard chaos fault plan.
+#: plus once per wire binding over the standard chaos fault plan, plus the
+#: resharding variants of the sharded bindings.
 BINDINGS = (
     "LOCAL",
     "SHARDED",
@@ -56,6 +68,11 @@ BINDINGS = (
     "SHARDED+JXTA",
     pytest.param("JXTA" + CHAOS_SUFFIX, marks=pytest.mark.chaos),
     pytest.param("SHARDED+JXTA" + CHAOS_SUFFIX, marks=pytest.mark.chaos),
+    pytest.param("SHARDED" + RESHARD_SUFFIX, marks=pytest.mark.migration),
+    pytest.param(
+        "SHARDED+JXTA" + CHAOS_SUFFIX + RESHARD_SUFFIX,
+        marks=[pytest.mark.chaos, pytest.mark.migration],
+    ),
 )
 
 #: Conformance involves full simulated networks for the wire bindings.
@@ -73,6 +90,9 @@ class BindingHarness:
     PUMP_ROUNDS = 10
 
     def __init__(self, binding: str) -> None:
+        self.reshard = binding.endswith(RESHARD_SUFFIX)
+        if self.reshard:
+            binding = binding[: -len(RESHARD_SUFFIX)]
         self.chaos = binding.endswith(CHAOS_SUFFIX)
         if self.chaos:
             binding = binding[: -len(CHAOS_SUFFIX)]
@@ -80,6 +100,9 @@ class BindingHarness:
         self.engines: List[TPSEngine] = []
         self.builder: Optional[JxtaNetworkBuilder] = None
         self.local_bus: Optional[Any] = None
+        #: Buses to grow/shrink between pumps (+RESHARD variants).
+        self._reshard_buses: List[ShardedLocalBus] = []
+        self._reshard_step = 0
         if binding == "LOCAL":
             self.local_bus = LocalBus()
         elif binding == "SHARDED":
@@ -115,7 +138,12 @@ class BindingHarness:
         else:
             engine = TPSEngine(event_type, local_bus=self.local_bus)
         self.engines.append(engine)
-        return engine.new_interface(self.binding)
+        interface = engine.new_interface(self.binding)
+        if self.reshard:
+            bus = getattr(interface, "bus", None) or self.local_bus
+            if isinstance(bus, ShardedLocalBus) and bus not in self._reshard_buses:
+                self._reshard_buses.append(bus)
+        return interface
 
     def pair(self) -> Tuple[TPSInterface, TPSInterface]:
         """A (publisher, subscriber) pair, discovery already converged.
@@ -133,7 +161,19 @@ class BindingHarness:
         return publisher, subscriber
 
     def pump(self, receipt: Any = None) -> None:
-        """Drive in-flight deliveries to completion (no-op in-process)."""
+        """Drive in-flight deliveries to completion (no-op in-process).
+
+        ``+RESHARD`` variants alternate ``add_shard``/``remove_shard`` on
+        every known bus here, so each behavioral test crosses several live
+        migrations without the test bodies knowing.
+        """
+        if self.reshard:
+            self._reshard_step += 1
+            for bus in self._reshard_buses:
+                if self._reshard_step % 2:
+                    bus.add_shard()
+                else:
+                    bus.remove_shard()
         if self.builder is None:
             return
         simulator = self.builder.simulator

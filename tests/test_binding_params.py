@@ -96,8 +96,20 @@ class TestRegistryIntrospection:
     def test_registered_bindings_reports_declared_parameter_names(self):
         report = registered_bindings(with_params=True)
         assert report["LOCAL"] == ()
-        assert report["SHARDED"] == ("shards", "partition", "content_key")
-        assert report["SHARDED+JXTA"] == ("shards", "partition", "content_key")
+        assert report["SHARDED"] == (
+            "shards",
+            "partition",
+            "content_key",
+            "placement",
+            "virtual_nodes",
+        )
+        # The composite takes everything SHARDED does, plus membership.
+        assert report["SHARDED+JXTA"] == report["SHARDED"] + (
+            "membership",
+            "heartbeat_interval",
+            "suspect_timeout",
+            "confirm_timeout",
+        )
         assert "search_timeout" in report["JXTA"]
         # Same name set as the plain listing, same sorted order.
         assert list(report) == list(registered_bindings())
@@ -107,7 +119,27 @@ class TestRegistryIntrospection:
         by_name = {param.name: param for param in params}
         assert by_name["shards"].types == (int,)
         assert by_name["content_key"].types == (str,)
+        assert by_name["placement"].default == "ring"
+        assert by_name["virtual_nodes"].default == 64
+        composite = {param.name: param for param in binding_params("SHARDED+JXTA")}
+        assert composite["membership"].types == (bool,)
+        assert composite["membership"].default is False
+        assert composite["heartbeat_interval"].default == 0.5
+        # Declared defaults render in the schema description.
+        assert "[=64]" in by_name["virtual_nodes"].describe()
         assert all(param.description for param in params)
+
+    def test_placement_params_validated(self):
+        engine = TPSEngine(SkiRental)
+        with pytest.raises(PSException) as excinfo:
+            engine.new_interface("SHARDED", placement="spiral")
+        assert "'placement'" in str(excinfo.value)
+        with pytest.raises(PSException) as excinfo:
+            engine.new_interface("SHARDED", virtual_nodes=0)
+        assert "'virtual_nodes'" in str(excinfo.value)
+        with pytest.raises(PSException) as excinfo:
+            engine.new_interface("SHARDED", virtual_nodes="lots")
+        assert "'virtual_nodes'" in str(excinfo.value)
 
     def test_jxta_schema_mirrors_tpsconfig_fields(self):
         import dataclasses

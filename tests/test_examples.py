@@ -89,3 +89,11 @@ def test_hot_hierarchy_example(capsys):
     assert "same-peer desk saw it synchronously: True" in output
     assert "remote desk received over the wire: True" in output
     assert "exactly once on both paths: True" in output
+
+
+def test_elastic_shards_example(capsys):
+    output = _run_example("elastic_shards.py", capsys)
+    assert "keys traded between surviving shards: 0" in output
+    assert "3 live migrations" in output
+    assert "delivered exactly once: True" in output
+    assert "per-sensor order preserved: True" in output

@@ -15,11 +15,26 @@ corpora:
   a raising callable partition) surfaces as :class:`PSException` from the
   publish call -- never a raw ``AttributeError`` crash -- and the bus stays
   fully usable afterwards.
+
+PR 7 adds the placement layer's contract on top:
+
+* *ring stability*: consistent-hash assignment is content-defined, across
+  calls, buses and processes (CRC-32 again);
+* *ring coverage*: every shard owns keys (virtual nodes smooth the ring);
+* *bounded movement*: growing N -> N+1 shards moves roughly 1/(N+1) of the
+  keys and **never** moves a key between two surviving shards;
+* *modn compatibility*: ``placement="modn"`` reproduces the pre-placement
+  CRC-32-mod-N assignment bit for bit;
+* *live resharding* (``migration`` marker): publishing concurrently with
+  ``add_shard``/``remove_shard`` churn loses, duplicates and reorders
+  nothing -- the drain-then-switch epoch protocol in executable form.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
+import zlib
 from typing import Any, Dict, List
 
 import pytest
@@ -27,6 +42,14 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.exceptions import PSException
 from repro.core.local_engine import LocalTPSEngine
+from repro.core.placement import (
+    DEFAULT_VIRTUAL_NODES,
+    ModNPlacement,
+    RingPlacement,
+    make_placement,
+    moved_keys,
+    stable_hash,
+)
 from repro.core.sharded_engine import ShardedLocalBus
 
 
@@ -207,3 +230,278 @@ class TestConstructorValidation:
         home = bus.shard_index(_ROOT)
         for index in range(16):
             assert bus.partition_index(_ROOT, Tick(symbol=f"s{index}")) == home
+
+    def test_placement_alias_conflict_rejected(self):
+        with pytest.raises(PSException):
+            ShardedLocalBus(4, partition="ring", placement="modn")
+
+    def test_virtual_nodes_require_ring_placement(self):
+        with pytest.raises(PSException):
+            ShardedLocalBus(4, placement="modn", virtual_nodes=32)
+
+    def test_ill_typed_virtual_nodes_rejected(self):
+        for bad in (0, -4, True):
+            with pytest.raises(PSException):
+                ShardedLocalBus(4, placement="ring", virtual_nodes=bad)
+
+
+_corpus = [f"{prefix}-{index}" for prefix in ("alpha", "beta", "r:k") for index in range(400)]
+
+
+class TestRingPlacement:
+    @settings(max_examples=60, deadline=None)
+    @given(key=_keys, shards=_shard_counts)
+    def test_ring_assignment_stable_across_instances(self, key, shards):
+        ids = tuple(range(shards))
+        one = RingPlacement(ids)
+        two = RingPlacement(ids)
+        assert one.index_for(key) == two.index_for(key)
+        assert one.shard_id_for(key) == ids[one.index_for(key)]
+        # And through a bus built with the same parameters.
+        bus = ShardedLocalBus(shards, partition="content", content_key="symbol")
+        twin = ShardedLocalBus(shards, partition="content", content_key="symbol")
+        event = Tick(symbol=key)
+        assert bus.partition_index(_ROOT, event) == twin.partition_index(_ROOT, event)
+
+    @pytest.mark.parametrize("shards", [2, 3, 4, 8, 16])
+    def test_every_shard_owns_keys(self, shards):
+        placement = RingPlacement(tuple(range(shards)))
+        hit = {placement.index_for(key) for key in _corpus}
+        assert hit == set(range(shards))
+
+    @pytest.mark.parametrize("shards", [2, 4, 8, 12])
+    def test_growth_moves_a_bounded_fraction_and_only_to_the_new_shard(self, shards):
+        old = RingPlacement(tuple(range(shards)))
+        new = old.with_shards(tuple(range(shards + 1)))
+        moved = moved_keys(old, new, _corpus)
+        # Expect ~1/(N+1); virtual nodes leave variance, so allow slack but
+        # stay far below what naive mod-N rehashing would move (~N/(N+1)).
+        fraction = len(moved) / len(_corpus)
+        assert fraction <= 1.8 / (shards + 1), fraction
+        # Every moved key lands on the *new* shard: survivors never trade
+        # keys among themselves (the whole point of consistent hashing).
+        for key in moved:
+            assert new.shard_id_for(key) == shards
+
+    @pytest.mark.parametrize("shards", [3, 8])
+    def test_removal_moves_only_the_removed_shards_keys(self, shards):
+        old = RingPlacement(tuple(range(shards)))
+        removed = shards - 1
+        new = old.with_shards(tuple(range(removed)))
+        for key in _corpus:
+            if old.shard_id_for(key) == removed:
+                continue
+            assert new.shard_id_for(key) == old.shard_id_for(key)
+
+    def test_modn_matches_legacy_crc32_mod_n(self):
+        shards = 8
+        placement = ModNPlacement(tuple(range(shards)))
+        for key in _corpus:
+            expected = zlib.crc32(key.encode("utf-8")) % shards
+            assert placement.index_for(key) == expected
+        # And the factory + bus spellings agree with the direct class.
+        via_factory = make_placement("modn", tuple(range(shards)))
+        bus = ShardedLocalBus(shards, partition="modn", content_key=None)
+        for key in ("a", "b", "zeta-9"):
+            assert via_factory.index_for(key) == placement.index_for(key)
+        assert bus.placement_mode == "modn"
+
+    def test_stable_hash_is_crc32(self):
+        assert stable_hash("abc") == zlib.crc32(b"abc")
+
+    def test_default_virtual_nodes_exported(self):
+        placement = RingPlacement((0, 1))
+        assert len(placement._points) == 2 * DEFAULT_VIRTUAL_NODES
+
+
+@pytest.mark.migration
+class TestLiveResharding:
+    def test_add_shard_bumps_epoch_and_rebalances(self):
+        bus = ShardedLocalBus(2, partition="content", content_key="symbol")
+        publisher = LocalTPSEngine(Tick, bus=bus)
+        subscriber = LocalTPSEngine(Tick, bus=bus)
+        inbox: List[Tick] = []
+        subscriber.subscribe(inbox.append)
+        before = bus.epoch_number
+        new_index = bus.add_shard()
+        assert bus.epoch_number == before + 1
+        assert len(bus.shards) == 3 and new_index == 2
+        # The rebalanced bus still delivers exactly once to every key.
+        for index in range(32):
+            publisher.publish(Tick(symbol=f"s{index}", sequence=index))
+        assert sorted(e.sequence for e in inbox) == list(range(32))
+        bus.shutdown()
+
+    def test_remove_shard_validation(self):
+        bus = ShardedLocalBus(1)
+        with pytest.raises(PSException):
+            bus.remove_shard()
+        grown = ShardedLocalBus(2)
+        with pytest.raises(PSException):
+            grown.remove_shard(index=5)
+
+    @pytest.mark.slow
+    def test_publish_churn_loses_duplicates_reorders_nothing(self):
+        """The migration stress test: publishers race add/remove churn.
+
+        Four publisher threads stream sequenced events over 28 keys while
+        the main thread grows the bus 2 -> 6 and shrinks it back to 3.
+        Drain-then-switch must make the churn invisible: every event
+        delivered exactly once, every key's sequence numbers in order.
+        """
+        bus = ShardedLocalBus(2, partition="content", content_key="symbol")
+        publisher = LocalTPSEngine(Tick, bus=bus)
+        subscriber = LocalTPSEngine(Tick, bus=bus)
+        inbox: List[Tick] = []
+        inbox_lock = threading.Lock()
+
+        def collect(event: Tick) -> None:
+            with inbox_lock:
+                inbox.append(event)
+
+        subscriber.subscribe(collect)
+        keys = [f"key-{index}" for index in range(28)]
+        per_thread = 250
+        errors: List[BaseException] = []
+
+        def pump(worker: int) -> None:
+            try:
+                for sequence in range(per_thread):
+                    key = keys[(worker * 7 + sequence) % len(keys)]
+                    publisher.publish(
+                        Tick(symbol=key, sequence=worker * per_thread + sequence)
+                    )
+            except BaseException as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=pump, args=(worker,), name=f"pub-{worker}")
+            for worker in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for _ in range(4):
+            bus.add_shard()
+        for _ in range(3):
+            bus.remove_shard()
+        for thread in threads:
+            thread.join()
+        bus.shutdown()
+        assert not errors
+        assert bus.epoch_number == 7
+        assert len(bus.shards) == 3
+        # Exactly once: nothing lost, nothing duplicated.
+        assert sorted(e.sequence for e in inbox) == list(range(4 * per_thread))
+        # Per-key order: each publisher's sequences on one key ascend.  The
+        # publisher picks keys so that (worker, key) determines a strictly
+        # increasing sequence subsequence.
+        arrived: Dict[tuple, List[int]] = {}
+        for event in inbox:
+            worker = event.sequence // per_thread
+            arrived.setdefault((worker, event.symbol), []).append(event.sequence)
+        for run in arrived.values():
+            assert run == sorted(run)
+
+    @pytest.mark.slow
+    def test_publish_all_batches_never_straddle_a_migration(self):
+        bus = ShardedLocalBus(2, partition="content", content_key="symbol")
+        publisher = LocalTPSEngine(Tick, bus=bus)
+        subscriber = LocalTPSEngine(Tick, bus=bus)
+        inbox: List[Tick] = []
+        inbox_lock = threading.Lock()
+
+        def collect(event: Tick) -> None:
+            with inbox_lock:
+                inbox.append(event)
+
+        subscriber.subscribe(collect)
+        batches = 40
+        width = 25
+        errors: List[BaseException] = []
+
+        def pump() -> None:
+            try:
+                for batch in range(batches):
+                    publisher.publish_many(
+                        [
+                            Tick(symbol=f"key-{index % 10}", sequence=batch * width + index)
+                            for index in range(width)
+                        ]
+                    )
+            except BaseException as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        thread = threading.Thread(target=pump, name="batcher")
+        thread.start()
+        bus.add_shard()
+        bus.add_shard()
+        bus.remove_shard()
+        thread.join()
+        bus.shutdown()
+        assert not errors
+        assert sorted(e.sequence for e in inbox) == list(range(batches * width))
+
+    def test_root_mode_rehomes_attached_engines(self):
+        # Engines attached under "root" partitioning must follow their
+        # hierarchy's key when the ring changes ownership.
+        bus = ShardedLocalBus(2)
+        publisher = LocalTPSEngine(Tick, bus=bus)
+        subscriber = LocalTPSEngine(Tick, bus=bus)
+        inbox: List[Tick] = []
+        subscriber.subscribe(inbox.append)
+        for _ in range(4):
+            bus.add_shard()
+        for _ in range(4):
+            bus.remove_shard()
+        publisher.publish(Tick(symbol="after", sequence=99))
+        assert [e.sequence for e in inbox] == [99]
+        bus.shutdown()
+
+
+class TestExecutorHygiene:
+    def test_worker_threads_are_named_after_the_bus(self):
+        bus = ShardedLocalBus(3, partition="content", content_key="symbol")
+        publisher = LocalTPSEngine(Tick, bus=bus)
+        subscriber = LocalTPSEngine(Tick, bus=bus)
+        names: List[str] = []
+        names_lock = threading.Lock()
+
+        def collect(event: Tick) -> None:
+            with names_lock:
+                names.append(threading.current_thread().name)
+
+        subscriber.subscribe(collect)
+        publisher.publish_many(
+            [Tick(symbol=f"key-{index}", sequence=index) for index in range(24)]
+        )
+        bus.shutdown()
+        pool_names = [name for name in names if name.startswith("repro-shard-")]
+        # The caller delivers one group inline; every pooled delivery runs on
+        # a clearly labelled worker.
+        assert pool_names, names
+
+    def test_shutdown_is_safe_under_concurrent_double_call(self):
+        bus = ShardedLocalBus(4, partition="content", content_key="symbol")
+        publisher = LocalTPSEngine(Tick, bus=bus)
+        publisher.publish_many(
+            [Tick(symbol=f"key-{index}", sequence=index) for index in range(8)]
+        )
+        errors: List[BaseException] = []
+
+        def shut() -> None:
+            try:
+                bus.shutdown()
+            except BaseException as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=shut) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # And the bus is still usable: the next batch rebuilds the pool.
+        publisher.publish_many(
+            [Tick(symbol=f"key-{index}", sequence=index) for index in range(8)]
+        )
+        bus.shutdown()

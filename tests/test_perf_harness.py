@@ -88,6 +88,7 @@ class TestPerfSuite:
             "intra_subscribers", "intra_io_s",
             "figure19_events", "figure20_duration", "figure20_events",
             "lossy_events",
+            "reshard_shards", "reshard_keys", "reshard_events",
         }
         for name, profile in PROFILES.items():
             assert keys <= set(profile), f"profile {name} missing keys"
@@ -151,8 +152,9 @@ class TestPerfSuite:
         root = type_name(_HotEvent)
         for profile in PROFILES.values():
             shards = profile["intra_shards"]
+            # Mirrors the bench's placement="modn" pin (BENCH continuity).
             bus = ShardedLocalBus(
-                shards=shards, partition="content", content_key="key"
+                shards=shards, partition="content", content_key="key", placement="modn"
             )
             hit = {
                 bus.partition_index(root, _HotEvent(key=f"key-{index}"))
@@ -169,7 +171,8 @@ class TestPerfSuite:
 
         for profile in PROFILES.values():
             publishers = profile["mt_publishers"]
-            probe = ShardedLocalBus(shards=publishers)
+            # Mirrors the bench's placement="modn" pin (BENCH continuity).
+            probe = ShardedLocalBus(shards=publishers, placement="modn")
             types = _mt_types(publishers)
             assert len(types) == publishers
             shards = {probe.shard_index(type_name(cls)) for cls in types}

@@ -7,6 +7,8 @@ Subcommands:
 * ``bench`` -- run the hot-path micro-benchmark suite and optionally write
   the ``repro-bench/v1`` JSON trajectory file (``--json BENCH_N.json``);
 * ``demo`` -- run the quickstart scenario and print what happened;
+* ``lint`` -- run the concurrency/determinism lint rules (``repro.analysis``)
+  over the tree; exit 0 clean, 1 findings, 2 usage error;
 * ``info`` -- print the package version and the calibrated cost model.
 """
 
@@ -86,6 +88,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run
+
+    return run(args)
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     from repro.net.cost import PAPER_TESTBED
 
@@ -125,6 +133,39 @@ def main(argv=None) -> int:
     demo.add_argument("--events", type=int, default=5)
     demo.add_argument("--seed", type=int, default=2002)
     demo.set_defaults(func=_cmd_demo)
+
+    lint = subparsers.add_parser(
+        "lint", help="check the concurrency/determinism invariants (RL001..RL005)"
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="emit the repro-lint/v1 JSON document instead of the text report",
+    )
+    lint.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="baseline of grandfathered findings (default: lint-baseline.json if present)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    lint.add_argument(
+        "--rules", action="append", metavar="IDS", default=None,
+        help="comma-separated rule ids to run (repeatable; default: all)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules and their scopes, then exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     info = subparsers.add_parser("info", help="print version and cost-model calibration")
     info.set_defaults(func=_cmd_info)

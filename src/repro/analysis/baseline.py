@@ -1,0 +1,159 @@
+"""The committed lint baseline: grandfathered findings.
+
+A baseline entry is a (rule, path, snippet) key plus a mandatory human
+``note`` explaining *why* the finding is tolerated.  Matching is by the
+stripped source line, not the line number, so a baselined exception survives
+edits elsewhere in its file; moving or rewording the offending line itself
+invalidates the entry -- which is the point: the exception must be
+re-justified when the code changes.
+
+The committed file (``lint-baseline.json`` at the repo root) exists for code
+the lint rules flag but that must not be edited -- today that is
+``apps/skirental/jxta_app.py``, whose line count feeds the paper's
+Section 4.4 programming-effort comparison (see ROADMAP), so even an inline
+pragma comment is off-limits there.  Everything else gets *fixed* or carries
+an inline pragma next to the code it excuses.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import LintConfigError
+
+#: Schema identifier of the baseline file.
+BASELINE_SCHEMA = "repro-lint-baseline/v1"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    rule: str
+    path: str
+    snippet: str
+    note: str = ""
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path.replace("\\", "/"), self.snippet)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path.replace("\\", "/"),
+            "snippet": self.snippet,
+            "note": self.note,
+        }
+
+
+def _paths_match(left: str, right: str) -> bool:
+    """Whether two (posix) paths name the same file, tolerating one being
+    relative to a different root (absolute CLI paths vs committed relative
+    entries)."""
+    if left == right:
+        return True
+    return left.endswith("/" + right) or right.endswith("/" + left)
+
+
+class Baseline:
+    """A set of grandfathered findings."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries: Tuple[BaselineEntry, ...] = tuple(entries)
+
+    # ------------------------------------------------------------------- io
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file; malformed content raises
+        :class:`LintConfigError` (a usage error, exit code 2)."""
+        try:
+            with open(path, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except OSError as error:
+            raise LintConfigError(f"cannot read baseline {path!r}: {error}") from error
+        except ValueError as error:
+            raise LintConfigError(
+                f"baseline {path!r} is not valid JSON: {error}"
+            ) from error
+        if not isinstance(document, dict) or document.get("schema") != BASELINE_SCHEMA:
+            raise LintConfigError(
+                f"baseline {path!r} must be a mapping with schema "
+                f"{BASELINE_SCHEMA!r}, got {document.get('schema') if isinstance(document, dict) else document!r}"
+            )
+        raw_entries = document.get("entries")
+        if not isinstance(raw_entries, list):
+            raise LintConfigError(f"baseline {path!r}: entries must be a list")
+        entries: List[BaselineEntry] = []
+        for index, raw in enumerate(raw_entries):
+            if not isinstance(raw, dict):
+                raise LintConfigError(f"baseline {path!r}: entries[{index}] must be a mapping")
+            try:
+                entries.append(
+                    BaselineEntry(
+                        rule=str(raw["rule"]),
+                        path=str(raw["path"]),
+                        snippet=str(raw["snippet"]),
+                        note=str(raw.get("note", "")),
+                    )
+                )
+            except KeyError as error:
+                raise LintConfigError(
+                    f"baseline {path!r}: entries[{index}] missing {error.args[0]!r}"
+                ) from error
+        return cls(entries)
+
+    def write(self, path: str) -> None:
+        """Write the baseline file (stable ordering, trailing newline)."""
+        document = {
+            "schema": BASELINE_SCHEMA,
+            "entries": [entry.to_json() for entry in sorted(self.entries, key=lambda e: e.key)],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], note: str = "grandfathered by --write-baseline"
+    ) -> "Baseline":
+        """Build a baseline covering every given finding (deduplicated)."""
+        seen: Set[Tuple[str, str, str]] = set()
+        entries: List[BaselineEntry] = []
+        for finding in findings:
+            rule, path, snippet = finding.key
+            if (rule, path, snippet) in seen:
+                continue
+            seen.add((rule, path, snippet))
+            entries.append(BaselineEntry(rule=rule, path=path, snippet=snippet, note=note))
+        return cls(entries)
+
+    # -------------------------------------------------------------- filter
+
+    def covers(self, finding: Finding) -> bool:
+        """Whether a finding is grandfathered by this baseline."""
+        rule, path, snippet = finding.key
+        for entry in self.entries:
+            if entry.rule == rule and entry.snippet == snippet and _paths_match(
+                path, entry.path.replace("\\", "/")
+            ):
+                return True
+        return False
+
+    def filter(self, findings: Sequence[Finding]) -> Tuple[List[Finding], int]:
+        """Split findings into (kept, baselined-count)."""
+        kept = [finding for finding in findings if not self.covers(finding)]
+        return kept, len(findings) - len(kept)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Baseline(entries={len(self.entries)})"
+
+
+__all__ = ["BASELINE_SCHEMA", "Baseline", "BaselineEntry"]

@@ -1,0 +1,139 @@
+"""The ``python -m repro lint`` command.
+
+Exit-code contract (the part CI scripts depend on):
+
+* **0** -- no findings after inline suppressions and baseline filtering.
+* **1** -- findings remain; the text or JSON report lists them.
+* **2** -- usage error: unknown rule, unreadable path, malformed baseline.
+
+``--json`` emits the ``repro-lint/v1`` document on stdout instead of the
+text report.  ``--baseline FILE`` names the grandfather file explicitly;
+by default ``lint-baseline.json`` next to the current directory is used
+when present (``--no-baseline`` ignores it, ``--write-baseline`` rewrites
+it from the current findings).  ``--rules RL001,RL004`` restricts the run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Any, List, Optional, Sequence, TextIO
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import LintEngine
+from repro.analysis.findings import build_document, format_report
+from repro.analysis.registry import LintConfigError, rule_titles
+from repro.analysis.rules import DEFAULT_PROFILE
+
+#: Baseline file auto-discovered in the working directory.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+#: Tree linted when no paths are given and it exists (repo-root layout).
+DEFAULT_TREE = os.path.join("src", "repro")
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def _default_paths() -> List[str]:
+    if os.path.isdir(DEFAULT_TREE):
+        return [DEFAULT_TREE]
+    return ["."]
+
+
+def _split_rules(values: Optional[Sequence[str]]) -> Optional[List[str]]:
+    if not values:
+        return None
+    rules: List[str] = []
+    for value in values:
+        rules.extend(part.strip() for part in value.split(",") if part.strip())
+    return rules or None
+
+
+def run(
+    args: Any,
+    out: Optional[TextIO] = None,
+    err: Optional[TextIO] = None,
+) -> int:
+    """Execute the lint command from parsed argparse ``args``.
+
+    The streams default to the *current* ``sys.stdout``/``sys.stderr`` at
+    call time, not import time, so output capture (pytest) works.
+    """
+    out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
+    try:
+        return _run(args, out, err)
+    except LintConfigError as error:
+        print(f"lint: error: {error}", file=err)
+        return EXIT_USAGE
+
+
+def _run(args: Any, out: TextIO, err: TextIO) -> int:
+    if getattr(args, "list_rules", False):
+        for rule_id, summary in rule_titles().items():
+            scope = DEFAULT_PROFILE.get(rule_id)
+            where = (
+                ", ".join(scope.packages)
+                if scope is not None and scope.packages
+                else "everywhere"
+            )
+            print(f"{rule_id}  {summary}  [{where}]", file=out)
+        return EXIT_CLEAN
+
+    engine = LintEngine(DEFAULT_PROFILE, rules=_split_rules(getattr(args, "rules", None)))
+    paths = list(getattr(args, "paths", None) or _default_paths())
+    lint_run = engine.lint_paths(paths)
+
+    baseline_path = getattr(args, "baseline", None)
+    use_baseline = not getattr(args, "no_baseline", False)
+    if baseline_path is None and use_baseline and os.path.isfile(DEFAULT_BASELINE):
+        baseline_path = DEFAULT_BASELINE
+
+    if getattr(args, "write_baseline", False):
+        target = baseline_path or DEFAULT_BASELINE
+        Baseline.from_findings(lint_run.findings).write(target)
+        print(
+            f"wrote {len(lint_run.findings)} finding(s) to baseline {target}",
+            file=out,
+        )
+        return EXIT_CLEAN
+
+    baselined = 0
+    findings = lint_run.findings
+    if use_baseline and baseline_path is not None:
+        findings, baselined = Baseline.load(baseline_path).filter(findings)
+
+    if getattr(args, "json", False):
+        document = build_document(
+            findings,
+            paths=paths,
+            rules=list(engine.rule_ids),
+            files=lint_run.files,
+            suppressed=lint_run.suppressed,
+            baselined=baselined,
+        )
+        json.dump(document, out, indent=2)
+        out.write("\n")
+    else:
+        print(
+            format_report(
+                findings,
+                files=lint_run.files,
+                suppressed=lint_run.suppressed,
+                baselined=baselined,
+            ),
+            file=out,
+        )
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_USAGE",
+    "run",
+]

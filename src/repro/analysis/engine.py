@@ -1,0 +1,235 @@
+"""The lint engine: file walker, per-rule dispatch, suppressions.
+
+The engine is configured by a *profile*: a declarative table mapping rule
+ids to a :class:`RuleScope` -- which dotted packages the rule runs over and
+its option overrides.  Packages opt in by appearing in a scope (or by the
+scope being empty, meaning "everywhere"); a new subsystem that wants, say,
+the RL004 determinism rule simply adds its package to that rule's scope in
+:data:`repro.analysis.rules.DEFAULT_PROFILE`.  Rules themselves are resolved
+through the registry (:mod:`repro.analysis.registry`), never hard-coded, so
+test- or application-registered rules run exactly like the built-in pack.
+
+Per file the engine: reads the source, scans inline pragmas
+(:mod:`repro.analysis.suppress`), parses one AST, runs every in-scope rule
+over it, and drops suppressed findings (counting them).  A file that does
+not parse yields a single ``RL000`` parse-error finding -- a broken file
+must fail the gate, not silently skip it.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding, LintRun, PARSE_ERROR_RULE
+from repro.analysis.registry import (
+    LintConfigError,
+    LintContext,
+    LintRule,
+    get_rule,
+)
+from repro.analysis.suppress import scan_suppressions
+
+
+@dataclass(frozen=True)
+class RuleScope:
+    """Where one rule applies and with which options.
+
+    ``packages`` is a tuple of dotted package prefixes (``"repro.net"``)
+    the rule runs over; empty means every linted file.  ``options`` overrides
+    the rule class's ``default_options`` (merged key-wise).
+    """
+
+    packages: Tuple[str, ...] = ()
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def applies_to(self, module: str) -> bool:
+        if not self.packages:
+            return True
+        return any(
+            module == package or module.startswith(package + ".")
+            for package in self.packages
+        )
+
+
+def module_name(path: str) -> str:
+    """Derive a dotted module name from a file path.
+
+    Anchored at the last path component named ``repro`` (the package this
+    repo ships), so ``src/repro/net/faults.py`` -> ``repro.net.faults``
+    regardless of where the tree is checked out.  Files outside the package
+    get their bare stem, which only matches rules with an empty scope.
+    """
+    normalized = os.path.normpath(path).replace("\\", "/")
+    parts = normalized.split("/")
+    stem = parts[-1]
+    if stem.endswith(".py"):
+        stem = stem[:-3]
+    parts = parts[:-1] + [stem]
+    anchor = None
+    for index, part in enumerate(parts):
+        if part == "repro":
+            anchor = index
+    if anchor is None:
+        return stem
+    dotted = parts[anchor:]
+    if dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted)
+
+
+class LintEngine:
+    """Runs a rule profile over source files or trees."""
+
+    def __init__(
+        self,
+        profile: Mapping[str, RuleScope],
+        *,
+        rules: Optional[Sequence[str]] = None,
+    ) -> None:
+        """``profile`` maps rule id -> :class:`RuleScope`; ``rules`` (when
+        given) restricts the run to a subset of the profile's ids.  Unknown
+        ids -- in either -- raise :class:`LintConfigError` up front."""
+        selected = tuple(profile) if rules is None else tuple(rules)
+        self._checks: List[Tuple[str, LintRule, RuleScope, Dict[str, Any]]] = []
+        for rule_id in selected:
+            normalized = rule_id.strip().upper()
+            if normalized not in {key.upper() for key in profile}:
+                raise LintConfigError(
+                    f"rule {rule_id!r} is not in the profile; profile rules: "
+                    + ", ".join(sorted(profile))
+                )
+            scope = next(
+                profile[key] for key in profile if key.upper() == normalized
+            )
+            rule_class = get_rule(normalized)
+            options = dict(rule_class.default_options)
+            options.update(scope.options)
+            self._checks.append((normalized, rule_class(), scope, options))
+        self._checks.sort(key=lambda check: check[0])
+
+    @property
+    def rule_ids(self) -> Tuple[str, ...]:
+        """The rule ids this engine runs, sorted."""
+        return tuple(check[0] for check in self._checks)
+
+    # ------------------------------------------------------------- sources
+
+    def lint_source(
+        self,
+        source: str,
+        *,
+        path: str = "<string>",
+        module: Optional[str] = None,
+    ) -> LintRun:
+        """Lint one in-memory source text.
+
+        ``module`` overrides the path-derived dotted module name -- tests
+        use this to place fixture snippets inside a scoped package
+        (``module="repro.net.fixture"``) without touching the tree.
+        """
+        run = LintRun(files=1)
+        resolved_module = module if module is not None else module_name(path)
+        suppressions = scan_suppressions(source)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            line = error.lineno or 1
+            finding = Finding(
+                rule=PARSE_ERROR_RULE,
+                path=path,
+                line=line,
+                column=(error.offset or 1) - 1,
+                message=f"file does not parse: {error.msg}",
+                hint="fix the syntax error; unparseable files fail the lint gate",
+                snippet=(error.text or "").strip(),
+            )
+            if suppressions.is_suppressed(finding.rule, finding.line):
+                run.suppressed += 1
+            else:
+                run.findings.append(finding)
+            return run
+        lines = tuple(source.splitlines())
+        for rule_id, rule, scope, options in self._checks:
+            if not scope.applies_to(resolved_module):
+                continue
+            context = LintContext(
+                path=path,
+                module=resolved_module,
+                lines=lines,
+                options=options,
+                rule_id=rule_id,
+            )
+            for finding in rule.check(tree, context):
+                if suppressions.is_suppressed(finding.rule, finding.line):
+                    run.suppressed += 1
+                else:
+                    run.findings.append(finding)
+        run.findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+        return run
+
+    def lint_file(self, path: str) -> LintRun:
+        """Lint one file on disk."""
+        try:
+            with open(path, encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as error:
+            raise LintConfigError(f"cannot read {path!r}: {error}") from error
+        return self.lint_source(source, path=_display_path(path))
+
+    def lint_paths(self, paths: Iterable[str]) -> LintRun:
+        """Lint files and directory trees (``*.py``, sorted, deduplicated)."""
+        run = LintRun()
+        for file_path in collect_files(paths):
+            file_run = self.lint_file(file_path)
+            run.findings.extend(file_run.findings)
+            run.suppressed += file_run.suppressed
+            run.files += file_run.files
+        run.findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+        return run
+
+
+def collect_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted, deduplicated ``*.py`` list.
+
+    A path that exists but is neither a ``.py`` file nor a directory, or
+    does not exist at all, is a usage error (:class:`LintConfigError`).
+    """
+    collected: List[str] = []
+    seen = set()
+    for path in paths:
+        if os.path.isdir(path):
+            for root, directories, files in os.walk(path):
+                directories.sort()
+                directories[:] = [d for d in directories if d != "__pycache__"]
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        full = os.path.join(root, name)
+                        if full not in seen:
+                            seen.add(full)
+                            collected.append(full)
+        elif os.path.isfile(path):
+            if not path.endswith(".py"):
+                raise LintConfigError(f"not a Python file: {path!r}")
+            if path not in seen:
+                seen.add(path)
+                collected.append(path)
+        else:
+            raise LintConfigError(f"no such file or directory: {path!r}")
+    return sorted(collected)
+
+
+def _display_path(path: str) -> str:
+    """Relative-to-cwd when that is shorter and stays inside it."""
+    try:
+        relative = os.path.relpath(path)
+    except ValueError:  # pragma: no cover - different drive on Windows
+        return path
+    if not relative.startswith(".."):
+        return relative
+    return path
+
+
+__all__ = ["LintEngine", "RuleScope", "collect_files", "module_name"]

@@ -1,0 +1,166 @@
+"""The lint-rule registry: how rules plug into the engine.
+
+Mirrors the TPS binding registry of :mod:`repro.core.bindings`: a rule is a
+class registered under its stable rule id, the engine resolves rule ids
+purely through :func:`get_rule`, and an unknown id raises an error listing
+what *is* registered -- so application- or test-registered rules are
+first-class citizens exactly like the built-in pack of
+:mod:`repro.analysis.rules`.
+
+A rule subclasses :class:`LintRule` and implements :meth:`LintRule.check`,
+yielding :class:`~repro.analysis.findings.Finding` objects for one parsed
+module.  Per-package configuration (which packages a rule runs over, and any
+rule options such as the RL003 snapshot-attribute set) lives in the
+declarative profile table consumed by :class:`repro.analysis.engine.LintEngine`,
+not in the rule class -- the class encodes *what* the invariant is, the
+profile encodes *where* it applies.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, ClassVar, Dict, Iterator, Mapping, Tuple, Type
+
+from repro.analysis.findings import Finding
+
+
+class LintConfigError(Exception):
+    """A misconfigured lint run: unknown rule, malformed baseline, bad path.
+
+    The CLI maps this to exit code 2 (usage error), distinct from exit code
+    1 (findings).
+    """
+
+
+class LintRule:
+    """Base class of all lint rules.
+
+    Subclasses declare a stable ``rule_id`` (``"RL001"``), a short kebab-case
+    ``title`` (``"no-raw-acquire"``), a one-line ``rationale`` and optional
+    ``default_options`` (overridable per package through the engine profile).
+    """
+
+    rule_id: ClassVar[str] = ""
+    title: ClassVar[str] = ""
+    rationale: ClassVar[str] = ""
+    default_options: ClassVar[Mapping[str, Any]] = {}
+
+    def check(self, tree: ast.Module, context: "LintContext") -> Iterator[Finding]:
+        """Yield findings for one parsed module.  Must be overridden."""
+        raise NotImplementedError(f"{type(self).__name__} does not implement check()")
+
+
+class LintContext:
+    """What a rule sees about the module it is checking."""
+
+    __slots__ = ("path", "module", "lines", "options", "rule_id", "hint")
+
+    def __init__(
+        self,
+        *,
+        path: str,
+        module: str,
+        lines: Tuple[str, ...],
+        options: Mapping[str, Any],
+        rule_id: str,
+        hint: str = "",
+    ) -> None:
+        self.path = path
+        self.module = module
+        self.lines = lines
+        self.options = options
+        self.rule_id = rule_id
+        self.hint = hint
+
+    def snippet(self, line: int) -> str:
+        """The stripped source text of a 1-based line (the baseline key)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, node: ast.AST, message: str, hint: str = "") -> Finding:
+        """Build a finding anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.rule_id,
+            path=self.path,
+            line=line,
+            column=column,
+            message=message,
+            hint=hint or self.hint,
+            snippet=self.snippet(line),
+        )
+
+
+_REGISTRY: Dict[str, Type[LintRule]] = {}
+
+
+def _normalize(rule_id: str) -> str:
+    if not isinstance(rule_id, str) or not rule_id.strip():
+        raise LintConfigError(f"rule id must be a non-empty string, got {rule_id!r}")
+    return rule_id.strip().upper()
+
+
+def register_rule(rule_class: Type[LintRule], *, replace: bool = False) -> Type[LintRule]:
+    """Register a rule class under its ``rule_id`` (case-insensitive).
+
+    Re-registering an existing id raises :class:`LintConfigError` unless
+    ``replace=True`` (the built-in pack registers with ``replace=True`` so
+    module reloads stay safe) -- the same contract as
+    :func:`repro.core.bindings.register_binding`.
+    """
+    if not (isinstance(rule_class, type) and issubclass(rule_class, LintRule)):
+        raise LintConfigError(
+            f"lint rules must subclass LintRule, got {rule_class!r}"
+        )
+    key = _normalize(rule_class.rule_id)
+    if key in _REGISTRY and not replace:
+        raise LintConfigError(
+            f"a lint rule with id {key!r} is already registered "
+            f"({_REGISTRY[key].__name__}); pass replace=True to override it"
+        )
+    _REGISTRY[key] = rule_class
+    return rule_class
+
+
+def unregister_rule(rule_id: str) -> bool:
+    """Remove a rule from the registry; True if it was registered."""
+    return _REGISTRY.pop(_normalize(rule_id), None) is not None
+
+
+def get_rule(rule_id: str) -> Type[LintRule]:
+    """Look up a registered rule, or raise listing what *is* registered."""
+    key = _normalize(rule_id)
+    rule_class = _REGISTRY.get(key)
+    if rule_class is None:
+        registered = ", ".join(repr(known) for known in registered_rules())
+        raise LintConfigError(
+            f"unknown lint rule {rule_id!r}; registered rules: {registered or '(none)'}"
+        )
+    return rule_class
+
+
+def registered_rules() -> Tuple[str, ...]:
+    """The registered rule ids, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def rule_titles() -> Dict[str, str]:
+    """Rule id -> ``title -- rationale`` for ``lint --list-rules``."""
+    return {
+        rule_id: f"{_REGISTRY[rule_id].title} -- {_REGISTRY[rule_id].rationale}"
+        for rule_id in registered_rules()
+    }
+
+
+__all__ = [
+    "LintConfigError",
+    "LintContext",
+    "LintRule",
+    "get_rule",
+    "register_rule",
+    "registered_rules",
+    "rule_titles",
+    "unregister_rule",
+]

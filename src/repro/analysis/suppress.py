@@ -1,0 +1,111 @@
+"""Inline lint suppressions: ``# repro-lint: disable=RULE``.
+
+Two forms, both scanned from real COMMENT tokens (``tokenize``), so pragma
+text inside string literals never counts:
+
+* **line pragma** -- ``# repro-lint: disable=RL002`` (or
+  ``disable=RL001,RL005``, or ``disable=all``) on a physical line silences
+  those rules for findings *anchored on that line*.  Rules anchor a finding
+  at the statement that violates the invariant, so the pragma sits next to
+  the code it excuses -- reviewable in the same diff hunk.
+* **file pragma** -- ``# repro-lint: disable-file=RL004`` anywhere in the
+  file silences the rules for the whole module.  Reserved for modules whose
+  *purpose* is the exception, e.g. :mod:`repro.net.entropy`, the audited
+  home of the wall-clock/OS-randomness escape hatches RL004 bans everywhere
+  else.
+
+Every suppression should carry a human explanation in the same comment --
+the lint gate test cannot enforce prose, but review can, and
+``docs/CONCURRENCY.md`` makes it the house rule.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+#: Matches one pragma inside a comment; ``disable`` and ``disable-file``
+#: differ only in scope.
+_PRAGMA = re.compile(
+    r"repro-lint:\s*(?P<scope>disable(?:-file)?)\s*=\s*(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+#: The wildcard accepted in a pragma's rule list.
+ALL = "ALL"
+
+
+class SuppressionIndex:
+    """The pragmas of one source file, queryable per (rule, line)."""
+
+    __slots__ = ("_line_rules", "_file_rules")
+
+    def __init__(
+        self,
+        line_rules: Dict[int, FrozenSet[str]],
+        file_rules: FrozenSet[str],
+    ) -> None:
+        self._line_rules = line_rules
+        self._file_rules = file_rules
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether a finding of ``rule`` anchored at ``line`` is silenced."""
+        rule = rule.upper()
+        if ALL in self._file_rules or rule in self._file_rules:
+            return True
+        rules = self._line_rules.get(line)
+        if rules is None:
+            return False
+        return ALL in rules or rule in rules
+
+    @property
+    def empty(self) -> bool:
+        return not self._line_rules and not self._file_rules
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SuppressionIndex(lines={len(self._line_rules)}, "
+            f"file_rules={sorted(self._file_rules)})"
+        )
+
+
+def _parse_rules(text: str) -> FrozenSet[str]:
+    return frozenset(part.strip().upper() for part in text.split(",") if part.strip())
+
+
+def _comments(source: str) -> Iterable[Tuple[int, str]]:
+    """(line, text) of every comment token; falls back to a line scan when
+    the file does not tokenize (the engine reports the syntax error itself,
+    but pragmas should still work on the lines that do parse as comments)."""
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        for number, line in enumerate(source.splitlines(), start=1):
+            stripped = line.strip()
+            if stripped.startswith("#"):
+                yield number, stripped
+        return
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            yield token.start[0], token.string
+
+
+def scan_suppressions(source: str) -> SuppressionIndex:
+    """Build the suppression index of one source file."""
+    line_rules: Dict[int, List[str]] = {}
+    file_rules: List[str] = []
+    for line, comment in _comments(source):
+        for match in _PRAGMA.finditer(comment):
+            rules = _parse_rules(match.group("rules"))
+            if match.group("scope") == "disable-file":
+                file_rules.extend(rules)
+            else:
+                line_rules.setdefault(line, []).extend(rules)
+    return SuppressionIndex(
+        {line: frozenset(rules) for line, rules in line_rules.items()},
+        frozenset(file_rules),
+    )
+
+
+__all__ = ["ALL", "SuppressionIndex", "scan_suppressions"]

@@ -411,7 +411,7 @@ def _seed_publish(publisher: LocalTPSEngine, event: Any) -> "PublishReceipt":
             except BaseException as error:  # noqa: BLE001 - routed to the handler
                 try:
                     subscription.exception_handler.handle(error)
-                except BaseException:  # noqa: BLE001
+                except BaseException:  # noqa: BLE001  # repro-lint: disable=RL005 - raw-dispatch baseline mirrors engine swallow
                     pass
         delivered += 1
     publisher._sent.append(event)

@@ -148,7 +148,7 @@ class TPSEngine(Generic[EventT]):
         # close() may already have reverted the flag.
         try:
             interface.close()
-        except BaseException:  # noqa: BLE001 - best-effort cleanup
+        except BaseException:  # noqa: BLE001  # repro-lint: disable=RL005 - best-effort cleanup before the closed-engine report
             pass
         raise PSException(
             f"the TPS engine for {type_name(self.event_type)} is closed; "

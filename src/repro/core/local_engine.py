@@ -179,7 +179,7 @@ class LocalBus:
                         breaker.record_failure()
                     try:
                         handle_error(error)
-                    except BaseException:  # noqa: BLE001 - must not stop dispatch
+                    except BaseException:  # noqa: BLE001  # repro-lint: disable=RL005 - a broken error handler must not stop dispatch
                         pass
             delivered += 1
         return delivered

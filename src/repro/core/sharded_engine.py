@@ -108,7 +108,6 @@ from __future__ import annotations
 
 import itertools
 import threading
-import time
 import weakref
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type, Union
@@ -123,6 +122,7 @@ from repro.core.placement import (
     make_placement,
 )
 from repro.core.type_registry import type_name
+from repro.net.entropy import brief_pause
 
 #: Shard count of the process-wide default sharded bus.
 DEFAULT_SHARD_COUNT = 8
@@ -526,7 +526,11 @@ class ShardedLocalBus:
                         thread_name_prefix=f"repro-shard-{self._ordinal}",
                     )
                 futures = [
-                    executor.submit(run_group, index, positions)
+                    # Deliberate (RL002 exception): submits must happen under
+                    # _executor_lock so shutdown() cannot retire the executor
+                    # between its creation above and the submits; run_group is
+                    # our own worker shim, not user code.
+                    executor.submit(run_group, index, positions)  # repro-lint: disable=RL002
                     for index, positions in grouped[1:]
                 ]
             # The caller works one group instead of idling in result(); it
@@ -680,7 +684,7 @@ class ShardedLocalBus:
             # all be out before anything moves.  (New publishers are either
             # gated, or unaffected and registering in the shared list.)
             while old.inflight:
-                time.sleep(_DRAIN_POLL_S)
+                brief_pause(_DRAIN_POLL_S)
             for shard, engine in prepare:
                 shard.attach(engine)
             self._epoch = _Epoch(

@@ -199,7 +199,7 @@ class TPSSubscriberManager:
                     breaker.record_failure()
                 try:
                     handle_error(error)
-                except BaseException:  # noqa: BLE001 - a broken handler must not stop dispatch
+                except BaseException:  # noqa: BLE001  # repro-lint: disable=RL005 - a broken handler must not stop dispatch
                     pass
         return delivered
 

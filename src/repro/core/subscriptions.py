@@ -48,11 +48,11 @@ into the subscription's normal error route.
 from __future__ import annotations
 
 import threading
-import time
 from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Iterator, List, Optional, Tuple
 
 from repro.core.exceptions import PSException
+from repro.net.entropy import monotonic_clock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.interface import Subscription, TPSInterface
@@ -124,7 +124,7 @@ class CircuitBreaker:
         #: (state, clock timestamp) transition log, oldest first.
         self.events: List[Tuple[str, float]] = []
         self._open_until = 0.0
-        self._clock = clock if clock is not None else time.monotonic
+        self._clock = clock if clock is not None else monotonic_clock
         self._listener = listener
         self._lock = threading.Lock()
 
@@ -138,7 +138,7 @@ class CircuitBreaker:
         if event is not None and self._listener is not None:
             try:
                 self._listener(*event)
-            except Exception:  # noqa: BLE001 - observers must not break dispatch
+            except Exception:  # noqa: BLE001  # repro-lint: disable=RL005 - observers must not break dispatch
                 pass
 
     def allow(self) -> bool:

@@ -15,12 +15,12 @@ tests are reproducible.
 
 from __future__ import annotations
 
-import random
 import uuid
 from collections import OrderedDict
 from typing import ClassVar, Optional, Type
 
 from repro.jxta.errors import AdvertisementError
+from repro.net.entropy import seeded_rng
 
 _URN_PREFIX = "urn:jxta:uuid-"
 
@@ -29,12 +29,14 @@ class IDFactory:
     """Generates UUIDs, deterministically when seeded."""
 
     def __init__(self, seed: Optional[int] = None) -> None:
-        self._rng = random.Random(seed) if seed is not None else None
+        self._rng = seeded_rng(seed) if seed is not None else None
 
     def new_uuid(self) -> uuid.UUID:
         """Return a fresh UUID (random, or derived from the seeded RNG)."""
         if self._rng is None:
-            return uuid.uuid4()
+            # The unseeded default factory mirrors real JXTA, where IDs are
+            # OS-random; every simulation seeds it via seed_ids().
+            return uuid.uuid4()  # repro-lint: disable=RL004 - documented OS-random default
         return uuid.UUID(int=self._rng.getrandbits(128), version=4)
 
 

@@ -71,7 +71,7 @@ class ResolverService:
     def __init__(self, group: "PeerGroup") -> None:
         self.group = group
         self.peer = group.peer
-        self._handlers: Dict[str, ResolverHandler] = {}
+        self._handler_table: Dict[str, ResolverHandler] = {}
         self._param = group.group_id.to_urn()
         self.peer.endpoint.register_listener(self.SERVICE_NAME, self._param, self._on_envelope)
 
@@ -79,15 +79,15 @@ class ResolverService:
 
     def register_handler(self, name: str, handler: ResolverHandler) -> None:
         """Register ``handler`` under ``name`` (replacing any previous one)."""
-        self._handlers[name] = handler
+        self._handler_table[name] = handler
 
     def unregister_handler(self, name: str) -> None:
         """Remove the handler registered under ``name`` (missing names are ignored)."""
-        self._handlers.pop(name, None)
+        self._handler_table.pop(name, None)
 
     def handler_names(self) -> list[str]:
         """Names of all registered handlers."""
-        return sorted(self._handlers)
+        return sorted(self._handler_table)
 
     # --------------------------------------------------------------- queries
 
@@ -104,7 +104,7 @@ class ResolverService:
         propagated to every reachable peer.  Returns the query id, which the
         handler will see again on any responses.
         """
-        if handler_name not in self._handlers:
+        if handler_name not in self._handler_table:
             # A handler must exist locally to receive the responses.
             raise ResolverError(
                 f"cannot send a query for unregistered handler {handler_name!r}"
@@ -141,7 +141,7 @@ class ResolverService:
         handler_name = message.get_text("handler")
         query_id = message.get_text("query_id")
         body = message.get_text("body")
-        handler = self._handlers.get(handler_name)
+        handler = self._handler_table.get(handler_name)
         if handler is None:
             self.peer.metrics.counter("resolver_unhandled").increment()
             return

@@ -44,8 +44,9 @@ subscriber throughput, 4 publishers       ~3x lower       per-connection receive
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, replace
+
+from repro.net.entropy import seeded_rng
 
 
 @dataclass(frozen=True)
@@ -201,7 +202,7 @@ class NoiseSource:
     """
 
     def __init__(self, seed: int = 2002) -> None:
-        self._rng = random.Random(seed)
+        self._rng = seeded_rng(seed)
         self.seed = seed
 
     def jittered(self, base: float, relative_sigma: float) -> float:

@@ -36,9 +36,13 @@ The network surfaces what the plan did through its metrics registry
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, TYPE_CHECKING, Tuple
+
+from repro.net.entropy import seeded_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import random
 
 #: Wildcard address matching any peer in a fault rule.
 ANY = "*"
@@ -110,9 +114,18 @@ class FaultPlan:
     property-tested in ``tests/test_faults.py``.
     """
 
-    def __init__(self, seed: int = 2002, default: Optional[LinkFaults] = None) -> None:
+    def __init__(
+        self,
+        seed: int = 2002,
+        default: Optional[LinkFaults] = None,
+        *,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        """``rng`` injects a pre-built random stream (tests sharing one
+        across components); by default the plan owns a private
+        ``seeded_rng(seed)`` stream."""
         self.seed = seed
-        self._rng = random.Random(seed)
+        self._rng = rng if rng is not None else seeded_rng(seed)
         #: Directed (source, destination) -> fault parameters; either side
         #: may be the ``"*"`` wildcard.
         self._rules: Dict[Tuple[str, str], LinkFaults] = {}

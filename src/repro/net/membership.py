@@ -113,10 +113,23 @@ class MembershipMonitor:
     is no locking and no callback reentrancy to reason about.
     """
 
-    def __init__(self, peer: Any, config: Optional[MembershipConfig] = None) -> None:
+    def __init__(
+        self,
+        peer: Any,
+        config: Optional[MembershipConfig] = None,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+        noise: Optional[Any] = None,
+    ) -> None:
+        """``clock`` and ``noise`` follow the repo's uniform injection
+        pattern (RL004): they default to the peer's virtual clock and seeded
+        :class:`~repro.net.cost.NoiseSource`, and tests can substitute their
+        own without monkey-patching the peer."""
         self.peer = peer
         self.config = config or MembershipConfig()
         self.config.validate()
+        self._clock = clock if clock is not None else (lambda: peer.now)
+        self._noise = noise if noise is not None else peer.noise
         self._members: Dict[str, MemberState] = {}
         self._listeners: List[MembershipListener] = []
         self._stopped = False
@@ -127,7 +140,7 @@ class MembershipMonitor:
         jitter = None
         if self.config.jitter > 0:
             spread = self.config.jitter * interval
-            jitter = lambda: self.peer.noise.uniform(-spread, spread)  # noqa: E731
+            jitter = lambda: self._noise.uniform(-spread, spread)  # noqa: E731
         self._task = peer.simulator.schedule_periodic(
             interval,
             self._tick,
@@ -151,7 +164,7 @@ class MembershipMonitor:
             address = target.node.address
         if address is not None:
             self.peer.endpoint.learn_address(urn, address)
-        self._members[urn] = MemberState(urn=urn, state=ALIVE, last_heard=self.peer.now)
+        self._members[urn] = MemberState(urn=urn, state=ALIVE, last_heard=self._clock())
         self.peer.metrics.counter("membership_joined").increment()
         self._update_alive_gauge()
         self._emit("join", urn)
@@ -209,7 +222,7 @@ class MembershipMonitor:
     def _tick(self) -> None:
         if self._stopped:
             return
-        now = self.peer.now
+        now = self._clock()
         for member in list(self._members.values()):
             # DEAD members keep receiving heartbeats: if both sides of a
             # healed partition had confirmed each other dead and both went
@@ -262,7 +275,7 @@ class MembershipMonitor:
             member.heartbeats += 1
             return
         member.heartbeats += 1
-        member.last_heard = self.peer.now
+        member.last_heard = self._clock()
         self.peer.endpoint.learn_address(urn, address)
         if member.state != ALIVE:
             member.state = ALIVE

@@ -11,7 +11,7 @@ latency, bandwidth and loss and schedules delivery.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.net.firewall import Firewall
 from repro.net.metrics import MetricsRegistry
@@ -78,7 +78,10 @@ class Node:
         self.firewall = firewall or Firewall.open()
         self.metrics = MetricsRegistry(name=f"node:{address}")
         self.network: Optional["Network"] = None
-        self._handlers: List[PacketHandler] = []
+        # Immutable snapshot (RL003): deliver() iterates this without any
+        # synchronisation, so registration rebinds a fresh tuple instead of
+        # mutating in place.
+        self._handlers: Tuple[PacketHandler, ...] = ()
         self.online = True
 
     # ----------------------------------------------------------- interfaces
@@ -118,12 +121,11 @@ class Node:
 
     def add_handler(self, handler: PacketHandler) -> None:
         """Register a callback invoked for every delivered packet."""
-        self._handlers.append(handler)
+        self._handlers = self._handlers + (handler,)
 
     def remove_handler(self, handler: PacketHandler) -> None:
         """Unregister a previously added callback (missing handlers are ignored)."""
-        if handler in self._handlers:
-            self._handlers.remove(handler)
+        self._handlers = tuple(h for h in self._handlers if h != handler)
 
     # ----------------------------------------------------------------- I/O
 
@@ -147,7 +149,7 @@ class Node:
             return
         self.metrics.counter("packets_received").increment()
         self.metrics.counter("bytes_received").increment(packet.size)
-        for handler in list(self._handlers):
+        for handler in self._handlers:
             handler(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -1,0 +1,579 @@
+"""Fixture-pair tests for the repro.analysis rule pack and engine plumbing.
+
+Every rule gets at least one *bad* fixture (the rule must fire: a proven
+true positive) and one *good* fixture (the idiomatic version of the same
+code; the rule must stay silent: a proven true negative).  Then the engine
+seams: inline suppressions, the baseline round-trip, scoping, the registry,
+and the CLI exit-code contract.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    BaselineEntry,
+    DEFAULT_PROFILE,
+    LintConfigError,
+    LintEngine,
+    LintRule,
+    PARSE_ERROR_RULE,
+    RuleScope,
+    get_rule,
+    module_name,
+    register_rule,
+    registered_rules,
+    unregister_rule,
+    validate_document,
+)
+from repro.__main__ import main
+
+
+ENGINE = LintEngine(DEFAULT_PROFILE)
+
+
+def findings_for(source: str, module: str = "repro.net.fixture"):
+    """Lint a dedented fixture as if it lived at ``module``."""
+    run = ENGINE.lint_source(textwrap.dedent(source), module=module)
+    return run.findings
+
+
+def rules_fired(source: str, module: str = "repro.net.fixture"):
+    return sorted({finding.rule for finding in findings_for(source, module)})
+
+
+# --------------------------------------------------------------------- RL001
+
+
+def test_rl001_flags_raw_acquire_and_release():
+    fired = rules_fired(
+        """
+        def publish(self, event):
+            self._lock.acquire()
+            try:
+                self._pending.append(event)
+            finally:
+                self._lock.release()
+        """
+    )
+    assert "RL001" in fired
+
+
+def test_rl001_silent_on_with_statement():
+    assert "RL001" not in rules_fired(
+        """
+        def publish(self, event):
+            with self._lock:
+                self._pending.append(event)
+        """
+    )
+
+
+# --------------------------------------------------------------------- RL002
+
+
+def test_rl002_flags_callback_under_lock():
+    findings = findings_for(
+        """
+        def dispatch(self, event):
+            with self._lock:
+                for subscription in self._subscriptions:
+                    subscription.callback.handle(event)
+        """
+    )
+    assert [f.rule for f in findings] == ["RL002"]
+    assert "with <lock>:" in findings[0].message
+
+
+def test_rl002_silent_when_snapshot_then_call_out():
+    assert "RL002" not in rules_fired(
+        """
+        def dispatch(self, event):
+            with self._lock:
+                snapshot = tuple(self._subscriptions)
+            for subscription in snapshot:
+                subscription.callback.handle(event)
+        """
+    )
+
+
+def test_rl002_function_defined_under_lock_is_not_a_call_out():
+    # The nested function's body runs at call time, outside the lock.
+    assert "RL002" not in rules_fired(
+        """
+        def build(self):
+            with self._lock:
+                def runner(event):
+                    self.callback.handle(event)
+                self._runner = runner
+        """
+    )
+
+
+def test_rl002_non_lock_with_is_ignored():
+    # ``with open(...)`` is not a lock: call-outs inside it are fine.
+    assert "RL002" not in rules_fired(
+        """
+        def load(self):
+            with open("state.json") as handle:
+                return self.codec.dispatch(handle.read())
+        """
+    )
+
+
+def test_rl002_executor_submit_under_lock():
+    assert "RL002" in rules_fired(
+        """
+        def fan_out(self, groups):
+            with self._executor_lock:
+                futures = [self._executor.submit(group) for group in groups]
+            return futures
+        """
+    )
+
+
+# --------------------------------------------------------------------- RL003
+
+
+def test_rl003_flags_in_place_mutation_of_snapshot():
+    fired = rules_fired(
+        """
+        def subscribe(self, handler):
+            with self._lock:
+                self._handlers.append(handler)
+        """
+    )
+    assert "RL003" in fired
+
+
+def test_rl003_flags_item_assignment_and_del():
+    source = """
+    def reroute(self, index, row):
+        self.placement[index] = row
+        del self.shards[index]
+    """
+    findings = findings_for(source)
+    assert [f.rule for f in findings] == ["RL003", "RL003"]
+
+
+def test_rl003_flags_rebind_to_list():
+    assert "RL003" in rules_fired(
+        """
+        def subscribe(self, handler):
+            with self._lock:
+                self._handlers = list(self._handlers) + [handler]
+        """
+    )
+
+
+def test_rl003_silent_on_tuple_rebind():
+    assert "RL003" not in rules_fired(
+        """
+        def subscribe(self, handler):
+            with self._lock:
+                self._handlers = self._handlers + (handler,)
+        """
+    )
+
+
+def test_rl003_other_attributes_unaffected():
+    assert "RL003" not in rules_fired(
+        """
+        def track(self, token):
+            self.inflight.append(token)
+            self._pending[token.key] = token
+        """
+    )
+
+
+# --------------------------------------------------------------------- RL004
+
+
+def test_rl004_flags_wall_clock_and_global_random():
+    source = """
+    import time
+    import random
+
+    def jitter(self):
+        return time.monotonic() + random.random()
+    """
+    findings = findings_for(source)
+    assert [f.rule for f in findings].count("RL004") == 4  # 2 imports + 2 uses
+
+
+def test_rl004_flags_datetime_now_and_uuid4():
+    fired = rules_fired(
+        """
+        import uuid
+        from datetime import datetime
+
+        def stamp(self):
+            return uuid.uuid4(), datetime.now()
+        """
+    )
+    assert "RL004" in fired
+
+
+def test_rl004_silent_on_injected_entropy():
+    assert "RL004" not in rules_fired(
+        """
+        from repro.net.entropy import monotonic_clock, seeded_rng
+
+        class NoiseSource:
+            def __init__(self, seed=2002):
+                self._rng = seeded_rng(seed)
+                self._clock = monotonic_clock
+        """
+    )
+
+
+def test_rl004_skips_type_checking_imports_and_annotations():
+    assert "RL004" not in rules_fired(
+        """
+        from typing import TYPE_CHECKING, Optional
+
+        if TYPE_CHECKING:
+            import random
+
+        def configure(rng: Optional["random.Random"] = None) -> "random.Random":
+            return rng
+        """
+    )
+
+
+def test_rl004_out_of_scope_packages_are_exempt():
+    source = """
+    import time
+
+    def elapsed(start):
+        return time.monotonic() - start
+    """
+    assert "RL004" in rules_fired(source, module="repro.net.fixture")
+    # bench/ measures the real world; apps/ demo against it.
+    assert "RL004" not in rules_fired(source, module="repro.bench.fixture")
+    assert "RL004" not in rules_fired(source, module="repro.apps.fixture")
+
+
+# --------------------------------------------------------------------- RL005
+
+
+def test_rl005_flags_bare_except():
+    assert "RL005" in rules_fired(
+        """
+        def deliver(self, event):
+            try:
+                self.sink(event)
+            except:
+                pass
+        """
+    )
+
+
+def test_rl005_flags_broad_swallow():
+    for body in ("pass", "return False", "return None", "return"):
+        source = f"""
+        def deliver(self, event):
+            try:
+                self.sink(event)
+            except Exception:
+                {body}
+        """
+        assert "RL005" in rules_fired(source), body
+    assert "RL005" in rules_fired(
+        """
+        def drain(self, events):
+            for event in events:
+                try:
+                    self.sink(event)
+                except BaseException:
+                    continue
+        """
+    )
+
+
+def test_rl005_silent_when_error_is_routed_or_counted():
+    assert "RL005" not in rules_fired(
+        """
+        def deliver(self, event):
+            try:
+                self.sink(event)
+            except Exception as error:
+                self.errors.increment()
+        """
+    )
+    assert "RL005" not in rules_fired(
+        """
+        def parse(self, text):
+            try:
+                return int(text)
+            except ValueError:
+                return 0
+        """
+    )
+
+
+# --------------------------------------------------------- suppressions
+
+
+def test_line_pragma_silences_one_rule():
+    run = ENGINE.lint_source(
+        textwrap.dedent(
+            """
+            def deliver(self, event):
+                try:
+                    self.sink(event)
+                except Exception:  # repro-lint: disable=RL005 - deliberate
+                    pass
+            """
+        ),
+        module="repro.net.fixture",
+    )
+    assert run.findings == []
+    assert run.suppressed == 1
+
+
+def test_line_pragma_only_covers_its_own_line():
+    run = ENGINE.lint_source(
+        textwrap.dedent(
+            """
+            import time  # repro-lint: disable=RL004
+
+            def now(self):
+                return time.monotonic()
+            """
+        ),
+        module="repro.net.fixture",
+    )
+    assert [f.rule for f in run.findings] == ["RL004"]  # the use, not the import
+    assert run.suppressed == 1
+
+
+def test_file_pragma_silences_whole_module():
+    run = ENGINE.lint_source(
+        textwrap.dedent(
+            """
+            # repro-lint: disable-file=RL004 - audited entropy module
+            import time
+            import random
+
+            def draw(self):
+                return random.random() + time.monotonic()
+            """
+        ),
+        module="repro.net.fixture",
+    )
+    assert run.findings == []
+    assert run.suppressed == 4
+
+
+def test_pragma_inside_string_literal_does_not_count():
+    run = ENGINE.lint_source(
+        textwrap.dedent(
+            '''
+            DOC = "# repro-lint: disable-file=all"
+            import time
+            '''
+        ),
+        module="repro.net.fixture",
+    )
+    assert [f.rule for f in run.findings] == ["RL004"]
+
+
+def test_disable_all_wildcard():
+    run = ENGINE.lint_source(
+        "self._lock.acquire()  # repro-lint: disable=all\n",
+        module="repro.net.fixture",
+    )
+    assert run.findings == []
+    assert run.suppressed == 1
+
+
+# ------------------------------------------------------------- baseline
+
+
+def test_baseline_round_trip(tmp_path):
+    findings = findings_for(
+        """
+        def publish(self, event):
+            self._lock.acquire()
+        """
+    )
+    assert findings
+    baseline = Baseline.from_findings(findings, note="grandfathered for the test")
+    path = tmp_path / "baseline.json"
+    baseline.write(str(path))
+    loaded = Baseline.load(str(path))
+    kept, baselined = loaded.filter(findings)
+    assert kept == []
+    assert baselined == len(findings)
+
+
+def test_baseline_survives_unrelated_edits_but_not_snippet_changes():
+    entry = BaselineEntry(
+        rule="RL001",
+        path="pkg/mod.py",
+        snippet="self._lock.acquire()",
+        note="test",
+    )
+    baseline = Baseline([entry])
+    engine = LintEngine(DEFAULT_PROFILE, rules=["RL001"])
+    # Same offending line, different line number (a comment inserted above).
+    moved = engine.lint_source(
+        "# an unrelated new comment\nself._lock.acquire()\n", path="pkg/mod.py"
+    ).findings
+    kept, baselined = baseline.filter(moved)
+    assert kept == [] and baselined == 1
+    # The line itself changed: the entry no longer covers it.
+    changed = engine.lint_source(
+        "self._other_lock.acquire()\n", path="pkg/mod.py"
+    ).findings
+    kept, baselined = baseline.filter(changed)
+    assert len(kept) == 1 and baselined == 0
+
+
+def test_baseline_rejects_malformed_file(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"schema": "something-else/v1", "entries": []}')
+    with pytest.raises(LintConfigError):
+        Baseline.load(str(path))
+
+
+# ------------------------------------------------------ engine plumbing
+
+
+def test_parse_error_yields_rl000():
+    run = ENGINE.lint_source("def broken(:\n", path="pkg/broken.py")
+    assert [f.rule for f in run.findings] == [PARSE_ERROR_RULE]
+
+
+def test_module_name_anchors_at_repro():
+    assert module_name("src/repro/net/faults.py") == "repro.net.faults"
+    assert module_name("/abs/checkout/src/repro/core/__init__.py") == "repro.core"
+    assert module_name("scripts/tool.py") == "tool"
+
+
+def test_rule_scope_prefix_matching():
+    scope = RuleScope(packages=("repro.net",))
+    assert scope.applies_to("repro.net.faults")
+    assert scope.applies_to("repro.net")
+    assert not scope.applies_to("repro.network")  # prefix is package-wise
+    assert RuleScope().applies_to("anything")
+
+
+def test_engine_rejects_unknown_rule():
+    with pytest.raises(LintConfigError):
+        LintEngine(DEFAULT_PROFILE, rules=["RL999"])
+
+
+def test_registry_round_trip_and_conflict():
+    class DemoRule(LintRule):
+        rule_id = "RLTEST"
+        title = "demo"
+        rationale = "test only"
+
+        def check(self, tree, context):
+            return iter(())
+
+    try:
+        register_rule(DemoRule)
+        assert get_rule("rltest") is DemoRule
+        assert "RLTEST" in registered_rules()
+        with pytest.raises(LintConfigError):
+            register_rule(DemoRule)  # without replace=True
+        register_rule(DemoRule, replace=True)
+    finally:
+        assert unregister_rule("RLTEST")
+
+
+def test_builtin_rules_all_registered():
+    assert set(DEFAULT_PROFILE) <= set(registered_rules())
+    assert set(DEFAULT_PROFILE) == {"RL001", "RL002", "RL003", "RL004", "RL005"}
+
+
+# ------------------------------------------------------------------ CLI
+
+
+def _write_fixture(tmp_path, source):
+    target = tmp_path / "fixture.py"
+    target.write_text(textwrap.dedent(source))
+    return str(target)
+
+
+def test_cli_exit_zero_and_json_schema_on_clean_file(tmp_path, capsys):
+    path = _write_fixture(
+        tmp_path,
+        """
+        def publish(self, event):
+            with self._lock:
+                self._pending = self._pending + (event,)
+        """,
+    )
+    assert main(["lint", "--json", "--no-baseline", path]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["schema"] == "repro-lint/v1"
+    assert validate_document(document) == []
+    assert document["findings"] == [] and document["files"] == 1
+
+
+def test_cli_exit_one_on_findings(tmp_path, capsys):
+    path = _write_fixture(
+        tmp_path,
+        """
+        def publish(self, event):
+            self._lock.acquire()
+        """,
+    )
+    assert main(["lint", "--no-baseline", path]) == 1
+    output = capsys.readouterr().out
+    assert "RL001" in output and "hint:" in output
+
+
+def test_cli_exit_two_on_usage_errors(tmp_path, capsys):
+    assert main(["lint", "--no-baseline", str(tmp_path / "missing.py")]) == 2
+    assert main(["lint", "--rules", "RL999", "--no-baseline", "."]) == 2
+
+
+def test_cli_write_then_apply_baseline(tmp_path, capsys, monkeypatch):
+    path = _write_fixture(
+        tmp_path,
+        """
+        def publish(self, event):
+            self._lock.acquire()
+        """,
+    )
+    baseline = tmp_path / "baseline.json"
+    assert main(["lint", "--baseline", str(baseline), "--write-baseline", path]) == 0
+    capsys.readouterr()
+    assert main(["lint", "--baseline", str(baseline), path]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+    # Without the baseline the finding is live again.
+    assert main(["lint", "--no-baseline", path]) == 1
+
+
+def test_cli_rules_filter(tmp_path, capsys):
+    path = _write_fixture(
+        tmp_path,
+        """
+        def deliver(self, event):
+            self._lock.acquire()
+            try:
+                self.sink(event)
+            except Exception:
+                pass
+        """,
+    )
+    assert main(["lint", "--rules", "RL005", "--no-baseline", "--json", path]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["rules"] == ["RL005"]
+    assert {f["rule"] for f in document["findings"]} == {"RL005"}
+
+
+def test_cli_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    output = capsys.readouterr().out
+    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+        assert rule_id in output

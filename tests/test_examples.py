@@ -91,6 +91,16 @@ def test_hot_hierarchy_example(capsys):
     assert "exactly once on both paths: True" in output
 
 
+def test_lint_demo_example(capsys):
+    output = _run_example("lint_demo.py", capsys)
+    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+        assert rule_id in output
+    assert "caught 7 violation(s)" in output
+    assert "distinct rules fired: 5 of 5" in output
+    assert "findings on the fixed version: 0" in output
+    assert "docs/CONCURRENCY.md" in output  # hints point at the invariant docs
+
+
 def test_elastic_shards_example(capsys):
     output = _run_example("elastic_shards.py", capsys)
     assert "keys traded between surviving shards: 0" in output

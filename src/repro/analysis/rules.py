@@ -118,7 +118,12 @@ class NoCallOutUnderLock(LintRule):
     #: ``exception_handler`` the raw application objects; ``dispatch`` the
     #: subscriber-manager fan-out; ``_decorate_message``/``_notify``/
     #: ``_emit`` the composite/breaker/membership hooks; ``submit`` executor
-    #: submission.
+    #: submission.  ``call_soon``/``call_soon_threadsafe``/``create_task``/
+    #: ``ensure_future`` are the asyncio hand-off surfaces: scheduling loop
+    #: work while holding a lock couples the lock's critical section to the
+    #: event loop's readiness -- the ASYNC binding's loop-confined state
+    #: must never wait on thread locks, so the hand-off happens after
+    #: release, like any other call-out.
     default_options = {
         "call_outs": (
             "handle",
@@ -133,6 +138,10 @@ class NoCallOutUnderLock(LintRule):
             "predicate",
             "exception_handler",
             "on_error",
+            "call_soon",
+            "call_soon_threadsafe",
+            "create_task",
+            "ensure_future",
         ),
     }
 
@@ -456,7 +465,10 @@ DEFAULT_PROFILE = {
     ),
     # Determinism applies to the simulated substrate and the engine core;
     # bench/ and apps/ measure and demo against the real world and are out
-    # of scope by construction.
+    # of scope by construction.  ``repro.core`` includes the asyncio
+    # binding (``repro.core.async_engine``): it runs on real loops, so it
+    # must not smuggle in wall-clock/RNG imports either -- its one clock
+    # read goes through the owning loop's ``loop.time()``.
     "RL004": RuleScope(packages=("repro.net", "repro.jxta", "repro.core")),
     "RL005": RuleScope(),
 }

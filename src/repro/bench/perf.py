@@ -68,6 +68,7 @@ perf trajectory of the repository.
 
 from __future__ import annotations
 
+import asyncio
 import dataclasses
 import json
 import threading
@@ -77,6 +78,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro._version import __version__
 from repro.apps.skirental.types import SkiRental
+from repro.core.async_engine import AsyncLocalBus, AsyncTPSEngine
 from repro.core.local_engine import LocalBus, LocalTPSEngine
 from repro.core.sharded_engine import ShardedLocalBus
 from repro.core.type_registry import type_name
@@ -101,6 +103,7 @@ COMPARISON_NAMES = (
     "filtered_fanout",
     "mt_fanout",
     "intra_shard_fanout",
+    "async_fanout",
 )
 
 #: The PR-1 comparison set: the minimum every historical repro-bench/v1
@@ -143,6 +146,10 @@ PROFILES: Dict[str, Dict[str, Any]] = {
         "mt_events": 75,
         "mt_subscribers": 2,
         "mt_io_s": 50e-6,
+        "async_publishers": 4,
+        "async_events": 75,
+        "async_subscribers": 2,
+        "async_io_s": 50e-6,
         "intra_shards": 4,
         "intra_keys": 16,
         "intra_events": 240,
@@ -169,6 +176,10 @@ PROFILES: Dict[str, Dict[str, Any]] = {
         "mt_events": 30,
         "mt_subscribers": 2,
         "mt_io_s": 50e-6,
+        "async_publishers": 4,
+        "async_events": 30,
+        "async_subscribers": 2,
+        "async_io_s": 50e-6,
         "intra_shards": 4,
         "intra_keys": 16,
         "intra_events": 96,
@@ -195,6 +206,10 @@ PROFILES: Dict[str, Dict[str, Any]] = {
         "mt_events": 3,
         "mt_subscribers": 1,
         "mt_io_s": 100e-6,
+        "async_publishers": 2,
+        "async_events": 3,
+        "async_subscribers": 1,
+        "async_io_s": 100e-6,
         "intra_shards": 2,
         "intra_keys": 8,
         "intra_events": 8,
@@ -705,6 +720,108 @@ def _bench_mt_fanout(profile: Dict[str, Any]) -> Comparison:
     )
 
 
+def _bench_async_fanout(profile: Dict[str, Any]) -> Comparison:
+    """Coroutine fan-out on one event loop vs threaded locked-bus fan-out.
+
+    The ``mt_fanout`` workload shape (N publisher hierarchies, each with
+    ``async_subscribers`` subscribers performing a short I/O wait per
+    event), contrasting the two concurrency models at identical bus-level
+    delivery (pre-built event batches, no codec work on either side):
+
+    * baseline -- N publisher *threads* over one :class:`_LockedLocalBus`,
+      every subscriber's ``time.sleep`` wait serialising behind the single
+      delivery lock (the same baseline leg ``mt_fanout`` uses);
+    * fast -- N publisher *tasks* on one event loop over an
+      :class:`~repro.core.async_engine.AsyncLocalBus` with
+      ``dispatch="concurrent"``: subscribers are coroutines awaiting
+      ``asyncio.sleep``, so one event's subscriber waits overlap and the
+      loop interleaves the publishers' awaitable backpressure instead of
+      parking threads.
+
+    Engine construction is loop-confined, so the async side rebuilds its
+    engines inside each repeat's fresh ``asyncio.run`` loop; the clock
+    starts after the build on both sides.
+    """
+    publishers = profile["async_publishers"]
+    events = profile["async_events"]
+    subscribers = profile["async_subscribers"]
+    io_wait = profile["async_io_s"]
+    repeats = profile["repeats"]
+    types = _mt_types(publishers)
+    batches = {cls: [cls(float(index)) for index in range(events)] for cls in types}
+
+    locked_bus = _LockedLocalBus()
+    locked_engines = []
+    for cls in types:
+        publisher = LocalTPSEngine(cls, bus=locked_bus)
+        for _ in range(subscribers):
+            engine = LocalTPSEngine(cls, bus=locked_bus)
+            engine.subscribe(lambda event: time.sleep(io_wait))
+        locked_engines.append(publisher)
+
+    def run_locked() -> float:
+        def work(publisher: LocalTPSEngine, cls: type) -> None:
+            publish = locked_bus.publish
+            for event in batches[cls]:
+                publish(publisher, event)
+
+        threads = [
+            threading.Thread(target=work, args=(publisher, cls), daemon=True)
+            for publisher, cls in zip(locked_engines, types)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return time.perf_counter() - start
+
+    def run_async() -> float:
+        async def main() -> float:
+            bus = AsyncLocalBus(dispatch="concurrent")
+            engines = []
+            for cls in types:
+                publisher = AsyncTPSEngine(cls, bus=bus)
+                for _ in range(subscribers):
+                    engine = AsyncTPSEngine(cls, bus=bus)
+
+                    async def wait(event: Any) -> None:
+                        await asyncio.sleep(io_wait)
+
+                    engine.subscribe(wait)
+                engines.append(publisher)
+
+            async def work(publisher: AsyncTPSEngine, cls: type) -> None:
+                publish = bus.publish
+                for event in batches[cls]:
+                    await publish(publisher, event)
+
+            start = time.perf_counter()
+            await asyncio.gather(
+                *(work(publisher, cls) for publisher, cls in zip(engines, types))
+            )
+            return time.perf_counter() - start
+
+        return asyncio.run(main())
+
+    total_events = publishers * events
+    best_locked = float("inf")
+    best_async = float("inf")
+    for _ in range(repeats):
+        best_locked = min(best_locked, run_locked())
+        best_async = min(best_async, run_async())
+        for publisher in locked_engines:
+            for engine in locked_bus.engines_for(publisher.registry.root):
+                engine._received.clear()
+    return Comparison(
+        "async_fanout",
+        best_locked / total_events * 1e6,
+        best_async / total_events * 1e6,
+        total_events,
+        repeats,
+    )
+
+
 #: The intra-hierarchy benchmark's single hot event type: one hierarchy,
 #: sharded by the ``key`` attribute's value.
 _HotEvent = dataclasses.make_dataclass(
@@ -983,6 +1100,7 @@ def run_perf_suite(profile: str = "full") -> Dict[str, Any]:
     comparisons.append(_bench_filtered_fanout(settings))
     comparisons.append(_bench_mt_fanout(settings))
     comparisons.append(_bench_intra_shard_fanout(settings))
+    comparisons.append(_bench_async_fanout(settings))
     return {
         "schema": SCHEMA,
         "version": __version__,

@@ -14,15 +14,17 @@ The public API mirrors the paper's Section 3:
 * :class:`Criteria` -- advertisement and content filtering.
 * :class:`PSException` / :class:`CallBackException` -- the API's exceptions.
 
-Four bindings self-register with the binding registry
+Five bindings self-register with the binding registry
 (:mod:`repro.core.bindings`): ``"JXTA"`` (over the simulated JXTA substrate,
 :class:`JxtaTPSEngine`), ``"LOCAL"`` (in-process, :class:`LocalTPSEngine`),
 ``"SHARDED"`` (in-process over an N-shard bus, :class:`ShardedLocalBus`;
-root- or content-keyed partitioning) and ``"SHARDED+JXTA"`` (the sharded bus
-fanned out over the JXTA wire, :class:`ShardedJxtaTPSEngine`).  Applications
-add their own with :func:`register_binding`; every binding can declare a
-parameter schema that ``new_interface(name, ..., **params)`` is validated
-against.
+root- or content-keyed partitioning), ``"SHARDED+JXTA"`` (the sharded bus
+fanned out over the JXTA wire, :class:`ShardedJxtaTPSEngine`) and ``"ASYNC"``
+(asyncio-native, :class:`AsyncTPSEngine`: event-loop-owned bus, coroutine
+subscribers, awaitable publish/backpressure -- see
+:mod:`repro.core.async_engine`).  Applications add their own with
+:func:`register_binding`; every binding can declare a parameter schema that
+``new_interface(name, ..., **params)`` is validated against.
 
 The v2 surface on top of the paper's Figure 8 (all back-compatible):
 :meth:`~repro.core.interface.TPSInterface.subscribe` returns a
@@ -40,6 +42,11 @@ from repro.core.advertisements import (
     PS_PREFIX,
     TPSAdvertisementsCreator,
     TPSAdvertisementsFinder,
+)
+from repro.core.async_engine import (
+    AsyncEventStream,
+    AsyncLocalBus,
+    AsyncTPSEngine,
 )
 from repro.core.bindings import (
     BindingParam,
@@ -71,7 +78,12 @@ from repro.core.exceptions import (
     PSException,
     TypeMismatchError,
 )
-from repro.core.interface import PublishReceipt, Subscription, TPSInterface
+from repro.core.interface import (
+    PublishReceipt,
+    Subscription,
+    TPSInterface,
+    TPSInterfaceCore,
+)
 from repro.core.jxta_engine import JxtaTPSEngine, TPSAttachment, TPSConfig
 from repro.core.local_engine import LocalBus, LocalTPSEngine
 from repro.core.reply import Reply, ReplyEndpoint, Replyable, reply
@@ -79,6 +91,7 @@ from repro.core.sharded_engine import DEFAULT_SHARD_COUNT, ShardedLocalBus
 from repro.core.subscriber import TPSPipeReader, TPSSubscriberManager
 from repro.core.subscriptions import (
     EventStream,
+    StreamCore,
     SubscriptionBuilder,
     SubscriptionHandle,
 )
@@ -103,6 +116,9 @@ from repro.core.xml_types import (
 )
 
 __all__ = [
+    "AsyncEventStream",
+    "AsyncLocalBus",
+    "AsyncTPSEngine",
     "BindingParam",
     "BindingRequest",
     "BindingSpec",
@@ -133,6 +149,7 @@ __all__ = [
     "PublishReceipt",
     "ShardedJxtaTPSEngine",
     "ShardedLocalBus",
+    "StreamCore",
     "Subscription",
     "SubscriptionBuilder",
     "SubscriptionHandle",
@@ -145,6 +162,7 @@ __all__ = [
     "TPSEngine",
     "TPSExceptionHandler",
     "TPSInterface",
+    "TPSInterfaceCore",
     "TPSMyInputPipe",
     "TPSMyOutputPipe",
     "TPSPipeReader",

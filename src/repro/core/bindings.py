@@ -174,6 +174,14 @@ class BindingSpec:
     capabilities: frozenset = field(default_factory=frozenset)
     #: The declared parameters, in declaration order.
     params: Tuple[BindingParam, ...] = ()
+    #: Invoked (with no arguments) when the binding is unregistered.  A
+    #: binding whose factory caches shared state keyed on parameter sets --
+    #: the sharded bindings' registry-built bus cache, the ASYNC binding's
+    #: per-loop buses -- registers its cache reset here, so an
+    #: ``unregister_binding``/``register_binding`` cycle starts from a clean
+    #: slate instead of resolving interfaces onto buses built by the
+    #: previous, possibly different, factory.
+    on_unregister: Optional[Callable[[], None]] = None
 
     @property
     def param_names(self) -> Tuple[str, ...]:
@@ -260,20 +268,27 @@ def register_binding(
     capabilities: Sequence[str] = (),
     params: Sequence[Union[BindingParam, str]] = (),
     replace: bool = False,
+    on_unregister: Optional[Callable[[], None]] = None,
 ) -> BindingSpec:
     """Register a binding factory under ``name`` (case-insensitive).
 
     ``params`` declares the binding's parameter schema (a sequence of
     :class:`BindingParam`, or bare names for untyped parameters); every
     ``new_interface(name, ..., **params)`` call is validated against it
-    before the factory runs.  Returns the stored :class:`BindingSpec`.
-    Re-registering an existing name raises :class:`PSException` unless
-    ``replace=True`` (the built-in bindings register with ``replace=True``
-    so module reloads stay safe).
+    before the factory runs.  ``on_unregister`` (optional) is the binding's
+    cache-invalidation hook, run by :func:`unregister_binding` -- see
+    :attr:`BindingSpec.on_unregister`.  Returns the stored
+    :class:`BindingSpec`.  Re-registering an existing name raises
+    :class:`PSException` unless ``replace=True`` (the built-in bindings
+    register with ``replace=True`` so module reloads stay safe).
     """
     key = _normalize(name)
     if not callable(factory):
         raise PSException(f"binding factory for {key!r} must be callable, got {factory!r}")
+    if on_unregister is not None and not callable(on_unregister):
+        raise PSException(
+            f"on_unregister for binding {key!r} must be callable, got {on_unregister!r}"
+        )
     if key in _REGISTRY and not replace:
         raise PSException(
             f"a TPS binding named {key!r} is already registered; "
@@ -284,14 +299,28 @@ def register_binding(
         factory=factory,
         capabilities=frozenset(capabilities),
         params=_normalize_params(key, params),
+        on_unregister=on_unregister,
     )
     _REGISTRY[key] = spec
     return spec
 
 
 def unregister_binding(name: str) -> bool:
-    """Remove a binding from the registry; True if it was registered."""
-    return _REGISTRY.pop(_normalize(name), None) is not None
+    """Remove a binding from the registry; True if it was registered.
+
+    Runs the spec's :attr:`~BindingSpec.on_unregister` hook (when declared)
+    *after* the registry entry is gone, so any shared caches the factory
+    built -- e.g. the sharded bindings' same-parameter bus cache -- are
+    dropped with it and a later re-registration starts clean.  Interfaces
+    already created keep the bus they resolved to; only the *cache* is
+    reset.
+    """
+    spec = _REGISTRY.pop(_normalize(name), None)
+    if spec is None:
+        return False
+    if spec.on_unregister is not None:
+        spec.on_unregister()
+    return True
 
 
 def get_binding(name: str) -> BindingSpec:

@@ -41,30 +41,41 @@ class TPSExceptionHandler(abc.ABC, Generic[EventT]):
 
 
 class FunctionCallback(TPSCallBackInterface[EventT]):
-    """Adapts a plain callable to :class:`TPSCallBackInterface`."""
+    """Adapts a plain callable to :class:`TPSCallBackInterface`.
 
-    def __init__(self, function: Callable[[EventT], None]) -> None:
+    ``handle`` passes the callable's return value through.  Synchronous
+    dispatch loops ignore it, but it is what lets a *coroutine function*
+    subscribe through the ordinary adapter path: the ASYNC binding's
+    delivery loop receives the coroutine ``handle`` returned and awaits it
+    (:mod:`repro.core.async_engine`), with no async-specific adapter class.
+    """
+
+    def __init__(self, function: Callable[[EventT], Any]) -> None:
         if not callable(function):
             raise TypeError(f"callback must be callable, got {function!r}")
         self._function = function
 
-    def handle(self, event: EventT) -> None:
-        self._function(event)
+    def handle(self, event: EventT) -> Any:
+        return self._function(event)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"FunctionCallback({self._function!r})"
 
 
 class FunctionExceptionHandler(TPSExceptionHandler[Any]):
-    """Adapts a plain callable to :class:`TPSExceptionHandler`."""
+    """Adapts a plain callable to :class:`TPSExceptionHandler`.
 
-    def __init__(self, function: Callable[[BaseException], None]) -> None:
+    Like :class:`FunctionCallback`, ``handle`` passes the return value
+    through so coroutine error handlers work over the ASYNC binding.
+    """
+
+    def __init__(self, function: Callable[[BaseException], Any]) -> None:
         if not callable(function):
             raise TypeError(f"exception handler must be callable, got {function!r}")
         self._function = function
 
-    def handle(self, error: BaseException) -> None:
-        self._function(error)
+    def handle(self, error: BaseException) -> Any:
+        return self._function(error)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"FunctionExceptionHandler({self._function!r})"

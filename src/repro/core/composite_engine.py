@@ -70,6 +70,7 @@ from repro.core.sharded_engine import (
     SHARDED_BINDING_PARAMS,
     ShardedLocalBus,
     request_bus,
+    reset_param_buses,
 )
 from repro.core.type_registry import Criteria
 from repro.jxta.ids import PeerID
@@ -490,6 +491,10 @@ register_binding(
     ),
     params=COMPOSITE_BINDING_PARAMS,
     replace=True,
+    # The composite resolves its per-peer (scoped) buses through the same
+    # registry-built cache as SHARDED; unregistering it must drop that cache
+    # for the same stale-spec reason (see reset_param_buses).
+    on_unregister=reset_param_buses,
 )
 
 

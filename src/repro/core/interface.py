@@ -71,6 +71,7 @@ from repro.core.callbacks import (
 from repro.core.exceptions import PSException
 from repro.core.subscriptions import (
     EventStream,
+    StreamCore,
     SubscriptionBuilder,
     SubscriptionHandle,
 )
@@ -159,14 +160,23 @@ class PublishReceipt:
         return all(tracker.settled for tracker in self.delivery_trackers)
 
 
-class TPSInterface(abc.ABC, Generic[EventT]):
-    """Abstract TPS interface; concrete bindings implement the transport.
+class TPSInterfaceCore(abc.ABC, Generic[EventT]):
+    """The front-end-agnostic half of the TPS interface.
 
-    Subclasses implement the abstract transport hooks (``publish``,
-    ``_add_subscription``, ``_remove_subscriptions``, the history queries)
-    and may override :meth:`_do_close` for binding-specific teardown; the
-    shared subscription surface, the v2 builder/stream entry points and the
-    idempotent close template live here so every binding behaves the same.
+    Everything here is shared between the synchronous front-end
+    (:class:`TPSInterface`, implemented by the LOCAL/SHARDED/JXTA bindings)
+    and the asyncio front-end
+    (:class:`~repro.core.async_engine.AsyncTPSEngine`): the subscription
+    surface and its bookkeeping, the fluent builder entry (``.where()``
+    push-down included -- the builder only ever talks to ``_subscribe_one``
+    and ``_make_stream``), the open-stream registry, the idempotent close
+    template (:meth:`_close_impl`) and the uniform post-close
+    :class:`PSException`.  What a front-end adds is *how waiting and
+    publishing are expressed*: the sync front-end blocks and returns
+    receipts, the async one returns awaitables.  Concrete bindings implement
+    the abstract transport hooks (``_add_subscription``,
+    ``_remove_subscriptions``, the history queries, ``_make_stream``) and
+    may override :meth:`_do_close` for binding-specific teardown.
     """
 
     #: Lifecycle flag; a class attribute so bindings need no __init__ hook.
@@ -176,16 +186,16 @@ class TPSInterface(abc.ABC, Generic[EventT]):
 
     @property
     def closed(self) -> bool:
-        """Whether :meth:`close` has run."""
+        """Whether ``close`` has run."""
         return self._tps_closed
 
-    def close(self) -> None:
+    def _close_impl(self) -> None:
         """End this interface's life (idempotent, same across all bindings).
 
         Detaches from the underlying infrastructure, drops every
         subscription via the binding's :meth:`_do_close` and closes every
-        open :class:`EventStream` (waking their blocked consumers and
-        producers).  Afterwards ``publish`` and ``subscribe`` raise
+        open stream (waking their blocked consumers and producers).
+        Afterwards ``publish`` and ``subscribe`` raise
         :class:`PSException`; ``unsubscribe`` and the history queries keep
         working.  Should teardown itself fail, the interface reverts to open
         so ``close()`` can be retried.
@@ -199,6 +209,12 @@ class TPSInterface(abc.ABC, Generic[EventT]):
         to open it triggers) is visible only to the caller that ran the
         teardown: a concurrent loser has already returned believing the
         interface closed, so the winning caller owns the retry.
+
+        Both front-ends route their public ``close`` here; it is sync on
+        purpose -- even the async front-end's teardown (detach from a
+        loop-owned bus, drop subscriptions, close streams) completes without
+        suspending, so ``await tps.close()`` never leaves a half-closed
+        interface across a scheduling point.
         """
         with _LIFECYCLE_LOCK:
             if self._tps_closed:
@@ -219,7 +235,7 @@ class TPSInterface(abc.ABC, Generic[EventT]):
     # it (interface close, blanket unsubscribe) must be closed too, or its
     # blocked consumers/producers would wait forever.
 
-    def _register_stream(self, stream: EventStream) -> None:
+    def _register_stream(self, stream: StreamCore) -> None:
         with _LIFECYCLE_LOCK:
             if not self._tps_closed:
                 streams = getattr(self, "_open_streams", None)
@@ -235,7 +251,7 @@ class TPSInterface(abc.ABC, Generic[EventT]):
         # error instead of blocking on a subscription that no longer exists.
         stream.close()
 
-    def _unregister_stream(self, stream: EventStream) -> None:
+    def _unregister_stream(self, stream: StreamCore) -> None:
         with _LIFECYCLE_LOCK:
             streams = getattr(self, "_open_streams", None)
             if streams is not None and stream in streams:
@@ -258,35 +274,6 @@ class TPSInterface(abc.ABC, Generic[EventT]):
                 f"the TPS interface{name} is closed; "
                 "publish/subscribe are no longer available"
             )
-
-    def __enter__(self) -> "TPSInterface[EventT]":
-        return self
-
-    def __exit__(self, *exc_info: Any) -> None:
-        self.close()
-
-    # ------------------------------------------------------------ publishing
-
-    @abc.abstractmethod
-    def publish(self, event: EventT) -> PublishReceipt:
-        """(1) Publish an instance of the interface's type to all subscribers.
-
-        Raises :class:`PSException` (or a subclass) when the object is not an
-        instance of the type or the interface is not initialised yet.
-        """
-
-    def publish_many(self, events: "Sequence[EventT]") -> List[PublishReceipt]:
-        """Publish a batch of events; returns one receipt per event (v2).
-
-        The default simply loops :meth:`publish`, preserving order and
-        per-event error semantics; bindings with a real batch path override
-        it (the local binding hands the whole batch to the bus, and over a
-        :class:`~repro.core.sharded_engine.ShardedLocalBus` batches from
-        independent hierarchies -- or, content-keyed, from independent keys
-        of one hierarchy -- run concurrently on the shard executor).
-        """
-        self._check_open()
-        return [self.publish(event) for event in events]
 
     # ---------------------------------------------------------- subscribing
 
@@ -377,16 +364,31 @@ class TPSInterface(abc.ABC, Generic[EventT]):
         self._check_open()
         return SubscriptionBuilder(self, callback)
 
-    def stream(self, maxsize: int = 0, policy: str = "block") -> EventStream:
+    def stream(self, maxsize: int = 0, policy: str = "block") -> StreamCore:
         """Consume this interface's events pull-style (v2).
 
-        Returns an :class:`EventStream` (a context manager): iterate it,
-        ``get(timeout=...)`` single events, or ``drain()`` the buffer.  A
-        positive ``maxsize`` bounds the buffer; ``policy`` picks what happens
-        when it is full (``"block"`` the publisher, or ``"drop_oldest"``).
+        Returns the front-end's stream flavour (a context manager): the
+        threaded :class:`EventStream` for sync bindings, an
+        :class:`~repro.core.async_engine.AsyncEventStream` (supporting
+        ``async for``) over the ASYNC binding -- same ``maxsize``/``policy``
+        contract either way.  A positive ``maxsize`` bounds the buffer;
+        ``policy`` picks what happens when it is full (``"block"`` the
+        publisher, or ``"drop_oldest"``).
         """
         self._check_open()
-        return EventStream(self, maxsize=maxsize, policy=policy)
+        return self._make_stream(maxsize, policy)
+
+    def _make_stream(
+        self,
+        maxsize: int,
+        policy: str,
+        predicate: Optional[Callable[[Any], bool]] = None,
+        exception_handler: Optional[Any] = None,
+    ) -> StreamCore:
+        """Build this front-end's stream flavour (hook for :meth:`stream` and
+        :meth:`SubscriptionBuilder.stream
+        <repro.core.subscriptions.SubscriptionBuilder.stream>`)."""
+        raise NotImplementedError
 
     def unsubscribe(
         self,
@@ -427,11 +429,76 @@ class TPSInterface(abc.ABC, Generic[EventT]):
         return self.objects_sent()
 
 
+class TPSInterface(TPSInterfaceCore[EventT]):
+    """The synchronous TPS interface; concrete bindings implement the transport.
+
+    The shared subscription/builder/lifecycle machinery lives in
+    :class:`TPSInterfaceCore`; this class binds it to the blocking
+    front-end: ``publish`` returns a :class:`PublishReceipt`, ``close``
+    returns when teardown is done, streams are the condition-variable
+    :class:`EventStream`, and ``with tps:`` scopes the interface.  (The
+    asyncio front-end, :class:`~repro.core.async_engine.AsyncTPSEngine`,
+    binds the same core to awaitables instead.)
+    """
+
+    def close(self) -> None:
+        """End this interface's life (idempotent; see :meth:`_close_impl`)."""
+        self._close_impl()
+
+    def __enter__(self) -> "TPSInterface[EventT]":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ publishing
+
+    @abc.abstractmethod
+    def publish(self, event: EventT) -> PublishReceipt:
+        """(1) Publish an instance of the interface's type to all subscribers.
+
+        Raises :class:`PSException` (or a subclass) when the object is not an
+        instance of the type or the interface is not initialised yet.
+        """
+
+    def publish_many(self, events: "Sequence[EventT]") -> List[PublishReceipt]:
+        """Publish a batch of events; returns one receipt per event (v2).
+
+        The default simply loops :meth:`publish`, preserving order and
+        per-event error semantics; bindings with a real batch path override
+        it (the local binding hands the whole batch to the bus, and over a
+        :class:`~repro.core.sharded_engine.ShardedLocalBus` batches from
+        independent hierarchies -- or, content-keyed, from independent keys
+        of one hierarchy -- run concurrently on the shard executor).
+        """
+        self._check_open()
+        return [self.publish(event) for event in events]
+
+    # --------------------------------------------------------------- streams
+
+    def _make_stream(
+        self,
+        maxsize: int,
+        policy: str,
+        predicate: Optional[Callable[[Any], bool]] = None,
+        exception_handler: Optional[Any] = None,
+    ) -> EventStream:
+        return EventStream(
+            self,
+            maxsize=maxsize,
+            policy=policy,
+            predicate=predicate,
+            exception_handler=exception_handler,
+        )
+
+
 __all__ = [
     "EventStream",
     "PublishReceipt",
+    "StreamCore",
     "Subscription",
     "SubscriptionBuilder",
     "SubscriptionHandle",
     "TPSInterface",
+    "TPSInterfaceCore",
 ]

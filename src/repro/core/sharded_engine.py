@@ -848,6 +848,25 @@ def _bus_cache_key(kwargs: Dict[str, Any]) -> Tuple[Any, ...]:
     )
 
 
+def reset_param_buses() -> None:
+    """Drop every registry-built shared bus (plain and scoped).
+
+    Registered as the SHARDED/SHARDED+JXTA ``on_unregister`` hook: without
+    it, an ``unregister_binding``/``register_binding`` cycle would leak the
+    same-parameter bus cache -- a *re-registered* binding (possibly with a
+    different factory or schema) would keep resolving ``shards=N`` requests
+    onto buses built under the previous registration, silently wiring new
+    interfaces to stale specs.  Interfaces already created keep their bus;
+    only the caches are cleared, so the next parameterised request builds a
+    fresh bus.  (:data:`DEFAULT_SHARDED_BUS` is deliberately untouched: it
+    is process-wide compatibility surface, not a registry-built cache.)
+    """
+    global _SCOPED_BUSES
+    with _PARAM_BUSES_LOCK:
+        _PARAM_BUSES.clear()
+        _SCOPED_BUSES = None
+
+
 def shared_param_bus(
     request: BindingRequest, *, scope: Any = None
 ) -> ShardedLocalBus:
@@ -912,13 +931,24 @@ def _sharded_binding(request: BindingRequest) -> LocalTPSEngine:
     )
 
 
-register_binding(
-    "SHARDED",
-    _sharded_binding,
-    capabilities=("in-process", "sharded", "elastic"),
-    params=SHARDED_BINDING_PARAMS,
-    replace=True,
-)
+def register_sharded_binding() -> None:
+    """(Re-)register the ``"SHARDED"`` binding with its canonical spec.
+
+    Module import calls this once; tests that exercise the
+    ``unregister_binding`` cache-reset path call it again to restore the
+    built-in registration.
+    """
+    register_binding(
+        "SHARDED",
+        _sharded_binding,
+        capabilities=("in-process", "sharded", "elastic"),
+        params=SHARDED_BINDING_PARAMS,
+        replace=True,
+        on_unregister=reset_param_buses,
+    )
+
+
+register_sharded_binding()
 
 
 __all__ = [
@@ -928,7 +958,9 @@ __all__ = [
     "PARTITION_MODES",
     "SHARDED_BINDING_PARAMS",
     "ShardedLocalBus",
+    "register_sharded_binding",
     "request_bus",
+    "reset_param_buses",
     "resolve_sharded_params",
     "shared_param_bus",
 ]

@@ -336,48 +336,48 @@ class SubscriptionBuilder:
         )
         return SubscriptionHandle(self._interface, [subscription])
 
-    def stream(self, maxsize: int = 0, policy: str = "block") -> "EventStream":
-        """Consume the (filtered) subscription as an :class:`EventStream`.
+    def stream(self, maxsize: int = 0, policy: str = "block") -> "StreamCore":
+        """Consume the (filtered) subscription as an event stream.
 
         The builder must have no callback -- a stream *is* the consumer.
+        The stream flavour is the interface's choice (``_make_stream``):
+        sync front-ends return the threaded :class:`EventStream`, the ASYNC
+        binding an :class:`~repro.core.async_engine.AsyncEventStream` -- the
+        builder itself (predicate push-down, error routing) is shared.
         """
         self._consume()
         if self._callback is not None:
             raise PSException(
                 "a stream is the subscription's consumer; build it without a callback"
             )
-        return EventStream(
-            self._interface,
-            maxsize=maxsize,
-            policy=policy,
+        return self._interface._make_stream(
+            maxsize,
+            policy,
             predicate=combine_predicates(self._predicates),
             exception_handler=self._handler,
         )
 
 
-#: Backpressure policies accepted by :class:`EventStream`.
+#: Backpressure policies accepted by every stream flavour.
 STREAM_POLICIES = ("block", "drop_oldest")
 
 
-class EventStream:
-    """Pull-style consumption of one interface's events, with backpressure.
+class StreamCore:
+    """The binding-agnostic skeleton of pull-style event consumption.
 
-    The stream subscribes an internal enqueue callback (honouring any
-    pushed-down predicate) and buffers events in arrival order:
-
-    * iterate (``for event in stream``) or call :meth:`get` to consume,
-      blocking until an event arrives or the stream is closed;
-    * :meth:`drain` grabs everything currently buffered without blocking --
-      the natural form inside the single-threaded simulator, where publish
-      delivers synchronously;
-    * a bounded stream (``maxsize > 0``) applies ``policy`` when full:
-      ``"block"`` suspends the *publisher's* delivery until the consumer
-      catches up (only meaningful with a consumer on another thread),
-      ``"drop_oldest"`` discards the stalest buffered event and counts it in
-      :attr:`dropped`.
-
-    Closing (or leaving the ``with`` block) cancels the subscription and
-    wakes every blocked producer and consumer.
+    Owns everything a stream shares across front-ends -- the
+    ``maxsize``/``policy`` contract and its validation, the arrival-order
+    buffer and :attr:`dropped` counter, the internal subscription (predicate
+    pushed down, errors routed to the paired handler, exactly like any
+    application subscription) and the close template that cancels it and
+    unregisters from the interface.  What differs per front-end is *how
+    waiting is expressed*: the threaded :class:`EventStream` blocks on
+    condition variables, the asyncio
+    :class:`~repro.core.async_engine.AsyncEventStream` suspends on futures.
+    Subclasses supply exactly those hooks: ``_init_waiters`` (synchronisation
+    state, created before the subscription can deliver), ``_on_event`` (the
+    producer side) and ``_shutdown`` (flip the closed flag and wake every
+    waiter, exactly once).
     """
 
     def __init__(
@@ -398,20 +398,96 @@ class EventStream:
         self.maxsize = maxsize
         self.policy = policy
         self._buffer: "deque[Any]" = deque()
-        self._lock = threading.Lock()
-        self._not_empty = threading.Condition(self._lock)
-        self._not_full = threading.Condition(self._lock)
         self._closed = False
         self._dropped = 0
-        #: Idents of every thread that has consumed (get/drain), used to
-        #: refuse a ``"block"`` wait that can never be woken (see _on_event).
-        self._consumer_idents: "set[int]" = set()
+        self._init_waiters()
         subscription = interface._subscribe_one(
             self._on_event, exception_handler, predicate=predicate
         )
         self._handle = SubscriptionHandle(interface, [subscription])
         self._interface = interface
         interface._register_stream(self)
+
+    # ----------------------------------------------------- subclass hooks
+
+    def _init_waiters(self) -> None:
+        """Create the waiting/synchronisation state; runs before subscribing."""
+        raise NotImplementedError
+
+    def _on_event(self, event: Any) -> Any:
+        """The internal subscription's callback (the producer side)."""
+        raise NotImplementedError
+
+    def _shutdown(self) -> bool:
+        """Flip the closed flag and wake all waiters; False when already closed."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def close(self) -> None:
+        """Cancel the subscription and wake all blocked producers/consumers.
+
+        Buffered events stay readable through ``get``/``drain``; iteration
+        ends once they are consumed.  Idempotent.  The interface itself
+        calls this for every open stream when it closes (or on a blanket
+        ``unsubscribe()``), so consumers never block on a subscription that
+        no longer exists.  The flag flip and the wake-ups (``_shutdown``)
+        happen *first*, then exactly one caller -- the one that flipped the
+        flag -- cancels the subscription and unregisters the stream; see
+        :meth:`EventStream._shutdown` for the races the order forecloses.
+        """
+        if not self._shutdown():
+            return
+        self._handle.cancel()
+        self._interface._unregister_stream(self)
+
+    def __enter__(self) -> "StreamCore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"{type(self).__name__}({state}, pending={len(self._buffer)}, "
+            f"maxsize={self.maxsize}, policy={self.policy!r})"
+        )
+
+
+class EventStream(StreamCore):
+    """Pull-style consumption of one interface's events, with backpressure.
+
+    The stream subscribes an internal enqueue callback (honouring any
+    pushed-down predicate) and buffers events in arrival order:
+
+    * iterate (``for event in stream``) or call :meth:`get` to consume,
+      blocking until an event arrives or the stream is closed;
+    * :meth:`drain` grabs everything currently buffered without blocking --
+      the natural form inside the single-threaded simulator, where publish
+      delivers synchronously;
+    * a bounded stream (``maxsize > 0``) applies ``policy`` when full:
+      ``"block"`` suspends the *publisher's* delivery until the consumer
+      catches up (only meaningful with a consumer on another thread),
+      ``"drop_oldest"`` discards the stalest buffered event and counts it in
+      :attr:`dropped`.
+
+    Closing (or leaving the ``with`` block) cancels the subscription and
+    wakes every blocked producer and consumer.
+    """
+
+    def _init_waiters(self) -> None:
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        #: Idents of every thread that has consumed (get/drain), used to
+        #: refuse a ``"block"`` wait that can never be woken (see _on_event).
+        self._consumer_idents: "set[int]" = set()
 
     # ------------------------------------------------------------- producer
 
@@ -509,25 +585,14 @@ class EventStream:
         with self._lock:
             return self._dropped
 
-    @property
-    def closed(self) -> bool:
-        """Whether :meth:`close` has run."""
-        return self._closed
-
     # ------------------------------------------------------------- lifecycle
 
-    def close(self) -> None:
-        """Cancel the subscription and wake all blocked producers/consumers.
-
-        Buffered events stay readable through :meth:`get`/:meth:`drain`;
-        iteration ends once they are consumed.  Idempotent.  The interface
-        itself calls this for every open stream when it closes (or on a
-        blanket ``unsubscribe()``), so consumers never block on a
-        subscription that no longer exists.
+    def _shutdown(self) -> bool:
+        """Flip the closed flag and wake all waiters, under the lock.
 
         The flag flips and the wake-ups happen under the lock *first*, then
-        exactly one thread (the one that flipped it) cancels the
-        subscription and unregisters the stream.  Doing it in the other
+        exactly one thread (the one that flipped it) runs the cancel and
+        unregister in :meth:`StreamCore.close`.  Doing it in the other
         order had two races: two concurrent closers both ran the
         unregister, and a producer already inside ``_on_event`` could start
         a ``_not_full`` wait after the cancel but before the wake -- and
@@ -535,25 +600,11 @@ class EventStream:
         """
         with self._lock:
             if self._closed:
-                return
+                return False
             self._closed = True
             self._not_empty.notify_all()
             self._not_full.notify_all()
-        self._handle.cancel()
-        self._interface._unregister_stream(self)
-
-    def __enter__(self) -> "EventStream":
-        return self
-
-    def __exit__(self, *exc_info: Any) -> None:
-        self.close()
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "closed" if self._closed else "open"
-        return (
-            f"EventStream({state}, pending={len(self._buffer)}, "
-            f"maxsize={self.maxsize}, policy={self.policy!r})"
-        )
+        return True
 
 
 __all__ = [
@@ -563,6 +614,7 @@ __all__ = [
     "CircuitBreaker",
     "EventStream",
     "STREAM_POLICIES",
+    "StreamCore",
     "SubscriptionBuilder",
     "SubscriptionHandle",
     "combine_predicates",

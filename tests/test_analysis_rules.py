@@ -136,6 +136,33 @@ def test_rl002_executor_submit_under_lock():
     )
 
 
+def test_rl002_asyncio_handoff_under_lock():
+    # Scheduling loop work while holding a lock couples the critical
+    # section to the event loop's readiness -- the asyncio hand-off
+    # surfaces are call-outs like any other.
+    findings = findings_for(
+        """
+        def wake(self, fn):
+            with self._lock:
+                self._loop.call_soon(fn)
+                self._task = self._loop.create_task(fn())
+        """
+    )
+    assert [f.rule for f in findings] == ["RL002", "RL002"]
+
+
+def test_rl002_asyncio_handoff_after_release_is_silent():
+    assert "RL002" not in rules_fired(
+        """
+        def wake(self, fn):
+            with self._lock:
+                loop = self._loop
+            loop.call_soon_threadsafe(fn)
+            return loop.create_task(fn())
+        """
+    )
+
+
 # --------------------------------------------------------------------- RL003
 
 

@@ -10,12 +10,18 @@ bodies, same assertions -- against every registered built-in binding:
 * ``JXTA``    -- the simulated P2P substrate (publisher and subscriber on
   *different* peers, traffic over the wire);
 * ``SHARDED+JXTA`` -- the composite (remote subscriber over the wire, and a
-  same-peer local check in its dedicated test).
+  same-peer local check in its dedicated test);
+* ``ASYNC``   -- the asyncio-native binding, driven through a thin driver
+  shim that marshals each call onto the harness-owned event loop
+  (``loop.run_until_complete``) and awaits awaitable results, so the very
+  same sync-shaped test bodies exercise ``await tps.publish(...)`` et al.
 
 The only per-binding knowledge lives in the harness: how to build a
 publisher/subscriber interface pair and how to *pump* in-flight deliveries
 (a no-op for the synchronous in-process bindings; run-the-simulator for the
-wire bindings).  The test bodies never branch on the binding name.
+wire bindings; for ``ASYNC``, serial dispatch completes delivery inside the
+awaited publish, so pumping is a no-op there too).  The test bodies never
+branch on the binding name.
 
 Covered surface: publish/subscribe with ordering and history, handle
 cancellation, fluent ``.where()`` predicates, streams under both overflow
@@ -38,6 +44,8 @@ network faults, must be invisible at the TPS API.
 
 from __future__ import annotations
 
+import asyncio
+import inspect
 from typing import Any, List, Optional, Tuple
 
 import pytest
@@ -66,6 +74,7 @@ BINDINGS = (
     "SHARDED",
     "JXTA",
     "SHARDED+JXTA",
+    pytest.param("ASYNC", marks=pytest.mark.asyncio),
     pytest.param("JXTA" + CHAOS_SUFFIX, marks=pytest.mark.chaos),
     pytest.param("SHARDED+JXTA" + CHAOS_SUFFIX, marks=pytest.mark.chaos),
     pytest.param("SHARDED" + RESHARD_SUFFIX, marks=pytest.mark.migration),
@@ -81,6 +90,157 @@ pytestmark = [pytest.mark.slow]
 
 def _offer(shop: str = "shop", price: float = 10.0) -> SkiRental:
     return SkiRental(shop, price, "Salomon", 7)
+
+
+class _LoopProxy:
+    """Marshals calls onto the harness-owned event loop, awaiting results.
+
+    The ASYNC binding's objects are loop-confined and its verbs are
+    awaitables; these drivers give them the synchronous face the shared
+    test bodies expect.  Each call runs *on* the owning loop (the loop is
+    driven by the test thread via ``run_until_complete``), so the binding's
+    loop-affinity checks pass exactly as they would for a real coroutine
+    caller -- the shim translates the calling convention, never the
+    behavior.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+
+    def _run(self, fn: Any, *args: Any, **kwargs: Any) -> Any:
+        async def call() -> Any:
+            result = fn(*args, **kwargs)
+            if inspect.isawaitable(result):
+                result = await result
+            return result
+
+        return self._loop.run_until_complete(call())
+
+
+class AsyncHandleDriver(_LoopProxy):
+    def __init__(self, handle: Any, loop: asyncio.AbstractEventLoop) -> None:
+        super().__init__(loop)
+        self._handle = handle
+
+    def cancel(self) -> int:
+        return self._run(self._handle.cancel)
+
+    @property
+    def active(self) -> bool:
+        return self._handle.active
+
+    def __enter__(self) -> "AsyncHandleDriver":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.cancel()
+
+
+class AsyncStreamDriver(_LoopProxy):
+    def __init__(self, stream: Any, loop: asyncio.AbstractEventLoop) -> None:
+        super().__init__(loop)
+        self._stream = stream
+
+    def get(self, timeout: Optional[float] = None) -> Any:
+        return self._run(self._stream.get, timeout=timeout)
+
+    def drain(self) -> List[Any]:
+        return self._run(self._stream.drain)
+
+    def close(self) -> None:
+        self._run(self._stream.close)
+
+    @property
+    def closed(self) -> bool:
+        return self._stream.closed
+
+    @property
+    def pending(self) -> int:
+        return self._stream.pending
+
+    @property
+    def dropped(self) -> int:
+        return self._stream.dropped
+
+    def __enter__(self) -> "AsyncStreamDriver":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class AsyncBuilderDriver(_LoopProxy):
+    """Chains on the real SubscriptionBuilder -- the fluent surface is the
+    shared one; only the terminal operations marshal onto the loop."""
+
+    def __init__(self, builder: Any, loop: asyncio.AbstractEventLoop) -> None:
+        super().__init__(loop)
+        self._builder = builder
+
+    def where(self, predicate: Any) -> "AsyncBuilderDriver":
+        self._builder.where(predicate)
+        return self
+
+    def on_error(self, handler: Any) -> "AsyncBuilderDriver":
+        self._builder.on_error(handler)
+        return self
+
+    def start(self) -> AsyncHandleDriver:
+        return AsyncHandleDriver(self._run(self._builder.start), self._loop)
+
+    def stream(self, *args: Any, **kwargs: Any) -> AsyncStreamDriver:
+        return AsyncStreamDriver(
+            self._run(self._builder.stream, *args, **kwargs), self._loop
+        )
+
+
+class AsyncInterfaceDriver(_LoopProxy):
+    def __init__(self, interface: Any, loop: asyncio.AbstractEventLoop) -> None:
+        super().__init__(loop)
+        self._interface = interface
+
+    def publish(self, event: Any) -> Any:
+        return self._run(self._interface.publish, event)
+
+    def publish_many(self, events: Any) -> Any:
+        return self._run(self._interface.publish_many, events)
+
+    def subscribe(self, *args: Any, **kwargs: Any) -> AsyncHandleDriver:
+        return AsyncHandleDriver(
+            self._run(self._interface.subscribe, *args, **kwargs), self._loop
+        )
+
+    def unsubscribe(self, *args: Any, **kwargs: Any) -> int:
+        return self._run(self._interface.unsubscribe, *args, **kwargs)
+
+    def subscription(self, *args: Any, **kwargs: Any) -> AsyncBuilderDriver:
+        return AsyncBuilderDriver(
+            self._run(self._interface.subscription, *args, **kwargs), self._loop
+        )
+
+    def stream(self, *args: Any, **kwargs: Any) -> AsyncStreamDriver:
+        return AsyncStreamDriver(
+            self._run(self._interface.stream, *args, **kwargs), self._loop
+        )
+
+    def objects_received(self) -> List[Any]:
+        return self._interface.objects_received()
+
+    def objects_sent(self) -> List[Any]:
+        return self._interface.objects_sent()
+
+    def close(self) -> None:
+        self._run(self._interface.close)
+
+    @property
+    def closed(self) -> bool:
+        return self._interface.closed
+
+    def __enter__(self) -> "AsyncInterfaceDriver":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
 
 class BindingHarness:
@@ -100,6 +260,8 @@ class BindingHarness:
         self.engines: List[TPSEngine] = []
         self.builder: Optional[JxtaNetworkBuilder] = None
         self.local_bus: Optional[Any] = None
+        #: The harness-owned event loop (ASYNC binding only).
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
         #: Buses to grow/shrink between pumps (+RESHARD variants).
         self._reshard_buses: List[ShardedLocalBus] = []
         self._reshard_step = 0
@@ -107,6 +269,11 @@ class BindingHarness:
             self.local_bus = LocalBus()
         elif binding == "SHARDED":
             self.local_bus = ShardedLocalBus(shards=4)
+        elif binding == "ASYNC":
+            # The registry resolves a parameter-less ASYNC request to the
+            # per-loop shared bus, so interfaces built on this loop pair up
+            # exactly like the in-process bindings sharing self.local_bus.
+            self.loop = asyncio.new_event_loop()
         else:
             self.builder = JxtaNetworkBuilder(seed=20020713)
             self.builder.add_rendezvous("rdv-0")
@@ -135,6 +302,13 @@ class BindingHarness:
             engine = TPSEngine(
                 event_type, peer=peer or self.publisher_peer, config=config
             )
+        elif self.loop is not None:
+            engine = TPSEngine(event_type)
+            self.engines.append(engine)
+            # new_interface must run on the owning loop ('the loop is the
+            # thread'); the driver keeps marshaling every later call there.
+            interface = self._run_on_loop(engine.new_interface, self.binding)
+            return AsyncInterfaceDriver(interface, self.loop)
         else:
             engine = TPSEngine(event_type, local_bus=self.local_bus)
         self.engines.append(engine)
@@ -187,7 +361,21 @@ class BindingHarness:
         self.pump(receipt)
         return receipt
 
+    def _run_on_loop(self, fn: Any, *args: Any, **kwargs: Any) -> Any:
+        async def call() -> Any:
+            return fn(*args, **kwargs)
+
+        assert self.loop is not None
+        return self.loop.run_until_complete(call())
+
     def finish(self) -> None:
+        if self.loop is not None:
+            # Engine close iterates interface.close(), which is
+            # loop-confined; run the whole teardown on the owning loop.
+            for engine in self.engines:
+                self._run_on_loop(engine.close)
+            self.loop.close()
+            return
         for engine in self.engines:
             engine.close()
 

@@ -96,6 +96,7 @@ class TestRegistryIntrospection:
     def test_registered_bindings_reports_declared_parameter_names(self):
         report = registered_bindings(with_params=True)
         assert report["LOCAL"] == ()
+        assert report["ASYNC"] == ("dispatch", "group")
         assert report["SHARDED"] == (
             "shards",
             "partition",

@@ -67,7 +67,7 @@ def test_loose_coupling_example(capsys):
 
 def test_filtered_stream_example(capsys):
     output = _run_example("filtered_stream.py", capsys)
-    assert "registered bindings: JXTA, LOCAL, SHARDED" in output
+    assert "registered bindings: ASYNC, JXTA, LOCAL, SHARDED" in output
     assert "tape drained 5 trades (4 dropped)" in output
     assert "block-trade alerts: 2" in output
     assert "alerts after cancel: 2" in output
@@ -82,7 +82,7 @@ def test_reproduce_figures_single_figure(capsys):
 
 def test_hot_hierarchy_example(capsys):
     output = _run_example("hot_hierarchy.py", capsys)
-    assert "registered bindings: JXTA, LOCAL, SHARDED, SHARDED+JXTA" in output
+    assert "registered bindings: ASYNC, JXTA, LOCAL, SHARDED, SHARDED+JXTA" in output
     assert "4 shards, partition='content'" in output
     assert "delivered 24/24 trades" in output
     assert "SKI trades arrived in publish order: True" in output

@@ -45,6 +45,33 @@ def test_source_tree_is_lint_clean():
     assert run.files > 70  # the walker really covered the tree
 
 
+def test_every_core_module_is_covered_by_some_profile_scope():
+    """Every module under ``src/repro/core`` must fall inside at least one
+    DEFAULT_PROFILE scope -- a new core subsystem that nobody registered
+    (the way ``repro.core.async_engine`` is, via the repo-wide RL001/RL002/
+    RL005 scopes *and* RL004's ``repro.core`` package) would otherwise ship
+    unlinted."""
+    from repro.analysis.engine import module_name
+
+    core_dir = os.path.join(SOURCE_TREE, "core")
+    modules = [
+        module_name(os.path.join(core_dir, name))
+        for name in sorted(os.listdir(core_dir))
+        if name.endswith(".py")
+    ]
+    assert "repro.core.async_engine" in modules
+    for module in modules:
+        covered = [
+            rule
+            for rule, scope in DEFAULT_PROFILE.items()
+            if scope.applies_to(module)
+        ]
+        assert covered, f"core module {module} matches no DEFAULT_PROFILE scope"
+    # The asyncio binding is in the determinism domain, not just the
+    # repo-wide lock rules: it must not import wall-clock/RNG modules.
+    assert DEFAULT_PROFILE["RL004"].applies_to("repro.core.async_engine")
+
+
 def test_every_baseline_entry_still_matches_a_finding():
     """A stale baseline entry means the exception it excused is gone --
     the entry must be deleted, or it will silently grandfather the next,

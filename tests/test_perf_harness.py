@@ -84,6 +84,8 @@ class TestPerfSuite:
             "fanout_iterations", "churn_iterations", "churn_resident",
             "filtered_iterations", "filtered_subscribers",
             "mt_publishers", "mt_events", "mt_subscribers", "mt_io_s",
+            "async_publishers", "async_events", "async_subscribers",
+            "async_io_s",
             "intra_shards", "intra_keys", "intra_events",
             "intra_subscribers", "intra_io_s",
             "figure19_events", "figure20_duration", "figure20_events",
@@ -140,6 +142,17 @@ class TestPerfSuite:
         }
         problems = validate_document(document)
         assert any("intra_shard_fanout" in problem for problem in problems)
+
+    def test_schema_covers_the_async_section(self):
+        """The PR-9 section (coroutine fan-out over the ASYNC binding) is
+        part of the contract: a document missing it must fail validation."""
+        assert "async_fanout" in COMPARISON_NAMES
+        document = {
+            "schema": SCHEMA, "version": "x", "unix_time": 1.0,
+            "profile": "full", "comparisons": [], "scenarios": [],
+        }
+        problems = validate_document(document)
+        assert any("async_fanout" in problem for problem in problems)
 
     def test_intra_shard_keys_cover_every_shard(self):
         """The benchmark's key corpus must actually reach all content

@@ -469,7 +469,12 @@ DEFAULT_PROFILE = {
     # binding (``repro.core.async_engine``): it runs on real loops, so it
     # must not smuggle in wall-clock/RNG imports either -- its one clock
     # read goes through the owning loop's ``loop.time()``.
-    "RL004": RuleScope(packages=("repro.net", "repro.jxta", "repro.core")),
+    # ``repro.storage`` is the durable history store: file I/O is in scope
+    # too -- no wall-clock record timestamps; anything time-like must come
+    # from an injected clock so log replay stays deterministic.
+    "RL004": RuleScope(
+        packages=("repro.net", "repro.jxta", "repro.core", "repro.storage")
+    ),
     "RL005": RuleScope(),
 }
 

@@ -123,6 +123,7 @@ SCENARIO_NAMES = (
     "figure20_sr_tps",
     "lossy_publish",
     "reshard_live",
+    "history_replay",
 )
 
 #: The pre-PR-6 scenario set: the minimum every historical repro-bench/v1
@@ -162,6 +163,7 @@ PROFILES: Dict[str, Dict[str, Any]] = {
         "reshard_shards": 4,
         "reshard_keys": 24,
         "reshard_events": 4_000,
+        "history_events": 20_000,
     },
     "quick": {
         "repeats": 3,
@@ -192,6 +194,7 @@ PROFILES: Dict[str, Dict[str, Any]] = {
         "reshard_shards": 4,
         "reshard_keys": 24,
         "reshard_events": 1_000,
+        "history_events": 4_000,
     },
     "smoke": {
         "repeats": 1,
@@ -222,6 +225,7 @@ PROFILES: Dict[str, Dict[str, Any]] = {
         "reshard_shards": 2,
         "reshard_keys": 8,
         "reshard_events": 40,
+        "history_events": 50,
     },
 }
 
@@ -936,7 +940,74 @@ def _bench_scenarios(profile: Dict[str, Any]) -> List[Dict[str, Any]]:
     )
     scenarios.append(_bench_lossy_publish(profile))
     scenarios.append(_bench_reshard_live(profile))
+    scenarios.append(_bench_history_replay(profile))
     return scenarios
+
+
+def _bench_history_replay(profile: Dict[str, Any]) -> Dict[str, Any]:
+    """Append and replay throughput of the two history stores (PR 10).
+
+    Same event corpus through a :class:`~repro.core.history.RingHistory`
+    (the paper-faithful in-memory bound) and a durable
+    :class:`~repro.storage.log.LogHistory` (length-prefixed codec records,
+    group-commit fsync): append the full batch, then replay it with
+    ``since(0)`` -- the exact path a resumable stream or a catching-up peer
+    takes.  The ratio quantifies what durability costs: the log pays codec
+    encode + file I/O per append and codec decode per replayed record,
+    where the ring only rotates a deque.
+    """
+    import os
+    import tempfile
+
+    from repro.core.history import RingHistory
+    from repro.core.type_registry import TypeRegistry
+    from repro.storage.log import LogHistory
+
+    events = profile["history_events"]
+    batch = [
+        _HotEvent(key=f"key-{index % 16}", price=float(index))
+        for index in range(events)
+    ]
+    codec = TypeRegistry(_HotEvent).codec
+
+    ring = RingHistory(events)
+    start = time.perf_counter()
+    for event in batch:
+        ring.append(event)
+    ring_append_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    ring_replayed = len(ring.since(0))
+    ring_replay_wall = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-history-") as tmp:
+        log = LogHistory(
+            os.path.join(tmp, "sent.log"),
+            encode=codec.encode,
+            decode=codec.decode,
+        )
+        start = time.perf_counter()
+        for event in batch:
+            log.append(event)
+        log.sync()
+        log_append_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        log_replayed = len(log.since(0))
+        log_replay_wall = time.perf_counter() - start
+        log.close()
+    assert ring_replayed == log_replayed == events, "a history store lost records"
+    return {
+        "name": "history_replay",
+        "wall_clock_s": round(
+            ring_append_wall + ring_replay_wall + log_append_wall + log_replay_wall,
+            4,
+        ),
+        "events": events,
+        "ring_append_events_per_s": round(events / ring_append_wall, 1),
+        "ring_replay_events_per_s": round(events / ring_replay_wall, 1),
+        "log_append_events_per_s": round(events / log_append_wall, 1),
+        "log_replay_events_per_s": round(events / log_replay_wall, 1),
+        "replay_slowdown_log_vs_ring": round(log_replay_wall / ring_replay_wall, 3),
+    }
 
 
 def _bench_reshard_live(profile: Dict[str, Any]) -> Dict[str, Any]:

@@ -58,6 +58,11 @@ from typing import Any, Awaitable, Callable, Dict, Iterable, List, Optional, Tup
 
 from repro.core.bindings import BindingParam, BindingRequest, register_binding
 from repro.core.exceptions import PSException
+from repro.core.history import (
+    DEFAULT_HISTORY_SIZE,
+    HISTORY_BINDING_PARAMS,
+    make_history_pair,
+)
 from repro.core.interface import PublishReceipt, Subscription, TPSInterfaceCore
 from repro.core.subscriber import TPSSubscriberManager
 from repro.core.subscriptions import StreamCore
@@ -322,6 +327,8 @@ class AsyncEventStream(StreamCore):
         policy: str = "block",
         predicate: Optional[Callable[[Any], bool]] = None,
         exception_handler: Optional[Any] = None,
+        source: Optional[Any] = None,
+        from_offset: Optional[int] = None,
     ) -> None:
         # _init_waiters needs the loop, so bind it before StreamCore's
         # __init__ subscribes (after which _on_event may run immediately).
@@ -332,6 +339,8 @@ class AsyncEventStream(StreamCore):
             policy=policy,
             predicate=predicate,
             exception_handler=exception_handler,
+            source=source,
+            from_offset=from_offset,
         )
 
     def _init_waiters(self) -> None:
@@ -341,6 +350,13 @@ class AsyncEventStream(StreamCore):
         self._not_full: "deque[asyncio.Future]" = deque()
         #: Task idents that have consumed (get/drain); see _on_event.
         self._consumer_tasks: "set[int]" = set()
+        #: Serialises cursor-mode pulls (the asyncio twin of EventStream's
+        #: ``_pump_mutex``): entries enter the buffer in offset order even
+        #: when a pull suspends mid-batch on ``"block"`` backpressure.
+        self._pump_mutex = asyncio.Lock()
+        #: The construction-time backlog pull runs as a task (StreamCore's
+        #: __init__ is synchronous); tracked so _shutdown can cancel it.
+        self._prefill: Optional[asyncio.Task] = None
 
     @staticmethod
     def _wake_one(waiters: Any) -> None:
@@ -360,6 +376,61 @@ class AsyncEventStream(StreamCore):
     # ------------------------------------------------------------- producer
 
     async def _on_event(self, event: Any) -> None:
+        if self._source is not None:
+            # Cursor mode: the pushed event is only a wake signal; deliver
+            # whatever the history store holds past the cursor instead.
+            await self._pump()
+            return
+        await self._enqueue(event)
+
+    async def _pump(self) -> None:
+        async with self._pump_mutex:
+            while True:
+                if self._closed:
+                    return
+                entries = self._source.since(self._cursor)
+                if not entries:
+                    return
+                for offset, event, _ in entries:
+                    if self._closed:
+                        return
+                    # Advance before filtering, same rationale as the
+                    # threaded EventStream._pump: a raising predicate
+                    # consumes its entry instead of wedging the cursor.
+                    self._cursor = offset + 1
+                    predicate = self._pull_predicate
+                    if predicate is not None and not predicate(event):
+                        continue
+                    await self._enqueue(event)
+
+    def _replay(self) -> None:
+        # StreamCore.__init__ is synchronous; pull the backlog as a task on
+        # the owning loop (consumers created before it runs simply wait).
+        self._prefill = self._loop.create_task(self._pump())
+
+    async def resume(self, offset: int) -> "AsyncEventStream":
+        """Reposition a resumable stream's cursor and pull immediately.
+
+        The awaitable twin of :meth:`EventStream.resume
+        <repro.core.subscriptions.EventStream.resume>`: buffered events are
+        discarded, the cursor moves to ``offset`` and the retained history
+        from there is pulled before this coroutine returns.
+        """
+        self._interface._check_loop("stream resume")
+        if self._source is None:
+            raise PSException(
+                "only streams created with from_offset= are resumable; "
+                "use tps.stream(from_offset=...) to make one"
+            )
+        if self._closed:
+            raise PSException("the event stream is closed")
+        self._buffer.clear()
+        self._wake_all(self._not_full)
+        self._cursor = max(0, offset)
+        await self._pump()
+        return self
+
+    async def _enqueue(self, event: Any) -> None:
         if self._closed:
             return
         if self.maxsize and len(self._buffer) >= self.maxsize:
@@ -461,6 +532,8 @@ class AsyncEventStream(StreamCore):
         if self._closed:
             return False
         self._closed = True
+        if self._prefill is not None and not self._prefill.done():
+            self._prefill.cancel()
         self._wake_all(self._not_empty)
         self._wake_all(self._not_full)
         return True
@@ -506,6 +579,11 @@ class AsyncTPSEngine(TPSInterfaceCore):
         bus: Optional[AsyncLocalBus] = None,
         criteria: Optional[Criteria] = None,
         codec: Optional[ObjectCodec] = None,
+        history: str = "ring",
+        history_size: int = DEFAULT_HISTORY_SIZE,
+        history_path: Optional[str] = None,
+        breaker_threshold: int = 0,
+        breaker_cooldown: float = 30.0,
     ) -> None:
         # Instance slot shadowing the class attribute, same rationale as
         # LocalTPSEngine: the delivery loop reads it once per row.
@@ -523,8 +601,18 @@ class AsyncTPSEngine(TPSInterfaceCore):
         # Constructing from a foreign thread/loop must fail before attach.
         self.bus.check_loop("ASYNC interface construction")
         self.subscriber_manager = TPSSubscriberManager()
-        self._received: List[Any] = []
-        self._sent: List[Any] = []
+        self._received, self._sent = make_history_pair(
+            history, history_size, history_path, codec=self.registry.codec
+        )
+        if breaker_threshold > 0:
+            # The breaker clock is the owning loop's own clock ('the loop is
+            # the thread'): cooldowns expire on loop time, which tests drive
+            # deterministically by substituting loop.time.
+            self.subscriber_manager.set_breaker_policy(
+                breaker_threshold,
+                breaker_cooldown,
+                clock=self.bus.loop.time,
+            )
         self.bus.attach(self)
 
     def _check_loop(self, operation: str) -> None:
@@ -578,7 +666,9 @@ class AsyncTPSEngine(TPSInterfaceCore):
                     wire_receipts=[delivered],
                 )
             )
-        self._sent.extend(batch)
+        record_sent = self._sent.append
+        for event in batch:
+            record_sent(event)
         return receipts
 
     # ----------------------------------------------------------- subscribing
@@ -610,6 +700,7 @@ class AsyncTPSEngine(TPSInterfaceCore):
         policy: str,
         predicate: Optional[Callable[[Any], bool]] = None,
         exception_handler: Optional[Any] = None,
+        from_offset: Optional[int] = None,
     ) -> AsyncEventStream:
         self._check_loop("stream")
         return AsyncEventStream(
@@ -618,15 +709,13 @@ class AsyncTPSEngine(TPSInterfaceCore):
             policy=policy,
             predicate=predicate,
             exception_handler=exception_handler,
+            source=self._history_store() if from_offset is not None else None,
+            from_offset=from_offset,
         )
 
-    # --------------------------------------------------------------- history
-
-    def objects_received(self) -> List[Any]:
-        return list(self._received)
-
-    def objects_sent(self) -> List[Any]:
-        return list(self._sent)
+    # objects_received / objects_sent come from TPSInterfaceCore, answered
+    # by the engine's history stores (loop-confined appends, thread-safe
+    # reads -- history queries stay callable from anywhere).
 
     # ------------------------------------------------------------- lifecycle
 
@@ -648,6 +737,8 @@ class AsyncTPSEngine(TPSInterfaceCore):
     def _do_close(self) -> None:
         self.bus.detach(self)
         self.subscriber_manager.remove()
+        self._received.close()
+        self._sent.close()
 
     async def __aenter__(self) -> "AsyncTPSEngine":
         return self
@@ -666,6 +757,13 @@ def _dispatch_value(value: Any) -> Optional[str]:
     return f"must be one of {ASYNC_DISPATCH_MODES}, got {value!r}"
 
 
+def _not_bool(value: Any) -> Optional[str]:
+    # bool subclasses int; reject it explicitly for the numeric params.
+    if isinstance(value, bool):
+        return f"must be a number, got {value!r}"
+    return None
+
+
 #: The parameter schema of the ``"ASYNC"`` binding.
 ASYNC_BINDING_PARAMS = (
     BindingParam(
@@ -682,7 +780,24 @@ ASYNC_BINDING_PARAMS = (
         "shared-bus group name: interfaces with equal params in the same "
         "group on one loop share a registry-built bus",
     ),
-)
+    BindingParam(
+        "breaker_threshold",
+        (int,),
+        "consecutive callback failures before a subscription's circuit "
+        "breaker opens (0 disables breakers); cooldowns run on the owning "
+        "loop's clock",
+        _not_bool,
+        default=0,
+    ),
+    BindingParam(
+        "breaker_cooldown",
+        (int, float),
+        "seconds (loop time) an open breaker quarantines its callback "
+        "before probation",
+        _not_bool,
+        default=30.0,
+    ),
+) + HISTORY_BINDING_PARAMS
 
 #: Registry-built buses, keyed per owning loop (held weakly -- caching a bus
 #: never pins a finished loop) and, within a loop, by the canonical
@@ -773,6 +888,11 @@ def _async_binding(request: BindingRequest) -> AsyncTPSEngine:
         bus=request_async_bus(request),
         criteria=request.criteria,
         codec=request.codec,
+        history=request.param("history", "ring"),
+        history_size=request.param("history_size", DEFAULT_HISTORY_SIZE),
+        history_path=request.param("history_path", "") or None,
+        breaker_threshold=request.param("breaker_threshold", 0),
+        breaker_cooldown=request.param("breaker_cooldown", 30.0),
     )
 
 

@@ -57,12 +57,15 @@ a peer that never heartbeats back is (correctly) convicted.
 
 from __future__ import annotations
 
+import dataclasses
+import os.path
 import threading
 import weakref
 from typing import Any, Dict, Iterable, List, Optional
 
 from repro.core.bindings import BindingParam, BindingRequest, register_binding
 from repro.core.exceptions import PSException
+from repro.core.history import DEFAULT_HISTORY_SIZE
 from repro.core.interface import PublishReceipt, Subscription
 from repro.core.jxta_engine import JxtaTPSEngine, TPSConfig
 from repro.core.local_engine import LocalTPSEngine
@@ -199,12 +202,32 @@ class ShardedJxtaTPSEngine(LocalTPSEngine):
         codec: Optional[ObjectCodec] = None,
         config: Optional[TPSConfig] = None,
         membership: Optional[MembershipMonitor] = None,
+        history: str = "ring",
+        history_size: int = DEFAULT_HISTORY_SIZE,
+        history_path: Optional[str] = None,
     ) -> None:
-        super().__init__(event_type, bus=bus, criteria=criteria, codec=codec)
+        super().__init__(
+            event_type,
+            bus=bus,
+            criteria=criteria,
+            codec=codec,
+            history=history,
+            history_size=history_size,
+            history_path=history_path,
+        )
         #: Serialises bridge open/close against subscription churn.
         self._bridge_lock = threading.Lock()
         self._bridge_handle: Optional[Any] = None
         self._membership = membership
+        wire_config = config or TPSConfig()
+        if wire_config.history == "log" and wire_config.history_path:
+            # Both legs may record durable history: keep the wire leg's
+            # segment files in their own subdirectory so the composite's
+            # local stores and the wire stores never share a file.
+            wire_config = dataclasses.replace(
+                wire_config,
+                history_path=os.path.join(wire_config.history_path, "wire"),
+            )
         try:
             self._wire = _CompositeWireLeg(
                 bus.bus_id,
@@ -212,7 +235,7 @@ class ShardedJxtaTPSEngine(LocalTPSEngine):
                 peer,
                 criteria=criteria,
                 codec=codec,
-                config=config,
+                config=wire_config,
             )
         except BaseException:
             # The local leg already attached to the bus; don't leak it.
@@ -281,9 +304,24 @@ class ShardedJxtaTPSEngine(LocalTPSEngine):
         (each surfaces through ``delivery_failure_handler`` exactly like a
         retry-exhausted delivery) and the peer leaves the pipe binding
         tables so new publishes stop targeting it.  The monitor keeps
-        probing the peer; on ``recover`` nothing needs undoing here -- the
-        next binding resolve re-records the peer as a target.
+        probing the peer; on ``recover`` the next binding resolve re-records
+        the peer as a target, and this engine broadcasts one catch-up
+        request (see :meth:`JxtaTPSEngine.request_history
+        <repro.core.jxta_engine.JxtaTPSEngine.request_history>`) so events
+        published while the peer was convicted are replayed exactly-once.
         """
+        if event == "recover":
+            # A peer the detector convicted came back: ask the group to
+            # replay whatever retained sent history we missed while the
+            # wire towards it was closed (receivers' duplicate filtering
+            # keeps the catch-up exactly-once).
+            try:
+                self._wire.request_history()
+            except PSException:
+                # Not attached/resolved yet; the recovered peer's own
+                # publishes will still reach us through normal delivery.
+                pass
+            return
         if event != "confirm":
             return
         for attachment in self._wire.manager.attachments:
@@ -466,14 +504,33 @@ def _sharded_jxta_binding(request: BindingRequest) -> ShardedJxtaTPSEngine:
             f"membership timing parameters {sorted(timing)} have no effect "
             "without membership=True; enable the failure detector or drop them"
         )
+    history = request.param("history", "ring")
+    history_size = request.param("history_size", DEFAULT_HISTORY_SIZE)
+    history_path = request.param("history_path", "") or None
+    config = request.config
+    if any(
+        name in request.params
+        for name in ("history", "history_size", "history_path")
+    ):
+        # History binding params configure *both* legs: the constructor
+        # keeps the wire leg's durable files apart (a "wire/" subdirectory).
+        config = dataclasses.replace(
+            config or TPSConfig(),
+            history=history,
+            history_size=history_size,
+            history_path=history_path or "",
+        )
     return ShardedJxtaTPSEngine(
         request.event_type,
         request.peer,
         bus=bus,
         criteria=request.criteria,
         codec=request.codec,
-        config=request.config,
+        config=config,
         membership=monitor,
+        history=history,
+        history_size=history_size,
+        history_path=history_path,
     )
 
 

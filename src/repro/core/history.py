@@ -1,0 +1,293 @@
+"""History stores backing ``objects_received()`` / ``objects_sent()``.
+
+The paper's Figure 8 exposes ``objectsReceived``/``objectsSent`` as the way a
+peer inspects -- and catches up on -- the events that flowed through an
+interface.  The seed backed them with *unbounded* plain lists, which is a
+memory-growth bug on any long-running engine and a dead end for crash
+recovery.  This module replaces the lists with a small storage abstraction:
+
+* :class:`HistoryStore` -- the contract every engine's ``_received``/``_sent``
+  slot satisfies: ``append`` assigns a **monotonically increasing offset**
+  per store, ``snapshot`` renders the retained events as the paper's Vector,
+  and ``since(offset)`` is the replay primitive consumed by resumable
+  streams (``tps.stream(from_offset=...)``) and the wire catch-up protocol.
+* :class:`RingHistory` -- the paper-faithful default: a bounded in-memory
+  ring (``history_size`` events per direction).  Eviction advances
+  ``start_offset``; offsets already handed out never change.
+* :class:`~repro.storage.log.LogHistory` -- the durable flavour
+  (``history="log"``): an append-only file of length-prefixed codec records
+  with crash-safe truncated-tail recovery, living in :mod:`repro.storage`.
+
+Every binding accepts the same three parameters (``history=``,
+``history_size=``, ``history_path=``; the JXTA binding carries them as
+:class:`~repro.core.jxta_engine.TPSConfig` fields) and builds its pair of
+stores through :func:`make_history_pair`.
+
+Thread safety: ``append`` is called from the :class:`LocalBus` delivery loop
+on arbitrary publisher threads (the route rows cache the bound ``append``
+exactly as they cached ``list.append``), so :class:`RingHistory` guards its
+deque and offset counter with one small lock; reads take the same lock and
+copy.  No store method ever calls out into user code under its lock.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from collections import deque
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.core.bindings import BindingParam
+from repro.core.exceptions import PSException
+
+#: Default retention bound (events per direction) of the ring store.  Big
+#: enough that the paper's measurement runs never evict; small enough that a
+#: long-running engine's memory stays constant.
+DEFAULT_HISTORY_SIZE = 4096
+
+#: The recognised ``history=`` kinds.
+HISTORY_KINDS = ("ring", "log")
+
+
+class HistoryStore(abc.ABC):
+    """One direction (received or sent) of an interface's event history.
+
+    Offsets are assigned densely from 0 by ``append`` and are monotonically
+    increasing for the lifetime of the store; ``since(offset)`` returns the
+    retained entries at or after ``offset``, so a consumer that remembers
+    the last offset it processed can resume exactly where it stopped
+    (entries evicted from a bounded store are simply absent -- bounded
+    retention is part of the contract, see ``start_offset``).
+    """
+
+    #: The ``history=`` kind this store implements (``"ring"`` or ``"log"``).
+    kind: str = ""
+
+    @abc.abstractmethod
+    def append(self, event: Any, meta: Any = None) -> int:
+        """Retain ``event`` (with optional codec-encodable ``meta``); returns
+        the offset assigned to it."""
+
+    @abc.abstractmethod
+    def snapshot(self) -> List[Any]:
+        """The retained events, oldest first (the paper's Vector copy)."""
+
+    @abc.abstractmethod
+    def since(self, offset: int) -> List[Tuple[int, Any, Any]]:
+        """Retained ``(offset, event, meta)`` entries at or after ``offset``."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """How many events are retained right now."""
+
+    @property
+    @abc.abstractmethod
+    def next_offset(self) -> int:
+        """The offset the next ``append`` will assign."""
+
+    @property
+    @abc.abstractmethod
+    def start_offset(self) -> int:
+        """The oldest retained offset (== ``next_offset`` when empty).
+
+        ``since(offset)`` with ``offset < start_offset`` cannot return the
+        evicted entries; resuming consumers observe the gap as silently
+        skipped offsets.
+        """
+
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Drop every retained event (bench/test housekeeping)."""
+
+    def close(self) -> None:
+        """Release resources; reads stay valid, further appends raise."""
+
+
+class RingHistory(HistoryStore):
+    """Bounded in-memory history: a ring of the ``capacity`` newest events.
+
+    ``capacity <= 0`` means unbounded (the seed's behaviour, kept reachable
+    for tests that inspect complete histories).  Eviction advances
+    :attr:`start_offset`; :meth:`clear` empties the ring but keeps the offset
+    counter monotone, so offsets never repeat within one engine's life.
+    """
+
+    kind = "ring"
+
+    __slots__ = ("capacity", "_entries", "_next", "_lock")
+
+    def __init__(self, capacity: int = DEFAULT_HISTORY_SIZE) -> None:
+        if isinstance(capacity, bool) or not isinstance(capacity, int):
+            raise PSException(f"history_size must be an int, got {capacity!r}")
+        self.capacity = capacity
+        maxlen = capacity if capacity > 0 else None
+        self._entries: "deque[Tuple[int, Any, Any]]" = deque(maxlen=maxlen)
+        self._next = 0
+        self._lock = threading.Lock()
+
+    def append(self, event: Any, meta: Any = None) -> int:
+        with self._lock:
+            offset = self._next
+            self._next = offset + 1
+            self._entries.append((offset, event, meta))
+            return offset
+
+    def snapshot(self) -> List[Any]:
+        with self._lock:
+            return [event for _, event, _ in self._entries]
+
+    def since(self, offset: int) -> List[Tuple[int, Any, Any]]:
+        with self._lock:
+            return [entry for entry in self._entries if entry[0] >= offset]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def next_offset(self) -> int:
+        with self._lock:
+            return self._next
+
+    @property
+    def start_offset(self) -> int:
+        with self._lock:
+            return self._entries[0][0] if self._entries else self._next
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RingHistory(capacity={self.capacity}, retained={len(self)}, "
+            f"next_offset={self.next_offset})"
+        )
+
+
+def _check_history_kind(value: Any) -> Optional[str]:
+    if value not in HISTORY_KINDS:
+        return f"must be one of {HISTORY_KINDS}, got {value!r}"
+    return None
+
+
+def _check_history_size(value: Any) -> Optional[str]:
+    # bool subclasses int; reject it the way the numeric binding params do.
+    if isinstance(value, bool):
+        return f"must be an int, got {value!r}"
+    return None
+
+
+#: The shared history parameter schema: every binding (LOCAL, SHARDED,
+#: SHARDED+JXTA, ASYNC; the JXTA binding derives the same three from its
+#: TPSConfig fields) accepts these and routes them to
+#: :func:`make_history_pair`.
+HISTORY_BINDING_PARAMS = (
+    BindingParam(
+        "history",
+        (str,),
+        "history store kind: 'ring' (bounded in-memory, the default) or "
+        "'log' (append-only durable file, needs history_path)",
+        _check_history_kind,
+        default="ring",
+    ),
+    BindingParam(
+        "history_size",
+        (int,),
+        "ring retention bound, events per direction; <= 0 means unbounded "
+        f"(default {DEFAULT_HISTORY_SIZE})",
+        _check_history_size,
+        default=DEFAULT_HISTORY_SIZE,
+    ),
+    BindingParam(
+        "history_path",
+        (str,),
+        "directory holding the 'log' store's received.log/sent.log files "
+        "(required when history='log')",
+        None,
+        default="",
+    ),
+)
+
+
+def make_history(
+    kind: str,
+    *,
+    size: int = DEFAULT_HISTORY_SIZE,
+    path: Optional[str] = None,
+    encode: Optional[Callable[[Any], bytes]] = None,
+    decode: Optional[Callable[[bytes], Any]] = None,
+) -> HistoryStore:
+    """Build one history store of the requested ``kind``.
+
+    ``"ring"`` ignores ``path``/``encode``/``decode``; ``"log"`` requires all
+    three (``path`` is the file the records are appended to).
+    """
+    if kind == "ring":
+        return RingHistory(size)
+    if kind == "log":
+        if not path:
+            raise PSException(
+                "history='log' needs history_path= (the directory the "
+                "append-only store writes to)"
+            )
+        if encode is None or decode is None:
+            raise PSException("the 'log' history store needs encode/decode callables")
+        from repro.storage.log import LogHistory
+
+        return LogHistory(path, encode=encode, decode=decode)
+    raise PSException(f"unknown history kind {kind!r}; expected one of {HISTORY_KINDS}")
+
+
+def make_history_pair(
+    kind: str,
+    size: int,
+    path: Optional[str],
+    *,
+    codec: Any = None,
+) -> Tuple[HistoryStore, HistoryStore]:
+    """The (received, sent) store pair an engine installs at construction.
+
+    For ``kind="log"``, ``path`` names a directory (created if missing) that
+    gets one ``received.log`` and one ``sent.log`` file; ``codec`` is the
+    engine's :class:`~repro.serialization.object_codec.ObjectCodec`, used to
+    serialise ``(event, meta)`` records.
+    """
+    if kind == "ring":
+        return RingHistory(size), RingHistory(size)
+    if kind == "log":
+        if not path:
+            raise PSException(
+                "history='log' needs history_path= (the directory the "
+                "append-only store writes to)"
+            )
+        if codec is None:
+            raise PSException("the 'log' history store needs the engine's codec")
+        import os
+
+        os.makedirs(path, exist_ok=True)
+        received = make_history(
+            "log",
+            path=os.path.join(path, "received.log"),
+            encode=codec.encode,
+            decode=codec.decode,
+        )
+        sent = make_history(
+            "log",
+            path=os.path.join(path, "sent.log"),
+            encode=codec.encode,
+            decode=codec.decode,
+        )
+        return received, sent
+    raise PSException(f"unknown history kind {kind!r}; expected one of {HISTORY_KINDS}")
+
+
+__all__ = [
+    "DEFAULT_HISTORY_SIZE",
+    "HISTORY_BINDING_PARAMS",
+    "HISTORY_KINDS",
+    "HistoryStore",
+    "RingHistory",
+    "make_history",
+    "make_history_pair",
+]

@@ -364,7 +364,12 @@ class TPSInterfaceCore(abc.ABC, Generic[EventT]):
         self._check_open()
         return SubscriptionBuilder(self, callback)
 
-    def stream(self, maxsize: int = 0, policy: str = "block") -> StreamCore:
+    def stream(
+        self,
+        maxsize: int = 0,
+        policy: str = "block",
+        from_offset: Optional[int] = None,
+    ) -> StreamCore:
         """Consume this interface's events pull-style (v2).
 
         Returns the front-end's stream flavour (a context manager): the
@@ -374,9 +379,18 @@ class TPSInterfaceCore(abc.ABC, Generic[EventT]):
         contract either way.  A positive ``maxsize`` bounds the buffer;
         ``policy`` picks what happens when it is full (``"block"`` the
         publisher, or ``"drop_oldest"``).
+
+        ``from_offset`` makes the stream *resumable*: it first replays the
+        retained received history at or after that offset, then follows
+        live events, each history offset delivered exactly once and in
+        order (the stream pulls from the engine's history store instead of
+        buffering pushed events, so replay and live delivery cannot race
+        into duplicates).  Offsets a bounded ring store already evicted are
+        skipped; ``from_offset=tps.history_offset`` means "from now on" and
+        still yields a resumable stream (see ``EventStream.resume``).
         """
         self._check_open()
-        return self._make_stream(maxsize, policy)
+        return self._make_stream(maxsize, policy, from_offset=from_offset)
 
     def _make_stream(
         self,
@@ -384,6 +398,7 @@ class TPSInterfaceCore(abc.ABC, Generic[EventT]):
         policy: str,
         predicate: Optional[Callable[[Any], bool]] = None,
         exception_handler: Optional[Any] = None,
+        from_offset: Optional[int] = None,
     ) -> StreamCore:
         """Build this front-end's stream flavour (hook for :meth:`stream` and
         :meth:`SubscriptionBuilder.stream
@@ -410,14 +425,75 @@ class TPSInterfaceCore(abc.ABC, Generic[EventT]):
         return removed
 
     # --------------------------------------------------------------- history
+    #
+    # Every concrete binding installs a (received, sent) pair of
+    # :class:`~repro.core.history.HistoryStore` objects as ``self._received``
+    # / ``self._sent`` at construction (see ``make_history_pair``); the
+    # queries below are shared across all five bindings through this core.
 
-    @abc.abstractmethod
+    def _history_store(self, sent: bool = False) -> Any:
+        store = getattr(self, "_sent" if sent else "_received", None)
+        if store is None:
+            raise PSException(
+                f"{type(self).__name__} exposes no history store; bindings "
+                "must install self._received/self._sent at construction"
+            )
+        return store
+
     def objects_received(self) -> List[EventT]:
-        """(6) Every event delivered to this interface so far, in order."""
+        """(6) The retained events delivered to this interface, in order.
 
-    @abc.abstractmethod
+        Retention contract: the backing store bounds what "so far" means.
+        With the default ``history="ring"`` store only the newest
+        ``history_size`` events per direction are retained (older ones are
+        evicted, first-in first-out) so a long-running engine's memory stays
+        constant; with ``history="log"`` the full history is retained on
+        disk and this call materialises all of it.  Use
+        :meth:`history_since` with an offset cursor to consume the history
+        incrementally instead of re-reading the whole Vector.
+        """
+        return self._history_store().snapshot()
+
     def objects_sent(self) -> List[EventT]:
-        """(7) Every event published through this interface so far, in order."""
+        """(7) The retained events published through this interface, in order.
+
+        Same retention contract as :meth:`objects_received`: bounded to the
+        newest ``history_size`` events under the default ring store,
+        complete (and durable) under ``history="log"``.
+        """
+        return self._history_store(sent=True).snapshot()
+
+    @property
+    def history_offset(self) -> int:
+        """The offset the next delivered event will get (monotonic per engine).
+
+        ``stream(from_offset=tps.history_offset)`` therefore means "from
+        now on"; any smaller offset replays retained history first.
+        """
+        return self._history_store().next_offset
+
+    @property
+    def sent_offset(self) -> int:
+        """The offset the next published event will get in the sent history."""
+        return self._history_store(sent=True).next_offset
+
+    def history_since(self, offset: int) -> List[Any]:
+        """Retained delivered events at or after ``offset``, as
+        ``(offset, event)`` pairs.
+
+        The replay primitive behind resumable streams and peer catch-up:
+        offsets are dense and monotone, so a consumer that remembers the
+        last offset it processed calls ``history_since(last + 1)`` to get
+        exactly what it missed (minus anything a bounded store evicted).
+        """
+        return [(entry_offset, event) for entry_offset, event, _ in self._history_store().since(offset)]
+
+    def sent_history_since(self, offset: int) -> List[Any]:
+        """Retained published events at or after ``offset`` (``(offset, event)``)."""
+        return [
+            (entry_offset, event)
+            for entry_offset, event, _ in self._history_store(sent=True).since(offset)
+        ]
 
     # Aliases matching the paper's method names.
     def objectsReceived(self) -> List[EventT]:  # noqa: N802 - paper-compatible alias
@@ -482,6 +558,7 @@ class TPSInterface(TPSInterfaceCore[EventT]):
         policy: str,
         predicate: Optional[Callable[[Any], bool]] = None,
         exception_handler: Optional[Any] = None,
+        from_offset: Optional[int] = None,
     ) -> EventStream:
         return EventStream(
             self,
@@ -489,6 +566,8 @@ class TPSInterface(TPSInterfaceCore[EventT]):
             policy=policy,
             predicate=predicate,
             exception_handler=exception_handler,
+            source=self._history_store() if from_offset is not None else None,
+            from_offset=from_offset,
         )
 
 

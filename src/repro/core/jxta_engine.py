@@ -31,7 +31,7 @@ import dataclasses
 import itertools
 import threading
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.advertisements import (
     PS_PREFIX,
@@ -40,6 +40,7 @@ from repro.core.advertisements import (
 )
 from repro.core.bindings import BindingParam, BindingRequest, register_binding
 from repro.core.exceptions import DeliveryFailedError, NotInitializedError, PSException
+from repro.core.history import DEFAULT_HISTORY_SIZE, make_history_pair
 from repro.core.interface import PublishReceipt, Subscription, TPSInterface
 from repro.core.subscriber import TPSPipeReader, TPSSubscriberManager
 from repro.core.type_registry import Criteria, TypeRegistry, type_name
@@ -59,6 +60,13 @@ TPS_EVENT_ELEMENT = "TPSEvent"
 TPS_TYPE_ELEMENT = "TPSType"
 #: Message element carrying the application-level message id (duplicate filtering).
 TPS_MSG_ID_ELEMENT = "TPSMsgId"
+#: Message element carrying the publisher's sent-history offset for the event,
+#: letting receivers track a per-source high-water mark for catch-up requests.
+TPS_SENT_OFFSET_ELEMENT = "TPSSentOffset"
+#: Message element marking a history catch-up request (see
+#: :meth:`JxtaTPSEngine.request_history`); its text payload is the
+#: requester's per-source offset map, one ``urn offset`` pair per line.
+TPS_HISTORY_REQUEST_ELEMENT = "TPSHistoryRequest"
 
 
 @dataclass
@@ -126,6 +134,24 @@ class TPSConfig:
     breaker_cooldown:
         Virtual seconds a tripped breaker stays open before probing the
         callback again (half-open state).
+    history:
+        Which :class:`~repro.core.history.HistoryStore` backs
+        ``objects_received``/``objects_sent``: ``"ring"`` (bounded
+        in-memory, the paper-faithful default) or ``"log"`` (append-only
+        durable files under ``history_path``; a restarted engine recovers
+        its history, re-seeds the duplicate filter from it and can catch up
+        on missed events via :meth:`JxtaTPSEngine.request_history`).
+    history_size:
+        Retention bound of the ring store, events per direction; zero or
+        negative means unbounded.
+    history_path:
+        Directory for the ``"log"`` store's files (required with
+        ``history="log"``).
+    serve_history:
+        Keep a wire reader open even with no subscriptions, so this engine
+        answers peers' history catch-up requests (and retains delivered
+        events) as a durable endpoint.  Off by default: the paper's "no
+        event is received anymore" unsubscribe semantics stay untouched.
     """
 
     search_timeout: float = 3.0
@@ -145,6 +171,10 @@ class TPSConfig:
     order_gap_timeout: float = 6.0
     breaker_threshold: int = 0
     breaker_cooldown: float = 30.0
+    history: str = "ring"
+    history_size: int = DEFAULT_HISTORY_SIZE
+    history_path: str = ""
+    serve_history: bool = False
 
     def wire_reliability(self) -> Optional[WireReliability]:
         """The wire-layer reliability spec this config asks for (None when off)."""
@@ -248,9 +278,21 @@ class TPSAdvertisementsManager:
             advertisement=advertisement, finder=finder, output_pipe=output_pipe
         )
         self.attachments.append(attachment)
-        if not self.engine.subscriber_manager.empty:
+        # serve_history keeps a reader open even with no subscriptions, so a
+        # publisher-only engine can still hear (and answer) catch-up
+        # requests from returning peers.
+        if not self.engine.subscriber_manager.empty or self.engine.config.serve_history:
             self._open_reader(attachment)
         self.engine.peer.metrics.counter("tps_attachments").increment()
+        if self.engine._needs_catchup:
+            # Reopened with durable history: ask the group once, after the
+            # pipes have had a chance to resolve, for what we missed.
+            self.engine._needs_catchup = False
+            self.engine.peer.simulator.schedule(
+                self.engine.config.search_timeout,
+                self.engine._auto_catchup,
+                label=f"tps-catchup:{self.engine.registry.advertised_name}",
+            )
 
     def ensure_readers(self) -> None:
         """Open an input pipe (reader) on every attachment that lacks one."""
@@ -306,9 +348,20 @@ class JxtaTPSEngine(TPSInterface):
         self.criteria = criteria
         self.config = config or TPSConfig()
         self.subscriber_manager = TPSSubscriberManager()
-        self._received: List[Any] = []
-        self._sent: List[Any] = []
+        self._received, self._sent = make_history_pair(
+            self.config.history,
+            self.config.history_size,
+            self.config.history_path or None,
+            codec=self.registry.codec,
+        )
         self._seen_message_ids = BoundedIdSet(self.config.duplicate_cache_size)
+        #: Per-source high-water marks: origin peer URN -> highest sent-store
+        #: offset observed from that origin (drives catch-up requests).
+        self._source_offsets: Dict[str, int] = {}
+        #: Set when a durable store reopened with prior records (a restart):
+        #: the advertisements manager schedules one automatic catch-up
+        #: request once the engine is attached.
+        self._needs_catchup = self._recover_wire_state()
         #: Wire-layer reliability spec derived from the config (None when
         #: ``reliable_delivery`` is off); threaded into every pipe the
         #: advertisements manager opens.
@@ -337,6 +390,31 @@ class JxtaTPSEngine(TPSInterface):
             self.receive_overhead = 0.0
         self.manager = TPSAdvertisementsManager(self)
         self.manager.start()
+
+    def _recover_wire_state(self) -> bool:
+        """Re-seed wire dedup state from a reopened durable received store.
+
+        Replayed wire messages carry their *original* message ids, so
+        re-adding every persisted id to the duplicate filter makes replay
+        after a crash exactly-once: events this engine already delivered in
+        a previous life are recognised and dropped, only the genuinely
+        missed ones get through.  The per-source offset map is rebuilt the
+        same way, so the catch-up request asks each source only for what
+        came after its last persisted event.
+        """
+        if self._received.kind != "log" or not len(self._received):
+            return False
+        for _, _, meta in self._received.since(0):
+            if not (isinstance(meta, tuple) and len(meta) == 3):
+                continue
+            message_id, origin, source_offset = meta
+            if message_id:
+                self._seen_message_ids.seen(message_id)
+            if origin and isinstance(source_offset, int) and source_offset >= 0:
+                known = self._source_offsets.get(origin, -1)
+                if source_offset > known:
+                    self._source_offsets[origin] = source_offset
+        return True
 
     def _check_thread(self, operation: str) -> None:
         """Raise unless the caller is the engine's owning thread."""
@@ -381,19 +459,13 @@ class JxtaTPSEngine(TPSInterface):
                 f"the TPS interface for {self.registry.interface_name} has no attached "
                 "advertisement yet; run the network (settle) to let initialisation finish"
             )
-        payload = self.registry.encode(event)
-        message = Message()
-        message.add(TPS_TYPE_ELEMENT, type_name(type(event)))
-        message.add(
-            TPS_MSG_ID_ELEMENT,
-            f"{self.peer.peer_id.to_urn()}/t{next(_tps_message_counter)}",
-        )
-        message.add(TPS_EVENT_ELEMENT, payload)
-        self._decorate_message(message)
-        if self.config.message_padding:
-            message.pad_to(self.config.message_padding)
+        message_id = f"{self.peer.peer_id.to_urn()}/t{next(_tps_message_counter)}"
+        # Record before sending so the stamped offset matches the store: a
+        # catch-up replay of ``sent.since(offset)`` re-produces exactly the
+        # messages (same ids, same offsets) that went on the wire.
+        sent_offset = self._sent.append(event, meta=message_id)
+        message = self._event_message(event, message_id, sent_offset)
         receipts = [attachment.output_pipe.send(message) for attachment in attachments]
-        self._sent.append(event)
         self.peer.metrics.counter("tps_published").increment()
         cpu_time = sum(receipt.cpu_time for receipt in receipts)
         completion = max(receipt.completion_time for receipt in receipts)
@@ -404,6 +476,24 @@ class JxtaTPSEngine(TPSInterface):
             pipes=len(receipts),
             wire_receipts=receipts,
         )
+
+    def _event_message(self, event: Any, message_id: str, sent_offset: int) -> Message:
+        """Build the wire message for ``event``.
+
+        Shared by first-time publishing and catch-up replay: a replayed
+        message carries its **original** id and sent-store offset, so the
+        receivers' duplicate filter makes replay exactly-once and their
+        per-source offset map stays consistent either way.
+        """
+        message = Message()
+        message.add(TPS_TYPE_ELEMENT, type_name(type(event)))
+        message.add(TPS_MSG_ID_ELEMENT, message_id)
+        message.add(TPS_SENT_OFFSET_ELEMENT, str(sent_offset))
+        message.add(TPS_EVENT_ELEMENT, self.registry.encode(event))
+        self._decorate_message(message)
+        if self.config.message_padding:
+            message.pad_to(self.config.message_padding)
+        return message
 
     def _decorate_message(self, message: Message) -> None:
         """Hook: add binding-specific elements to an outgoing message.
@@ -426,25 +516,115 @@ class JxtaTPSEngine(TPSInterface):
     ) -> int:
         self._check_thread("unsubscribe")
         removed = self.subscriber_manager.remove(callback, handler)
-        if self.subscriber_manager.empty:
-            # "After this call, no event is received anymore."
+        if self.subscriber_manager.empty and not self.config.serve_history:
+            # "After this call, no event is received anymore."  (With
+            # serve_history the readers stay open for catch-up requests.)
             self.manager.close_readers()
         return removed
 
     def _discard_subscription(self, subscription: Subscription) -> int:
         self._check_thread("subscription cancel")
         removed = self.subscriber_manager.discard(subscription)
-        if self.subscriber_manager.empty:
+        if self.subscriber_manager.empty and not self.config.serve_history:
             self.manager.close_readers()
         return removed
 
-    # --------------------------------------------------------------- history
+    # objects_received / objects_sent come from TPSInterfaceCore, answered
+    # by the engine's history stores (bounded ring by default, durable log
+    # with ``history="log"``).
 
-    def objects_received(self) -> List[Any]:
-        return list(self._received)
+    # -------------------------------------------------------------- catch-up
 
-    def objects_sent(self) -> List[Any]:
-        return list(self._sent)
+    def request_history(self, since: Optional[int] = None) -> int:
+        """Broadcast a catch-up request to every attached advertisement.
+
+        Peers that retain sent history (and have an open reader -- i.e.
+        subscribers, or publishers running with ``serve_history=True``)
+        answer by replaying their retained events **with the original
+        message ids**, so the duplicate filter keeps observed delivery
+        exactly-once: only events this engine never saw get through.
+
+        ``since=None`` (the default) asks each known source for everything
+        after its last observed sent-offset -- plus everything any unknown
+        source retains -- which is the right request after a restart or a
+        membership ``recover``.  An explicit ``since`` asks every source
+        for its history from that sent-offset onward.
+
+        Returns the number of pipes the request went out on.
+        """
+        self._check_open()
+        self._check_thread("request_history")
+        attachments = [a for a in self.manager.attachments if a.output_pipe is not None]
+        if not attachments:
+            raise NotInitializedError(
+                f"the TPS interface for {self.registry.interface_name} has no "
+                "attached advertisement yet; run the network (settle) before "
+                "requesting history"
+            )
+        if since is None:
+            lines = [
+                f"{urn} {offset + 1}"
+                for urn, offset in sorted(self._source_offsets.items())
+            ]
+            # Unknown sources (never heard from) replay from the beginning
+            # of whatever they retain; known ones resume past the high-water
+            # mark above, which takes precedence over the wildcard.
+            lines.append("* 0")
+        else:
+            lines = [f"* {max(0, since)}"]
+        message = Message()
+        message.add(TPS_HISTORY_REQUEST_ELEMENT, "\n".join(lines))
+        for attachment in attachments:
+            attachment.output_pipe.send(message)
+        self.peer.metrics.counter("tps_history_requests").increment()
+        return len(attachments)
+
+    def _serve_history_request(self, text: str, source: Optional[PeerID]) -> None:
+        """Replay retained sent history to answer a peer's catch-up request."""
+        my_urn = self.peer.peer_id.to_urn()
+        if source is not None and source.to_urn() == my_urn:
+            return  # our own broadcast echoed back
+        since: Optional[int] = None
+        for line in text.splitlines():
+            parts = line.split()
+            if len(parts) != 2:
+                continue
+            urn, raw = parts
+            try:
+                offset = int(raw)
+            except ValueError:
+                continue
+            if urn == my_urn:
+                since = offset
+                break  # a per-source entry beats the wildcard
+            if urn == "*" and since is None:
+                since = offset
+        if since is None:
+            return  # the request names other sources only
+        attachments = [a for a in self.manager.attachments if a.output_pipe is not None]
+        if not attachments:
+            return
+        replayed = 0
+        for offset, event, meta in self._sent.since(max(0, since)):
+            if not (isinstance(meta, str) and meta):
+                continue  # no recorded message id: cannot replay exactly-once
+            message = self._event_message(event, meta, offset)
+            for attachment in attachments:
+                attachment.output_pipe.send(message)
+            replayed += 1
+        if replayed:
+            self.peer.metrics.counter("tps_history_replays").increment()
+
+    def _auto_catchup(self) -> None:
+        """One automatic catch-up request after a durable-store restart."""
+        if self._tps_closed:
+            return
+        try:
+            self.request_history()
+        except PSException:
+            # Not attached/resolved yet; the application can still call
+            # request_history() itself once the network settles.
+            pass
 
     # ------------------------------------------------------------ reliability
 
@@ -483,6 +663,13 @@ class JxtaTPSEngine(TPSInterface):
             # in-flight deliveries; count it instead of losing it silently.
             self.peer.metrics.counter("tps_closed_engine_drops").increment()
             return
+        if message.has(TPS_HISTORY_REQUEST_ELEMENT):
+            # A control message, not an event: replay retained sent history
+            # for the requesting peer and stop (nothing to deliver locally).
+            self._serve_history_request(
+                message.get_text(TPS_HISTORY_REQUEST_ELEMENT), source
+            )
+            return
         message_id = message.get_text(TPS_MSG_ID_ELEMENT)
         if self.config.duplicate_filtering and message_id:
             # seen() refreshes recency on a hit, keeping actively-duplicated
@@ -509,7 +696,17 @@ class JxtaTPSEngine(TPSInterface):
         if self.criteria is not None and not self.criteria.matches_event(event):
             self.peer.metrics.counter("tps_filtered_by_content").increment()
             return
-        self._received.append(event)
+        origin = message_id.rsplit("/t", 1)[0] if message_id else ""
+        offset_text = message.get_text(TPS_SENT_OFFSET_ELEMENT)
+        try:
+            source_offset = int(offset_text) if offset_text else -1
+        except ValueError:
+            source_offset = -1
+        # Provenance rides along as store metadata so a durable store can
+        # re-seed the duplicate filter and per-source offsets on restart.
+        self._received.append(event, meta=(message_id, origin, source_offset))
+        if origin and source_offset > self._source_offsets.get(origin, -1):
+            self._source_offsets[origin] = source_offset
         self.peer.metrics.counter("tps_delivered").increment()
         self.peer.metrics.series("tps_received").record(self.peer.now)
         self.subscriber_manager.dispatch(event)
@@ -521,6 +718,10 @@ class JxtaTPSEngine(TPSInterface):
         self._check_thread("close")
         self.manager.stop()
         self.subscriber_manager.remove()
+        # Flush/fsync durable stores; history queries stay answerable after
+        # close (the stores keep serving reads).
+        self._received.close()
+        self._sent.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -531,7 +732,12 @@ class JxtaTPSEngine(TPSInterface):
 
 #: Accepted value types per TPSConfig field annotation (the float fields
 #: accept ints; the int fields reject bools via the extra check below).
-_CONFIG_FIELD_TYPES = {"float": (int, float), "int": (int,), "bool": (bool,)}
+_CONFIG_FIELD_TYPES = {
+    "float": (int, float),
+    "int": (int,),
+    "bool": (bool,),
+    "str": (str,),
+}
 
 
 def _not_bool(value: Any) -> Optional[str]:
@@ -551,7 +757,7 @@ JXTA_BINDING_PARAMS = tuple(
         config_field.name,
         _CONFIG_FIELD_TYPES.get(str(config_field.type), ()),
         f"TPSConfig.{config_field.name} override (default {config_field.default!r})",
-        None if str(config_field.type) == "bool" else _not_bool,
+        None if str(config_field.type) in ("bool", "str") else _not_bool,
         default=config_field.default,
     )
     for config_field in dataclasses.fields(TPSConfig)
@@ -599,6 +805,8 @@ __all__ = [
     "TPSAttachment",
     "TPSConfig",
     "TPS_EVENT_ELEMENT",
+    "TPS_HISTORY_REQUEST_ELEMENT",
     "TPS_MSG_ID_ELEMENT",
+    "TPS_SENT_OFFSET_ELEMENT",
     "TPS_TYPE_ELEMENT",
 ]

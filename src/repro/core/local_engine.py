@@ -31,6 +31,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple, Type
 
 from repro.core.bindings import BindingRequest, register_binding
 from repro.core.exceptions import PSException
+from repro.core.history import DEFAULT_HISTORY_SIZE, HISTORY_BINDING_PARAMS, make_history_pair
 from repro.core.interface import PublishReceipt, Subscription, TPSInterface
 from repro.core.type_registry import Criteria, TypeRegistry, hierarchy_root, type_name
 from repro.core.subscriber import TPSSubscriberManager
@@ -68,8 +69,9 @@ class LocalBus:
         #: (engine, subscriber manager, criteria, received.append): everything
         #: the delivery loop needs, resolved once per (root, class) so the
         #: per-subscriber work is free of attribute lookups.  Criteria and
-        #: the history list are fixed at engine construction, which is what
-        #: makes caching them here safe.  Rows are installed and invalidated
+        #: the history store are fixed at engine construction, which is what
+        #: makes caching them (and the store's bound ``append``) here safe.
+        #: Rows are installed and invalidated
         #: only under ``_lock`` (double-checked on miss), so a row can never
         #: be built from a half-applied attachment change.
         self._routes: Dict[str, Dict[Type[Any], Tuple[Tuple[Any, ...], ...]]] = {}
@@ -199,6 +201,9 @@ class LocalTPSEngine(TPSInterface):
         bus: Optional[LocalBus] = None,
         criteria: Optional[Criteria] = None,
         codec: Optional[ObjectCodec] = None,
+        history: str = "ring",
+        history_size: int = DEFAULT_HISTORY_SIZE,
+        history_path: Optional[str] = None,
     ) -> None:
         # Shadow the TPSInterface class attribute with an instance slot: the
         # delivery loop reads this flag once per route row per publish, and
@@ -209,8 +214,9 @@ class LocalTPSEngine(TPSInterface):
         self.criteria = criteria
         self.bus = bus or DEFAULT_BUS
         self.subscriber_manager = TPSSubscriberManager()
-        self._received: list[Any] = []
-        self._sent: list[Any] = []
+        self._received, self._sent = make_history_pair(
+            history, history_size, history_path, codec=self.registry.codec
+        )
         self.bus.attach(self)
 
     # ------------------------------------------------------------ publishing
@@ -252,7 +258,9 @@ class LocalTPSEngine(TPSInterface):
             counts = publish_all([(self, copy) for copy in copies])
         else:
             counts = [self.bus.publish(self, copy) for copy in copies]
-        self._sent.extend(batch)
+        record_sent = self._sent.append
+        for event in batch:
+            record_sent(event)
         return [
             PublishReceipt(
                 cpu_time=0.0, completion_time=0.0, pipes=1, wire_receipts=[delivered]
@@ -274,17 +282,16 @@ class LocalTPSEngine(TPSInterface):
         return self.subscriber_manager.discard(subscription)
 
     # --------------------------------------------------------------- history
-
-    def objects_received(self) -> list[Any]:
-        return list(self._received)
-
-    def objects_sent(self) -> list[Any]:
-        return list(self._sent)
+    # objects_received/objects_sent (and their retention contract) are the
+    # shared TPSInterfaceCore implementations over self._received/self._sent.
 
     def _do_close(self) -> None:
-        """Detach from the bus and drop every subscription."""
+        """Detach from the bus, drop every subscription, settle the stores."""
         self.bus.detach(self)
         self.subscriber_manager.remove()
+        # Flush/fsync a durable store; history queries keep working after.
+        self._received.close()
+        self._sent.close()
 
 
 def _local_binding(request: BindingRequest) -> LocalTPSEngine:
@@ -294,18 +301,22 @@ def _local_binding(request: BindingRequest) -> LocalTPSEngine:
         bus=request.local_bus,
         criteria=request.criteria,
         codec=request.codec,
+        history=request.param("history", "ring"),
+        history_size=request.param("history_size", DEFAULT_HISTORY_SIZE),
+        history_path=request.param("history_path", "") or None,
     )
 
 
-# LOCAL declares an empty parameter schema: everything it needs (bus, codec,
-# criteria) arrives through the engine-level construction arguments, so any
+# Beyond the history parameters shared by every binding, LOCAL accepts no
+# parameters: everything else it needs (bus, codec, criteria) arrives through
+# the engine-level construction arguments, so any other
 # ``new_interface("LOCAL", key=...)`` parameter is rejected with the uniform
-# "accepts no parameters" error instead of being silently dropped.
+# schema error instead of being silently dropped.
 register_binding(
     "LOCAL",
     _local_binding,
     capabilities=("in-process", "synchronous"),
-    params=(),
+    params=HISTORY_BINDING_PARAMS,
     replace=True,
 )
 

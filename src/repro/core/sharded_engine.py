@@ -114,6 +114,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from repro.core.bindings import BindingParam, BindingRequest, register_binding
 from repro.core.exceptions import PSException
+from repro.core.history import DEFAULT_HISTORY_SIZE, HISTORY_BINDING_PARAMS
 from repro.core.local_engine import LocalBus, LocalTPSEngine
 from repro.core.placement import (
     DEFAULT_VIRTUAL_NODES,
@@ -803,7 +804,7 @@ SHARDED_BINDING_PARAMS = (
         _virtual_nodes_value,
         default=DEFAULT_VIRTUAL_NODES,
     ),
-)
+) + HISTORY_BINDING_PARAMS
 
 
 def resolve_sharded_params(request: BindingRequest) -> Dict[str, Any]:
@@ -928,6 +929,9 @@ def _sharded_binding(request: BindingRequest) -> LocalTPSEngine:
         bus=request_bus(request),
         criteria=request.criteria,
         codec=request.codec,
+        history=request.param("history", "ring"),
+        history_size=request.param("history_size", DEFAULT_HISTORY_SIZE),
+        history_path=request.param("history_path", "") or None,
     )
 
 

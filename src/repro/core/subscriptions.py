@@ -336,7 +336,12 @@ class SubscriptionBuilder:
         )
         return SubscriptionHandle(self._interface, [subscription])
 
-    def stream(self, maxsize: int = 0, policy: str = "block") -> "StreamCore":
+    def stream(
+        self,
+        maxsize: int = 0,
+        policy: str = "block",
+        from_offset: Optional[int] = None,
+    ) -> "StreamCore":
         """Consume the (filtered) subscription as an event stream.
 
         The builder must have no callback -- a stream *is* the consumer.
@@ -344,6 +349,10 @@ class SubscriptionBuilder:
         sync front-ends return the threaded :class:`EventStream`, the ASYNC
         binding an :class:`~repro.core.async_engine.AsyncEventStream` -- the
         builder itself (predicate push-down, error routing) is shared.
+        ``from_offset`` resumes from the interface's received history (see
+        :meth:`TPSInterfaceCore.stream
+        <repro.core.interface.TPSInterfaceCore.stream>`); the ``where``
+        predicates then filter at replay time instead of being pushed down.
         """
         self._consume()
         if self._callback is not None:
@@ -355,6 +364,7 @@ class SubscriptionBuilder:
             policy,
             predicate=combine_predicates(self._predicates),
             exception_handler=self._handler,
+            from_offset=from_offset,
         )
 
 
@@ -388,6 +398,8 @@ class StreamCore:
         policy: str = "block",
         predicate: Optional[Callable[[Any], bool]] = None,
         exception_handler: Optional[Any] = None,
+        source: Optional[Any] = None,
+        from_offset: Optional[int] = None,
     ) -> None:
         if policy not in STREAM_POLICIES:
             raise PSException(
@@ -400,13 +412,28 @@ class StreamCore:
         self._buffer: "deque[Any]" = deque()
         self._closed = False
         self._dropped = 0
+        # Cursor mode (``from_offset``): the stream pulls entries from the
+        # interface's history store instead of buffering pushed events.  The
+        # live subscription below degrades to a pure wake signal -- every
+        # wake follows the event's history append, so pulling ``since``
+        # delivers each offset exactly once and in order no matter how
+        # replay and live publishes interleave.  The predicate then cannot
+        # be pushed down (a filtered-out event must still wake the pull);
+        # it filters at replay time instead.
+        self._source = source
+        self._cursor = max(0, from_offset or 0)
+        self._pull_predicate = predicate if source is not None else None
         self._init_waiters()
         subscription = interface._subscribe_one(
-            self._on_event, exception_handler, predicate=predicate
+            self._on_event,
+            exception_handler,
+            predicate=None if source is not None else predicate,
         )
         self._handle = SubscriptionHandle(interface, [subscription])
         self._interface = interface
         interface._register_stream(self)
+        if source is not None:
+            self._replay()
 
     # ----------------------------------------------------- subclass hooks
 
@@ -418,9 +445,25 @@ class StreamCore:
         """The internal subscription's callback (the producer side)."""
         raise NotImplementedError
 
+    def _replay(self) -> Any:
+        """Pull the backlog of a cursor-mode stream at construction/resume."""
+        raise NotImplementedError
+
     def _shutdown(self) -> bool:
         """Flip the closed flag and wake all waiters; False when already closed."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------- resuming
+
+    @property
+    def resumable(self) -> bool:
+        """Whether this stream was created with ``from_offset`` (cursor mode)."""
+        return self._source is not None
+
+    @property
+    def offset(self) -> int:
+        """The next history offset a cursor-mode stream will pull (0 when live)."""
+        return self._cursor
 
     # ------------------------------------------------------------ lifecycle
 
@@ -485,6 +528,12 @@ class EventStream(StreamCore):
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._not_full = threading.Condition(self._lock)
+        #: Serialises cursor-mode pulls end to end: entries must enter the
+        #: buffer in offset order, and a wake blocked mid-batch on a full
+        #: ``"block"`` buffer must not be overtaken by a later wake.  Held
+        #: outside ``_lock`` only (pump -> buffer lock, never the reverse),
+        #: so no ordering cycle with consumers, which take ``_lock`` alone.
+        self._pump_mutex = threading.Lock()
         #: Idents of every thread that has consumed (get/drain), used to
         #: refuse a ``"block"`` wait that can never be woken (see _on_event).
         self._consumer_idents: "set[int]" = set()
@@ -492,45 +541,110 @@ class EventStream(StreamCore):
     # ------------------------------------------------------------- producer
 
     def _on_event(self, event: Any) -> None:
+        if self._source is not None:
+            # Cursor mode: the pushed event is only a wake signal; deliver
+            # whatever the history store holds past the cursor instead.
+            self._pump()
+            return
         with self._lock:
             if self._closed:
                 return
-            if self.maxsize:
-                if self.policy == "block":
-                    if (
-                        len(self._buffer) >= self.maxsize
-                        and self._consumer_idents == {threading.get_ident()}
-                    ):
-                        # The publishing thread is this stream's only
-                        # consumer so far: blocking it on _not_full could
-                        # never be woken -- the thread that would drain the
-                        # buffer is the one about to wait.  Raise instead of
-                        # deadlocking; like any callback error, the exception
-                        # is routed to the subscription's exception handler.
-                        # This is deliberately a *heuristic* on observed
-                        # consumers: a stream nobody has consumed yet still
-                        # blocks (a consumer thread may be about to start,
-                        # and raising would break that legitimate pattern),
-                        # and a past consumer publishing while a brand-new
-                        # consumer thread has not reached its first get()
-                        # raises spuriously -- the undecidable trade-off is
-                        # resolved toward the re-entrant case that is a
-                        # deadlock for certain.
-                        raise PSException(
-                            "EventStream deadlock: the publishing thread is "
-                            "this stream's only consumer and the buffer is "
-                            "full; drain the stream first, use a consumer "
-                            "thread, or choose policy='drop_oldest'"
-                        )
-                    while len(self._buffer) >= self.maxsize and not self._closed:
-                        self._not_full.wait()
+            self._enqueue_locked(event)
+
+    def _pump(self) -> None:
+        with self._pump_mutex:
+            while True:
+                with self._lock:
                     if self._closed:
                         return
-                elif len(self._buffer) >= self.maxsize:
-                    self._buffer.popleft()
-                    self._dropped += 1
-            self._buffer.append(event)
-            self._not_empty.notify()
+                    entries = self._source.since(self._cursor)
+                if not entries:
+                    return
+                for offset, event, _ in entries:
+                    with self._lock:
+                        if self._closed:
+                            return
+                        # Advance before filtering: a predicate that raises
+                        # consumes its entry (the error is routed to the
+                        # subscription's exception handler, exactly like a
+                        # raising pushed-down predicate) instead of wedging
+                        # the cursor on it forever.
+                        self._cursor = offset + 1
+                    predicate = self._pull_predicate
+                    if predicate is not None and not predicate(event):
+                        continue
+                    with self._lock:
+                        if self._closed:
+                            return
+                        self._enqueue_locked(event)
+
+    def _replay(self) -> None:
+        self._pump()
+
+    def resume(self, offset: int) -> "EventStream":
+        """Reposition a resumable stream's cursor and pull immediately.
+
+        Only streams created with ``from_offset=`` are resumable.  Anything
+        currently buffered is discarded (the buffer would otherwise replay
+        on top of the re-pulled entries and duplicate them); the stream then
+        holds exactly the retained history at or after ``offset`` and keeps
+        following live events from there.  Returns the stream.
+        """
+        if self._source is None:
+            raise PSException(
+                "only streams created with from_offset= are resumable; "
+                "use tps.stream(from_offset=...) to make one"
+            )
+        with self._lock:
+            if self._closed:
+                raise PSException("the event stream is closed")
+            self._buffer.clear()
+            self._not_full.notify_all()
+            self._cursor = max(0, offset)
+        self._pump()
+        return self
+
+    def _enqueue_locked(self, event: Any) -> None:
+        """Apply the maxsize/policy contract and buffer one event.
+
+        Caller holds ``_lock`` and has checked ``_closed``.
+        """
+        if self.maxsize:
+            if self.policy == "block":
+                if (
+                    len(self._buffer) >= self.maxsize
+                    and self._consumer_idents == {threading.get_ident()}
+                ):
+                    # The publishing thread is this stream's only
+                    # consumer so far: blocking it on _not_full could
+                    # never be woken -- the thread that would drain the
+                    # buffer is the one about to wait.  Raise instead of
+                    # deadlocking; like any callback error, the exception
+                    # is routed to the subscription's exception handler.
+                    # This is deliberately a *heuristic* on observed
+                    # consumers: a stream nobody has consumed yet still
+                    # blocks (a consumer thread may be about to start,
+                    # and raising would break that legitimate pattern),
+                    # and a past consumer publishing while a brand-new
+                    # consumer thread has not reached its first get()
+                    # raises spuriously -- the undecidable trade-off is
+                    # resolved toward the re-entrant case that is a
+                    # deadlock for certain.
+                    raise PSException(
+                        "EventStream deadlock: the publishing thread is "
+                        "this stream's only consumer and the buffer is "
+                        "full; drain the stream first, use a consumer "
+                        "thread, or choose policy='drop_oldest'"
+                    )
+                while len(self._buffer) >= self.maxsize and not self._closed:
+                    self._not_full.wait()
+                if self._closed:
+                    return
+            elif len(self._buffer) >= self.maxsize:
+                self._buffer.popleft()
+                self._dropped += 1
+        self._buffer.append(event)
+        self._not_empty.notify()
 
     # ------------------------------------------------------------- consumer
 

@@ -361,7 +361,15 @@ class TestAsyncBindingRegistry:
         assert "ASYNC" in registered_bindings()
         assert "event-loop" in binding_capabilities("ASYNC")
         report = registered_bindings(with_params=True)
-        assert report["ASYNC"] == ("dispatch", "group")
+        assert report["ASYNC"] == (
+            "dispatch",
+            "group",
+            "breaker_threshold",
+            "breaker_cooldown",
+            "history",
+            "history_size",
+            "history_path",
+        )
 
     def test_ill_typed_params_name_the_offending_key(self):
         async def main():
@@ -489,3 +497,53 @@ class TestAsyncEngineDirect:
             return [event.shop for event in inbox]
 
         assert asyncio.run(main()) == ["direct", "streamed"]
+
+
+class TestLoopClockBreakers:
+    """Satellite: ASYNC breakers tick on ``loop.time``, not wall time."""
+
+    def test_breaker_cooldown_follows_a_manually_advanced_loop_clock(self):
+        loop = asyncio.new_event_loop()
+        fake = [1_000.0]
+        loop.time = lambda: fake[0]  # patched BEFORE the engine captures it
+
+        async def main():
+            engine = TPSEngine(SkiRental)
+            publisher, subscriber = _pair(
+                engine, breaker_threshold=2, breaker_cooldown=5.0
+            )
+            calls: List[Any] = []
+            healthy: List[Any] = []
+
+            def flaky(event: Any) -> None:
+                calls.append(event.shop)
+                raise RuntimeError("boom")
+
+            subscriber.subscribe(flaky)
+            subscriber.subscribe(lambda event: healthy.append(event.shop))
+            await publisher.publish(_offer("a"))
+            await publisher.publish(_offer("b"))  # second failure trips it
+            assert calls == ["a", "b"]
+            # Quarantined: deliveries are skipped while the (virtual)
+            # cooldown runs, however fast the wall clock moves.
+            await publisher.publish(_offer("c"))
+            fake[0] += 4.9  # still inside the 5 s cooldown
+            await publisher.publish(_offer("d"))
+            assert calls == ["a", "b"]
+            # Advancing the loop clock past the cooldown opens probation:
+            # exactly one delivery gets through (and re-trips on failure).
+            fake[0] += 0.2
+            await publisher.publish(_offer("e"))
+            assert calls == ["a", "b", "e"]
+            await publisher.publish(_offer("f"))
+            assert calls == ["a", "b", "e"]
+            # The healthy subscription on the same interface never skipped.
+            assert healthy == ["a", "b", "c", "d", "e", "f"]
+            await publisher.close()
+            await subscriber.close()
+            engine.close()
+
+        try:
+            loop.run_until_complete(main())
+        finally:
+            loop.close()

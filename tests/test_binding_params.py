@@ -70,12 +70,12 @@ class TestParamValidationErrors:
             engine.new_interface("SHARDED", partition="bogus-mode")
         assert "'partition'" in str(excinfo.value)
 
-    def test_no_param_binding_rejects_everything(self):
+    def test_unknown_param_rejected_and_accepted_set_listed(self):
         engine = TPSEngine(SkiRental, local_bus=LocalBus())
         with pytest.raises(PSException) as excinfo:
             engine.new_interface("LOCAL", anything=1)
         message = str(excinfo.value)
-        assert "accepts no parameters" in message and "'anything'" in message
+        assert "'anything'" in message and "history" in message
 
     def test_validation_runs_before_the_factory(self):
         # The JXTA factory requires a peer, but an unknown param must be
@@ -95,15 +95,21 @@ class TestParamValidationErrors:
 class TestRegistryIntrospection:
     def test_registered_bindings_reports_declared_parameter_names(self):
         report = registered_bindings(with_params=True)
-        assert report["LOCAL"] == ()
-        assert report["ASYNC"] == ("dispatch", "group")
+        history_params = ("history", "history_size", "history_path")
+        assert report["LOCAL"] == history_params
+        assert report["ASYNC"] == (
+            "dispatch",
+            "group",
+            "breaker_threshold",
+            "breaker_cooldown",
+        ) + history_params
         assert report["SHARDED"] == (
             "shards",
             "partition",
             "content_key",
             "placement",
             "virtual_nodes",
-        )
+        ) + history_params
         # The composite takes everything SHARDED does, plus membership.
         assert report["SHARDED+JXTA"] == report["SHARDED"] + (
             "membership",

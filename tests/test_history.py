@@ -1,0 +1,322 @@
+"""Unit and regression tests of the PR 10 history stores.
+
+Covers the :class:`~repro.core.history.RingHistory` offset/eviction
+contract, the :class:`~repro.storage.log.LogHistory` durable format
+(including crash-recovery truncation of torn tails and cross-restart offset
+continuity), the ``make_history`` factory validation, and the satellite-1
+regression: no engine's in-memory history may grow beyond its configured
+bound under a sustained publish loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import pytest
+
+from repro.apps.skirental.types import SkiRental
+from repro.core import TPSConfig, TPSEngine
+from repro.core.exceptions import PSException
+from repro.core.history import (
+    DEFAULT_HISTORY_SIZE,
+    RingHistory,
+    make_history,
+    make_history_pair,
+)
+from repro.core.local_engine import LocalBus, LocalTPSEngine
+from repro.core.type_registry import TypeRegistry
+from repro.storage.log import LogHistory
+
+pytestmark = [pytest.mark.durability]
+
+
+def _offer(index: int) -> SkiRental:
+    return SkiRental(f"shop-{index}", float(index), "Salomon", 7)
+
+
+def _codec():
+    return TypeRegistry(SkiRental).codec
+
+
+def _log(path, **kwargs) -> LogHistory:
+    codec = _codec()
+    return LogHistory(str(path), encode=codec.encode, decode=codec.decode, **kwargs)
+
+
+class TestRingHistory:
+    def test_offsets_are_dense_and_monotonic(self):
+        ring = RingHistory(8)
+        offsets = [ring.append(_offer(i)) for i in range(5)]
+        assert offsets == [0, 1, 2, 3, 4]
+        assert ring.next_offset == 5
+        assert ring.start_offset == 0
+        assert len(ring) == 5
+
+    def test_eviction_advances_start_offset_but_never_reuses_offsets(self):
+        ring = RingHistory(3)
+        for i in range(10):
+            assert ring.append(i) == i
+        assert len(ring) == 3
+        assert ring.start_offset == 7
+        assert ring.next_offset == 10
+        assert [entry[0] for entry in ring.since(0)] == [7, 8, 9]
+        assert ring.snapshot() == [7, 8, 9]
+
+    def test_since_filters_by_offset(self):
+        ring = RingHistory(16)
+        for i in range(6):
+            ring.append(i * 10, meta=f"m{i}")
+        entries = ring.since(4)
+        assert entries == [(4, 40, "m4"), (5, 50, "m5")]
+        assert ring.since(6) == []
+
+    def test_clear_keeps_the_offset_counter_monotone(self):
+        ring = RingHistory(4)
+        for i in range(4):
+            ring.append(i)
+        ring.clear()
+        assert len(ring) == 0
+        assert ring.start_offset == ring.next_offset == 4
+        assert ring.append("next") == 4
+
+    def test_unbounded_when_capacity_nonpositive(self):
+        ring = RingHistory(0)
+        for i in range(5000):
+            ring.append(i)
+        assert len(ring) == 5000
+        assert ring.start_offset == 0
+
+    def test_bool_capacity_rejected(self):
+        with pytest.raises(PSException):
+            RingHistory(True)
+
+
+class TestLogHistory:
+    def test_round_trip_and_offsets(self, tmp_path):
+        log = _log(tmp_path / "sent.log")
+        offsets = [log.append(_offer(i), meta=f"id-{i}") for i in range(6)]
+        assert offsets == list(range(6))
+        entries = log.since(3)
+        assert [offset for offset, _, _ in entries] == [3, 4, 5]
+        assert [meta for _, _, meta in entries] == ["id-3", "id-4", "id-5"]
+        assert [event.shop for _, event, _ in entries] == ["shop-3", "shop-4", "shop-5"]
+        assert len(log.snapshot()) == 6
+        assert log.start_offset == 0
+        log.close()
+
+    def test_offsets_continue_across_reopen(self, tmp_path):
+        path = tmp_path / "sent.log"
+        log = _log(path)
+        for i in range(4):
+            log.append(_offer(i))
+        log.close()
+        reopened = _log(path)
+        assert reopened.recovered_records == 4
+        assert reopened.truncated_bytes == 0
+        assert reopened.next_offset == 4
+        assert reopened.append(_offer(4)) == 4
+        assert [o for o, _, _ in reopened.since(3)] == [3, 4]
+        reopened.close()
+
+    def test_reads_keep_working_after_close_appends_raise(self, tmp_path):
+        log = _log(tmp_path / "sent.log")
+        log.append(_offer(0))
+        log.close()
+        assert len(log.snapshot()) == 1
+        assert log.since(0)[0][0] == 0
+        with pytest.raises(PSException):
+            log.append(_offer(1))
+        log.close()  # idempotent
+
+    @pytest.mark.parametrize("torn_bytes", [1, 2, 3, 5])
+    def test_crash_recovery_truncates_torn_tail(self, tmp_path, torn_bytes):
+        """Write N records, chop the tail mid-record, reopen: the complete
+        prefix survives and ``since(offset)`` resumes from it."""
+        path = tmp_path / "sent.log"
+        log = _log(path)
+        for i in range(5):
+            log.append(_offer(i), meta=f"id-{i}")
+        log.close()
+        intact = os.path.getsize(path)
+        with open(path, "r+b") as segment:
+            segment.truncate(intact - torn_bytes)
+        recovered = _log(path)
+        assert recovered.recovered_records == 4
+        assert recovered.truncated_bytes > 0
+        assert recovered.next_offset == 4
+        resumed = recovered.since(2)
+        assert [offset for offset, _, _ in resumed] == [2, 3]
+        assert [event.shop for _, event, _ in resumed] == ["shop-2", "shop-3"]
+        # New appends continue the offset sequence past the dropped record.
+        assert recovered.append(_offer(99)) == 4
+        recovered.close()
+        reread = _log(path)
+        assert reread.recovered_records == 5
+        assert [event.shop for _, event, _ in reread.since(4)] == ["shop-99"]
+        reread.close()
+
+    def test_recovery_drops_zeroed_header_tail(self, tmp_path):
+        path = tmp_path / "sent.log"
+        log = _log(path)
+        log.append(_offer(0))
+        log.close()
+        with open(path, "ab") as segment:
+            segment.write(b"\x00\x00\x00\x00garbage")
+        recovered = _log(path)
+        assert recovered.recovered_records == 1
+        assert recovered.next_offset == 1
+        recovered.close()
+
+    def test_recovery_drops_undecodable_last_record(self, tmp_path):
+        path = tmp_path / "sent.log"
+        log = _log(path)
+        log.append(_offer(0))
+        log.close()
+        junk = b"not a codec payload"
+        with open(path, "ab") as segment:
+            segment.write(len(junk).to_bytes(4, "big"))
+            segment.write(junk)
+        recovered = _log(path)
+        assert recovered.recovered_records == 1
+        assert recovered.truncated_bytes == 4 + len(junk)
+        assert len(recovered.snapshot()) == 1
+        recovered.close()
+
+    def test_empty_and_missing_files_recover_to_zero(self, tmp_path):
+        log = _log(tmp_path / "fresh.log")
+        assert log.recovered_records == 0
+        assert log.next_offset == 0
+        assert log.snapshot() == []
+        log.close()
+
+    def test_group_commit_sync_batches(self, tmp_path):
+        log = _log(tmp_path / "sent.log", fsync_every=4)
+        for i in range(3):
+            log.append(_offer(i))
+        # Unsynced appends are still visible to same-process reads (the
+        # reader flushes the writer first).
+        assert len(log.snapshot()) == 3
+        log.sync()
+        log.append(_offer(3))
+        log.close()
+        assert len(log.snapshot()) == 4
+
+    def test_clear_is_a_destructive_offset_reset(self, tmp_path):
+        path = tmp_path / "sent.log"
+        log = _log(path)
+        for i in range(3):
+            log.append(_offer(i))
+        log.clear()
+        assert len(log) == 0
+        assert log.next_offset == 0
+        assert log.append(_offer(9)) == 0
+        log.close()
+        assert _log(path).recovered_records == 1
+
+
+class TestHistoryFactories:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PSException, match="unknown history kind"):
+            make_history("parquet")
+        with pytest.raises(PSException, match="unknown history kind"):
+            make_history_pair("parquet", 10, None)
+
+    def test_log_without_path_rejected(self):
+        with pytest.raises(PSException, match="history_path"):
+            make_history("log")
+        with pytest.raises(PSException, match="history_path"):
+            make_history_pair("log", 10, None, codec=_codec())
+
+    def test_pair_creates_directory_with_both_files(self, tmp_path):
+        root = tmp_path / "nested" / "stores"
+        received, sent = make_history_pair("log", 10, str(root), codec=_codec())
+        received.append(_offer(0))
+        sent.append(_offer(1))
+        received.close()
+        sent.close()
+        assert (root / "received.log").exists()
+        assert (root / "sent.log").exists()
+
+
+class TestEngineHistoryBounds:
+    """Satellite 1: the in-memory history of every engine stays bounded."""
+
+    def test_local_engine_history_never_exceeds_bound_under_10k_publishes(self):
+        bus = LocalBus()
+        publisher = LocalTPSEngine(SkiRental, bus=bus, history_size=64)
+        subscriber = LocalTPSEngine(SkiRental, bus=bus, history_size=64)
+        subscriber.subscribe(lambda event: None)
+        offer = _offer(0)
+        for index in range(10_000):
+            publisher.publish(offer)
+            if index % 997 == 0:
+                assert len(subscriber.objects_received()) <= 64
+                assert len(publisher.objects_sent()) <= 64
+        assert len(subscriber.objects_received()) == 64
+        assert len(publisher.objects_sent()) == 64
+        # Offsets kept counting even though retention is bounded.
+        assert publisher.sent_offset == 10_000
+        assert subscriber.history_offset == 10_000
+        publisher.close()
+        subscriber.close()
+
+    def test_default_bound_is_the_documented_constant(self):
+        engine = LocalTPSEngine(SkiRental, bus=LocalBus())
+        assert engine._received.capacity == DEFAULT_HISTORY_SIZE
+        assert engine._sent.capacity == DEFAULT_HISTORY_SIZE
+        engine.close()
+
+    @pytest.mark.slow
+    def test_jxta_engine_history_bounded(self, lan):
+        builder = lan
+        config = TPSConfig(search_timeout=2.0, history_size=16)
+        publisher = TPSEngine(
+            SkiRental, peer=builder.peer_named("peer-0"), config=config
+        ).new_interface("JXTA")
+        subscriber = TPSEngine(
+            SkiRental,
+            peer=builder.peer_named("peer-1"),
+            config=TPSConfig(
+                search_timeout=4.0, create_if_missing=False, history_size=16
+            ),
+        ).new_interface("JXTA")
+        subscriber.subscribe(lambda event: None)
+        builder.settle(rounds=12)
+        for index in range(80):
+            publisher.publish(_offer(index))
+            builder.settle(rounds=2)
+        assert len(publisher.objects_sent()) == 16
+        assert len(subscriber.objects_received()) <= 16
+        assert publisher.sent_offset == 80
+
+    @pytest.mark.asyncio
+    def test_async_engine_history_bounded(self):
+        async def main():
+            engine = TPSEngine(SkiRental)
+            publisher = engine.new_interface("ASYNC", history_size=32)
+            subscriber = engine.new_interface("ASYNC", history_size=32)
+            subscriber.subscribe(lambda event: None)
+            for index in range(500):
+                await publisher.publish(_offer(index))
+            assert len(publisher.objects_sent()) == 32
+            assert len(subscriber.objects_received()) == 32
+            assert publisher.sent_offset == 500
+            await publisher.close()
+            await subscriber.close()
+            return True
+
+        loop = asyncio.new_event_loop()
+        try:
+            assert loop.run_until_complete(main())
+        finally:
+            loop.close()
+
+    def test_history_binding_params_validated(self):
+        engine = TPSEngine(SkiRental, local_bus=LocalBus())
+        with pytest.raises(PSException, match="'history'"):
+            engine.new_interface("LOCAL", history="parquet")
+        with pytest.raises(PSException, match="'history_size'"):
+            engine.new_interface("LOCAL", history_size=True)
+        with pytest.raises(PSException, match="history_path"):
+            engine.new_interface("LOCAL", history="log")
